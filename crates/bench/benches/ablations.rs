@@ -1,0 +1,213 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Checkpoint deferral** (§4.7): eager hash propagation (checkpoint
+//!    after every commit) vs the paper's deferred propagation.
+//! 2. **Counter lag Δut** (§4.8.2.2): trusted-store flush frequency.
+//! 3. **Cleaner variants** (§4.9.5): revalidating vs byte-preserving.
+//! 4. **Validation protocol**: counter-based vs direct hash.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tdb::{ChunkStore, ChunkStoreConfig, CommitOp, ValidationMode};
+use tdb_bench::fixtures::{bytes, chunk_store_with_partition, paper_config, IoMode, Platform};
+
+fn run_commits(store: &ChunkStore, p: tdb::PartitionId, n: u64, checkpoint_each: bool) {
+    for i in 0..n {
+        let id = store.allocate_chunk(p).unwrap();
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id,
+                bytes: bytes(i, 512),
+            }])
+            .unwrap();
+        if checkpoint_each {
+            store.checkpoint().unwrap();
+        }
+    }
+}
+
+fn bench_checkpoint_deferral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_checkpoint_deferral");
+    group.sample_size(10);
+    for (label, eager) in [("deferred", false), ("eager_every_commit", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_batched(
+                || {
+                    let platform = Platform::new(IoMode::Raw);
+                    chunk_store_with_partition(&platform, paper_config())
+                },
+                |(store, p)| run_commits(&store, p, 50, eager),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter_lag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_counter_lag");
+    group.sample_size(10);
+    for delta_ut in [0u64, 1, 5, 20] {
+        group.bench_function(BenchmarkId::from_parameter(format!("dut{delta_ut}")), |b| {
+            b.iter_batched(
+                || {
+                    let platform = Platform::new(IoMode::Raw);
+                    let config = ChunkStoreConfig {
+                        validation: ValidationMode::Counter {
+                            delta_ut,
+                            delta_tu: 0,
+                        },
+                        ..paper_config()
+                    };
+                    chunk_store_with_partition(&platform, config)
+                },
+                |(store, p)| run_commits(&store, p, 50, false),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_validation_protocol");
+    group.sample_size(10);
+    group.bench_function("counter_dut5", |b| {
+        b.iter_batched(
+            || {
+                let platform = Platform::new(IoMode::Raw);
+                chunk_store_with_partition(&platform, paper_config())
+            },
+            |(store, p)| run_commits(&store, p, 50, false),
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("direct_hash", |b| {
+        b.iter_batched(
+            || {
+                let platform = Platform::new(IoMode::Raw);
+                let config = ChunkStoreConfig {
+                    validation: ValidationMode::DirectHash,
+                    ..paper_config()
+                };
+                let store = std::sync::Arc::new(
+                    ChunkStore::create(
+                        std::sync::Arc::clone(&platform.untrusted),
+                        platform.register_backend(),
+                        platform.secret.clone(),
+                        config,
+                    )
+                    .unwrap(),
+                );
+                let p = store.allocate_partition().unwrap();
+                store
+                    .commit(vec![CommitOp::CreatePartition {
+                        id: p,
+                        params: tdb::CryptoParams::paper_default(),
+                    }])
+                    .unwrap();
+                (store, p)
+            },
+            |(store, p)| run_commits(&store, p, 50, false),
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_cleaner_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cleaner");
+    group.sample_size(10);
+    for (label, revalidates) in [("revalidating", true), ("byte_preserving", false)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_batched(
+                || {
+                    let platform = Platform::new(IoMode::Raw);
+                    let config = ChunkStoreConfig {
+                        cleaner_revalidates: revalidates,
+                        segment_size: 16 * 1024,
+                        ..paper_config()
+                    };
+                    let (store, p) = chunk_store_with_partition(&platform, config);
+                    // Churn to create obsolete versions across segments.
+                    let ids: Vec<_> = (0..50).map(|_| store.allocate_chunk(p).unwrap()).collect();
+                    for round in 0..4u64 {
+                        for &id in &ids {
+                            store
+                                .commit(vec![CommitOp::WriteChunk {
+                                    id,
+                                    bytes: bytes(round, 512),
+                                }])
+                                .unwrap();
+                        }
+                    }
+                    store.checkpoint().unwrap();
+                    store
+                },
+                |store| store.clean(8).unwrap(),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_remote_batching(c: &mut Criterion) {
+    // §10 extension: client-side write batching against a remote untrusted
+    // store. Virtual round trips are accounted (not slept), and the bench
+    // reports the *computational* cost; the round-trip savings themselves
+    // are asserted in tests/remote_batching.rs.
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tdb_storage::{BatchingStore, MemStore, RemoteStore, SharedUntrusted, SimClock};
+
+    let mut group = c.benchmark_group("ablation_remote_batching");
+    group.sample_size(10);
+    for (label, batched) in [("unbatched", false), ("batched", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_batched(
+                || {
+                    let clock = Arc::new(SimClock::new(false));
+                    let remote: SharedUntrusted = Arc::new(RemoteStore::new(
+                        Arc::new(MemStore::new()) as SharedUntrusted,
+                        Duration::from_micros(50),
+                        clock,
+                    ));
+                    let store: SharedUntrusted = if batched {
+                        Arc::new(BatchingStore::new(remote))
+                    } else {
+                        remote
+                    };
+                    let platform = Platform::new(IoMode::Raw);
+                    let chunks = std::sync::Arc::new(
+                        ChunkStore::create(
+                            store,
+                            platform.counter_backend(),
+                            platform.secret.clone(),
+                            paper_config(),
+                        )
+                        .unwrap(),
+                    );
+                    let p = chunks.allocate_partition().unwrap();
+                    chunks
+                        .commit(vec![CommitOp::CreatePartition {
+                            id: p,
+                            params: tdb::CryptoParams::paper_default(),
+                        }])
+                        .unwrap();
+                    (chunks, p)
+                },
+                |(store, p)| run_commits(&store, p, 30, false),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_checkpoint_deferral, bench_counter_lag, bench_validation_protocol, bench_cleaner_variants, bench_remote_batching
+}
+criterion_main!(benches);

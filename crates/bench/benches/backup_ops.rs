@@ -1,0 +1,104 @@
+//! E7 (§9.2.3): backup store benches — full and incremental backup
+//! creation over 512-byte chunks.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tdb::{BackupSpec, ChunkId, CommitOp};
+use tdb_bench::fixtures::{bytes, chunk_store_with_partition, paper_config, IoMode, Platform};
+use tdb_core::backup::BackupStore;
+use tdb_storage::MemArchive;
+
+fn bench_backup(c: &mut Criterion) {
+    let platform = Platform::new(IoMode::Raw);
+    let (store, p) = chunk_store_with_partition(&platform, paper_config());
+    let archive = Arc::new(MemArchive::new());
+    let backups = BackupStore::new(Arc::clone(&store), archive.clone());
+
+    // The paper's setup: 512-byte chunks.
+    let n = 1000u64;
+    for i in 0..n {
+        let id = store.allocate_chunk(p).unwrap();
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id,
+                bytes: bytes(i, 512),
+            }])
+            .unwrap();
+    }
+    store.checkpoint().unwrap();
+
+    let mut counter = 0u64;
+    c.bench_function("full_backup_1000x512B", |b| {
+        b.iter(|| {
+            counter += 1;
+            let info = backups
+                .backup(
+                    &[BackupSpec {
+                        source: p,
+                        base: None,
+                    }],
+                    &format!("bench-full-{counter}"),
+                )
+                .unwrap();
+            store
+                .commit(vec![CommitOp::DeallocPartition {
+                    id: info.snapshots[0],
+                }])
+                .unwrap();
+        })
+    });
+
+    let base = backups
+        .backup(
+            &[BackupSpec {
+                source: p,
+                base: None,
+            }],
+            "bench-base",
+        )
+        .unwrap();
+    let mut group = c.benchmark_group("incremental_backup_1000x512B");
+    group.sample_size(10);
+    for &updated in &[1usize, 50] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{updated}updated")),
+            |b| {
+                b.iter(|| {
+                    for rank in 0..updated as u64 {
+                        store
+                            .commit(vec![CommitOp::WriteChunk {
+                                id: ChunkId::data(p, rank),
+                                bytes: bytes(rank ^ counter, 512),
+                            }])
+                            .unwrap();
+                    }
+                    counter += 1;
+                    let info = backups
+                        .backup(
+                            &[BackupSpec {
+                                source: p,
+                                base: Some(base.snapshots[0]),
+                            }],
+                            &format!("bench-incr-{counter}"),
+                        )
+                        .unwrap();
+                    store
+                        .commit(vec![CommitOp::DeallocPartition {
+                            id: info.snapshots[0],
+                        }])
+                        .unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backup
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! E3–E6 (§9.2.2): chunk store operation benches — allocate, commit
+//! (chunk-count × size sweep), read (warm/cold descriptors), partition
+//! create/copy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tdb::{ChunkId, CommitOp, CryptoParams};
+use tdb_bench::fixtures::{bytes, chunk_store_with_partition, paper_config, IoMode, Platform};
+
+fn bench_allocate(c: &mut Criterion) {
+    let platform = Platform::new(IoMode::Raw);
+    let (store, p) = chunk_store_with_partition(&platform, paper_config());
+    c.bench_function("allocate_chunk_id", |b| {
+        b.iter(|| store.allocate_chunk(p).unwrap())
+    });
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let platform = Platform::new(IoMode::Raw);
+    let mut config = paper_config();
+    config.checkpoint_threshold = usize::MAX;
+    config.segment_size = 512 * 1024;
+    let (store, p) = chunk_store_with_partition(&platform, config);
+    let ids: Vec<ChunkId> = (0..128).map(|_| store.allocate_chunk(p).unwrap()).collect();
+    for &id in &ids {
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id,
+                bytes: bytes(0, 256),
+            }])
+            .unwrap();
+    }
+
+    let mut group = c.benchmark_group("write_chunks_commit");
+    for &(n_chunks, size) in &[
+        (1usize, 512usize),
+        (8, 512),
+        (64, 512),
+        (8, 128),
+        (8, 4096),
+        (8, 16384),
+    ] {
+        group.throughput(Throughput::Bytes((n_chunks * size) as u64));
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{n_chunks}x{size}B")),
+            |b| {
+                b.iter(|| {
+                    let ops: Vec<CommitOp> = ids
+                        .iter()
+                        .take(n_chunks)
+                        .map(|&id| CommitOp::WriteChunk {
+                            id,
+                            bytes: bytes(7, size),
+                        })
+                        .collect();
+                    store.commit(ops).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let platform = Platform::new(IoMode::Raw);
+    let (store, p) = chunk_store_with_partition(&platform, paper_config());
+    let mut group = c.benchmark_group("read_chunk_warm");
+    for &size in &[128usize, 2048, 16384] {
+        let id = store.allocate_chunk(p).unwrap();
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id,
+                bytes: bytes(1, size),
+            }])
+            .unwrap();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("{size}B")), |b| {
+            b.iter(|| store.read(id).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_ops(c: &mut Criterion) {
+    let platform = Platform::new(IoMode::Raw);
+    let (store, _) = chunk_store_with_partition(&platform, paper_config());
+
+    c.bench_function("create_drop_partition", |b| {
+        b.iter(|| {
+            let q = store.allocate_partition().unwrap();
+            store
+                .commit(vec![CommitOp::CreatePartition {
+                    id: q,
+                    params: CryptoParams::paper_default(),
+                }])
+                .unwrap();
+            store
+                .commit(vec![CommitOp::DeallocPartition { id: q }])
+                .unwrap();
+        })
+    });
+
+    // Copy cost must not scale with partition size (copy-on-write, §5.3).
+    let mut group = c.benchmark_group("copy_partition");
+    for &n_chunks in &[100u64, 2000] {
+        let src = store.allocate_partition().unwrap();
+        store
+            .commit(vec![CommitOp::CreatePartition {
+                id: src,
+                params: CryptoParams::paper_default(),
+            }])
+            .unwrap();
+        for i in 0..n_chunks {
+            let id = store.allocate_chunk(src).unwrap();
+            store
+                .commit(vec![CommitOp::WriteChunk {
+                    id,
+                    bytes: bytes(i, 128),
+                }])
+                .unwrap();
+        }
+        store.checkpoint().unwrap();
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{n_chunks}chunks")),
+            |b| {
+                b.iter(|| {
+                    let snap = store.allocate_partition().unwrap();
+                    store
+                        .commit(vec![CommitOp::CopyPartition { dst: snap, src }])
+                        .unwrap();
+                    store
+                        .commit(vec![CommitOp::DeallocPartition { id: snap }])
+                        .unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_allocate, bench_commit, bench_read, bench_partition_ops
+}
+criterion_main!(benches);

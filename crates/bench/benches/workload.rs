@@ -1,0 +1,50 @@
+//! E11 (Figure 11): the bind/release workload on TDB and on the
+//! layered-crypto XDB baseline.
+//!
+//! Criterion runs use raw (in-memory) stores, measuring computational cost;
+//! the `report` binary's `fig11` experiment adds the 1999-disk latency
+//! model to reproduce the paper's wall-clock shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tdb_bench::fixtures::{paper_config, IoMode};
+use tdb_bench::workload::{generate_stream, Kind, TdbWorkload, XdbWorkload};
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_raw");
+    group.sample_size(10);
+    for kind in [Kind::Release, Kind::Bind] {
+        group.bench_function(BenchmarkId::new("tdb", format!("{kind:?}")), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        TdbWorkload::setup(IoMode::Raw, 200, paper_config()),
+                        generate_stream(kind, 200, 1),
+                    )
+                },
+                |(mut w, stream)| w.run(&stream),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        group.bench_function(BenchmarkId::new("xdb", format!("{kind:?}")), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        XdbWorkload::setup(IoMode::Raw, 200),
+                        generate_stream(kind, 200, 1),
+                    )
+                },
+                |(mut w, stream)| w.run(&stream),
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_workload
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! The experiment report binary: regenerates the paper's tables and
+//! figures (§9), printing measured rows next to the paper's numbers.
+//!
+//! ```sh
+//! cargo run --release -p tdb-bench --bin report -- all
+//! cargo run --release -p tdb-bench --bin report -- e1 e4 fig11
+//! cargo run --release -p tdb-bench --bin report -- fig11 --runs 10
+//! ```
+
+use tdb_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = 3usize;
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--runs" {
+            runs = match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => n,
+                _ => {
+                    eprintln!("error: --runs needs a positive integer");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            selected.push(arg.to_lowercase());
+        }
+    }
+    const KNOWN: [&str; 18] = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "fig9",
+        "fig10", "fig11", "fig12", "all", "micro",
+    ];
+    for name in &selected {
+        if !KNOWN.contains(&name.as_str()) {
+            eprintln!("error: unknown experiment '{name}' (try: {})", KNOWN.join(" "));
+            std::process::exit(2);
+        }
+    }
+    if selected.is_empty() {
+        eprintln!(
+            "usage: report [--runs N] <experiments...>\n\
+             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 | all | micro"
+        );
+        std::process::exit(2);
+    }
+    let want = |name: &str, aliases: &[&str]| {
+        selected.iter().any(|s| {
+            s == "all"
+                || s == name
+                || aliases.contains(&s.as_str())
+                || (s == "micro"
+                    && matches!(name, "e1" | "e2" | "e3" | "e4" | "e5" | "e6" | "e7" | "e8"))
+        })
+    };
+    if want("e1", &[]) {
+        experiments::e1_crypto();
+    }
+    if want("e2", &[]) {
+        experiments::e2_store();
+    }
+    if want("e3", &[]) {
+        experiments::e3_allocate();
+    }
+    if want("e4", &[]) {
+        experiments::e4_commit_regression();
+    }
+    if want("e5", &[]) {
+        experiments::e5_read_regression();
+    }
+    if want("e6", &[]) {
+        experiments::e6_partition_ops();
+    }
+    if want("e7", &[]) {
+        experiments::e7_backup_regression();
+    }
+    if want("e8", &[]) {
+        experiments::e8_space();
+    }
+    if want("e9", &["fig9"]) {
+        experiments::e9_code_complexity();
+    }
+    if want("e10", &["fig10"]) {
+        experiments::e10_op_counts();
+    }
+    if want("e11", &["fig11"]) {
+        experiments::e11_comparison(runs);
+    }
+    if want("e12", &["fig12"]) {
+        experiments::e12_breakdown(runs);
+    }
+}

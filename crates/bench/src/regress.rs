@@ -1,0 +1,127 @@
+//! Ordinary least squares, for decomposing measured latencies into the
+//! paper's "fixed + per-chunk + per-byte" coefficients (§9.2.2: "the
+//! computational latency, measured using linear regression, is 132 µs +
+//! 36 µs per chunk + 0.24 µs per byte").
+
+/// Fits `y ≈ β₀ + β₁·x₁ + … + βₖ·xₖ` by normal equations with Gaussian
+/// elimination. Observations are `(xs, y)` rows.
+///
+/// Returns `None` when the system is singular (degenerate design).
+pub fn ols(observations: &[(Vec<f64>, f64)]) -> Option<Vec<f64>> {
+    let k = observations.first()?.0.len() + 1;
+    // Build XᵀX (k×k) and Xᵀy (k).
+    let mut xtx = vec![vec![0.0f64; k]; k];
+    let mut xty = vec![0.0f64; k];
+    for (xs, y) in observations {
+        debug_assert_eq!(xs.len() + 1, k);
+        let mut row = Vec::with_capacity(k);
+        row.push(1.0);
+        row.extend_from_slice(xs);
+        for i in 0..k {
+            for j in 0..k {
+                xtx[i][j] += row[i] * row[j];
+            }
+            xty[i] += row[i] * y;
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut a = xtx;
+    let mut b = xty;
+    for col in 0..k {
+        let pivot = (col..k).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in 0..k {
+            if row == col {
+                continue;
+            }
+            let factor = a[row][col] / a[col][col];
+            // Index form: `a[row]` and `a[col]` alias the same matrix.
+            #[allow(clippy::needless_range_loop)]
+            for j in col..k {
+                a[row][j] -= factor * a[col][j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    Some((0..k).map(|i| b[i] / a[i][i]).collect())
+}
+
+/// Coefficient of determination for a fitted model.
+pub fn r_squared(observations: &[(Vec<f64>, f64)], beta: &[f64]) -> f64 {
+    let n = observations.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean_y: f64 = observations.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (xs, y) in observations {
+        let mut pred = beta[0];
+        for (i, x) in xs.iter().enumerate() {
+            pred += beta[i + 1] * x;
+        }
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_two_variable_fit() {
+        // y = 5 + 2*x1 + 0.5*x2, no noise.
+        let mut obs = Vec::new();
+        for x1 in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
+            for x2 in [10.0f64, 100.0, 1000.0] {
+                obs.push((vec![x1, x2], 5.0 + 2.0 * x1 + 0.5 * x2));
+            }
+        }
+        let beta = ols(&obs).unwrap();
+        assert!((beta[0] - 5.0).abs() < 1e-6, "{beta:?}");
+        assert!((beta[1] - 2.0).abs() < 1e-6);
+        assert!((beta[2] - 0.5).abs() < 1e-6);
+        assert!(r_squared(&obs, &beta) > 0.999999);
+    }
+
+    #[test]
+    fn single_variable_fit_with_noise() {
+        let obs: Vec<(Vec<f64>, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.3 } else { -0.3 };
+                (vec![x], 1.0 + 3.0 * x + noise)
+            })
+            .collect();
+        let beta = ols(&obs).unwrap();
+        assert!((beta[1] - 3.0).abs() < 0.01, "{beta:?}");
+        assert!(r_squared(&obs, &beta) > 0.99);
+    }
+
+    #[test]
+    fn singular_design_rejected() {
+        // x2 = 2*x1 exactly: collinear.
+        let obs: Vec<(Vec<f64>, f64)> = (0..10)
+            .map(|i| {
+                let x = i as f64;
+                (vec![x, 2.0 * x], x)
+            })
+            .collect();
+        assert!(ols(&obs).is_none());
+    }
+}

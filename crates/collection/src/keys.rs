@@ -1,0 +1,158 @@
+//! Order-preserving index key encoding.
+//!
+//! Sorted indexes compare keys as raw byte strings, so every typed
+//! component must encode such that byte order equals logical order — this
+//! is what lets TDB "maintain ordered indexes on data" (§1.2) despite the
+//! stored chunks being encrypted: keys are extracted from *decrypted*
+//! objects (§8).
+
+/// Builds composite, order-preserving index keys.
+///
+/// Component order matters: keys compare lexicographically component by
+/// component.
+#[derive(Debug, Default, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct IndexKey {
+    bytes: Vec<u8>,
+}
+
+impl IndexKey {
+    /// An empty key.
+    pub fn new() -> IndexKey {
+        IndexKey::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrows the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Appends an unsigned integer (big-endian: byte order = numeric order).
+    pub fn u64(mut self, v: u64) -> IndexKey {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a signed integer (sign bit flipped so negative < positive).
+    pub fn i64(mut self, v: i64) -> IndexKey {
+        let biased = (v as u64) ^ (1u64 << 63);
+        self.bytes.extend_from_slice(&biased.to_be_bytes());
+        self
+    }
+
+    /// Appends a float (IEEE total-order trick: flip all bits of negatives,
+    /// the sign bit of non-negatives).
+    pub fn f64(mut self, v: f64) -> IndexKey {
+        let bits = v.to_bits();
+        let ordered = if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1u64 << 63)
+        };
+        self.bytes.extend_from_slice(&ordered.to_be_bytes());
+        self
+    }
+
+    /// Appends a string, escaped so a shorter string sorts before any of
+    /// its extensions and component boundaries never bleed: `0x00` becomes
+    /// `0x00 0xFF`, and the component ends with `0x00 0x00`.
+    pub fn str(mut self, s: &str) -> IndexKey {
+        for &b in s.as_bytes() {
+            if b == 0 {
+                self.bytes.extend_from_slice(&[0x00, 0xFF]);
+            } else {
+                self.bytes.push(b);
+            }
+        }
+        self.bytes.extend_from_slice(&[0x00, 0x00]);
+        self
+    }
+
+    /// Appends raw bytes verbatim (caller guarantees ordering semantics).
+    pub fn raw(mut self, bytes: &[u8]) -> IndexKey {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends a boolean (false < true).
+    pub fn bool(mut self, v: bool) -> IndexKey {
+        self.bytes.push(u8::from(v));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k() -> IndexKey {
+        IndexKey::new()
+    }
+
+    #[test]
+    fn u64_order() {
+        assert!(k().u64(1).into_bytes() < k().u64(2).into_bytes());
+        assert!(k().u64(255).into_bytes() < k().u64(256).into_bytes());
+        assert!(k().u64(0).into_bytes() < k().u64(u64::MAX).into_bytes());
+    }
+
+    #[test]
+    fn i64_order() {
+        let values = [i64::MIN, -1_000_000, -1, 0, 1, 42, i64::MAX];
+        for w in values.windows(2) {
+            assert!(
+                k().i64(w[0]).into_bytes() < k().i64(w[1]).into_bytes(),
+                "{} < {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn f64_order() {
+        let values = [-1e300, -1.5, -0.0, 0.0, 1e-10, 2.5, 1e300];
+        for w in values.windows(2) {
+            assert!(
+                k().f64(w[0]).into_bytes() <= k().f64(w[1]).into_bytes(),
+                "{} <= {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn str_order_and_prefix() {
+        assert!(k().str("abc").into_bytes() < k().str("abd").into_bytes());
+        assert!(k().str("ab").into_bytes() < k().str("abc").into_bytes());
+        assert!(k().str("").into_bytes() < k().str("a").into_bytes());
+    }
+
+    #[test]
+    fn str_nul_escaping_preserves_boundaries() {
+        // ("a\0", "b") must differ from ("a", "\0b") and sort consistently.
+        let a = k().str("a\0").str("b").into_bytes();
+        let b = k().str("a").str("\0b").into_bytes();
+        assert_ne!(a, b);
+        // "a" < "a\0" as strings, and the encodings agree.
+        assert!(k().str("a").into_bytes() < k().str("a\0").into_bytes());
+    }
+
+    #[test]
+    fn composite_component_order() {
+        let a = k().str("alice").u64(2).into_bytes();
+        let b = k().str("alice").u64(10).into_bytes();
+        let c = k().str("bob").u64(1).into_bytes();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn bool_order() {
+        assert!(k().bool(false).into_bytes() < k().bool(true).into_bytes());
+    }
+}

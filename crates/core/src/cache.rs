@@ -1,0 +1,307 @@
+//! The chunk-map cache (§4.5, §4.6).
+//!
+//! "For better performance, the chunk map keeps a cache of descriptors
+//! indexed by chunk ids … The cached data is decrypted, validated, and
+//! unpickled." We cache whole decoded map chunks; the descriptor of chunk
+//! *c* is a slot of *c*'s parent. Updating a descriptor dirties the cached
+//! parent instead of rewriting the map chunk to the log — the deferral that
+//! checkpointing later consolidates (§4.7).
+//!
+//! Invariant: a dirty map chunk is pinned (never evicted) until a
+//! checkpoint writes it out; a map chunk with no persistent version *must*
+//! therefore be in the cache.
+
+use std::collections::HashMap;
+
+use crate::descriptor::MapChunk;
+use crate::ids::{PartitionId, Position};
+
+/// One cached, decoded map chunk.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// Decoded slots.
+    pub chunk: MapChunk,
+    /// True when the cached content is newer than any persistent version.
+    pub dirty: bool,
+    /// LRU timestamp.
+    last_used: u64,
+}
+
+/// The map-chunk cache.
+#[derive(Debug)]
+pub struct MapCache {
+    entries: HashMap<(PartitionId, Position), CacheEntry>,
+    /// Soft capacity in entries; only clean entries are evictable.
+    capacity: usize,
+    tick: u64,
+}
+
+impl MapCache {
+    /// Creates a cache bounded to roughly `capacity` map chunks.
+    pub fn new(capacity: usize) -> MapCache {
+        MapCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(8),
+            tick: 0,
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a cached map chunk, refreshing its LRU position.
+    pub fn get(&mut self, partition: PartitionId, pos: Position) -> Option<&MapChunk> {
+        let tick = self.bump();
+        self.entries.get_mut(&(partition, pos)).map(|e| {
+            e.last_used = tick;
+            &e.chunk
+        })
+    }
+
+    /// True when the map chunk is cached (no LRU refresh).
+    pub fn contains(&self, partition: PartitionId, pos: Position) -> bool {
+        self.entries.contains_key(&(partition, pos))
+    }
+
+    /// True when the map chunk is cached *and* dirty.
+    pub fn is_dirty(&self, partition: PartitionId, pos: Position) -> bool {
+        self.entries.get(&(partition, pos)).is_some_and(|e| e.dirty)
+    }
+
+    /// Mutable access plus dirty marking: the caller is changing a slot.
+    pub fn get_mut_dirty(
+        &mut self,
+        partition: PartitionId,
+        pos: Position,
+    ) -> Option<&mut MapChunk> {
+        let tick = self.bump();
+        self.entries.get_mut(&(partition, pos)).map(|e| {
+            e.last_used = tick;
+            e.dirty = true;
+            &mut e.chunk
+        })
+    }
+
+    /// Inserts a map chunk (replacing any previous entry), then evicts clean
+    /// entries if over capacity.
+    pub fn insert(&mut self, partition: PartitionId, pos: Position, chunk: MapChunk, dirty: bool) {
+        let tick = self.bump();
+        self.entries.insert(
+            (partition, pos),
+            CacheEntry {
+                chunk,
+                dirty,
+                last_used: tick,
+            },
+        );
+        self.evict_if_needed(Some((partition, pos)));
+    }
+
+    /// Marks an entry clean (after a checkpoint wrote it out).
+    pub fn mark_clean(&mut self, partition: PartitionId, pos: Position) {
+        if let Some(e) = self.entries.get_mut(&(partition, pos)) {
+            e.dirty = false;
+        }
+    }
+
+    /// Removes every entry belonging to `partition` (partition deallocated).
+    pub fn purge_partition(&mut self, partition: PartitionId) {
+        self.entries.retain(|(p, _), _| *p != partition);
+    }
+
+    /// Clones all *dirty* map chunks of `src` under `dst`'s key space — the
+    /// cache half of a partition copy (§5.3). Persistent map chunks are
+    /// shared through the copied root descriptor; only the buffered
+    /// (post-checkpoint) overrides need duplicating.
+    pub fn clone_dirty(&mut self, src: PartitionId, dst: PartitionId) {
+        let cloned: Vec<(Position, MapChunk)> = self
+            .entries
+            .iter()
+            .filter(|((p, _), e)| *p == src && e.dirty)
+            .map(|((_, pos), e)| (*pos, e.chunk.clone()))
+            .collect();
+        for (pos, chunk) in cloned {
+            self.insert(dst, pos, chunk, true);
+        }
+    }
+
+    /// Number of dirty entries (drives checkpoint triggering, §4.7: "when
+    /// the cache becomes too large because of dirty descriptors").
+    pub fn dirty_count(&self) -> usize {
+        self.entries.values().filter(|e| e.dirty).count()
+    }
+
+    /// All dirty entries' keys, sorted by (partition, height, rank) so a
+    /// checkpoint can write bottom-up deterministically.
+    pub fn dirty_keys(&self) -> Vec<(PartitionId, Position)> {
+        let mut keys: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort_by_key(|(p, pos)| (*p, pos.height, pos.rank));
+        keys
+    }
+
+    /// Total entries cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops everything (used when a restore replaces partitions wholesale).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn evict_if_needed(&mut self, keep: Option<(PartitionId, Position)>) {
+        while self.entries.len() > self.capacity {
+            // Find the least recently used *clean* entry, never the one the
+            // caller just inserted (it is about to be used).
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, e)| !e.dirty && Some(**k) != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                }
+                // Everything is dirty: allow the cache to exceed capacity;
+                // the caller will checkpoint soon.
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Descriptor;
+    use tdb_crypto::HashValue;
+
+    fn p(n: u32) -> PartitionId {
+        PartitionId(n)
+    }
+
+    fn mc(fanout: usize, marker: u8) -> MapChunk {
+        let mut c = MapChunk::empty(fanout);
+        c.slots[0] = Descriptor::written(u64::from(marker), 1, 1, HashValue::new(&[marker; 20]));
+        c
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut cache = MapCache::new(16);
+        cache.insert(p(1), Position::map(1, 0), mc(4, 7), false);
+        assert!(cache.contains(p(1), Position::map(1, 0)));
+        let got = cache.get(p(1), Position::map(1, 0)).unwrap();
+        assert_eq!(got.slots[0].location, 7);
+        assert!(cache.get(p(2), Position::map(1, 0)).is_none());
+    }
+
+    #[test]
+    fn dirty_entries_survive_eviction_pressure() {
+        let mut cache = MapCache::new(8);
+        for i in 0..8 {
+            cache.insert(p(1), Position::map(1, i), mc(4, i as u8), true);
+        }
+        for i in 8..40 {
+            cache.insert(p(1), Position::map(1, i), mc(4, i as u8), false);
+        }
+        // All dirty entries still present.
+        for i in 0..8 {
+            assert!(
+                cache.contains(p(1), Position::map(1, i)),
+                "dirty {i} evicted"
+            );
+        }
+        // Cache respects capacity modulo the dirty overflow.
+        assert!(cache.len() <= 9, "len {}", cache.len());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_clean() {
+        let mut cache = MapCache::new(8);
+        for i in 0..8 {
+            cache.insert(p(1), Position::map(1, i), mc(4, i as u8), false);
+        }
+        // Touch 0 so it is most recent.
+        let _ = cache.get(p(1), Position::map(1, 0));
+        cache.insert(p(1), Position::map(1, 100), mc(4, 0), false);
+        assert!(cache.contains(p(1), Position::map(1, 0)));
+        // Entry 1 was the least recently used.
+        assert!(!cache.contains(p(1), Position::map(1, 1)));
+    }
+
+    #[test]
+    fn get_mut_dirty_marks_and_counts() {
+        let mut cache = MapCache::new(8);
+        cache.insert(p(1), Position::map(1, 0), mc(4, 1), false);
+        assert_eq!(cache.dirty_count(), 0);
+        cache
+            .get_mut_dirty(p(1), Position::map(1, 0))
+            .unwrap()
+            .slots[1] = Descriptor::unwritten();
+        assert_eq!(cache.dirty_count(), 1);
+        cache.mark_clean(p(1), Position::map(1, 0));
+        assert_eq!(cache.dirty_count(), 0);
+    }
+
+    #[test]
+    fn clone_dirty_copies_only_dirty() {
+        let mut cache = MapCache::new(32);
+        cache.insert(p(1), Position::map(1, 0), mc(4, 1), true);
+        cache.insert(p(1), Position::map(1, 1), mc(4, 2), false);
+        cache.insert(p(1), Position::map(2, 0), mc(4, 3), true);
+        cache.clone_dirty(p(1), p(2));
+        assert!(cache.contains(p(2), Position::map(1, 0)));
+        assert!(!cache.contains(p(2), Position::map(1, 1)));
+        assert!(cache.contains(p(2), Position::map(2, 0)));
+        // Clones are dirty and independent.
+        assert_eq!(cache.dirty_count(), 4);
+        cache
+            .get_mut_dirty(p(2), Position::map(1, 0))
+            .unwrap()
+            .slots[0] = Descriptor::unallocated();
+        assert!(cache.get(p(1), Position::map(1, 0)).unwrap().slots[0].is_written());
+    }
+
+    #[test]
+    fn purge_partition_removes_all() {
+        let mut cache = MapCache::new(32);
+        cache.insert(p(1), Position::map(1, 0), mc(4, 1), true);
+        cache.insert(p(2), Position::map(1, 0), mc(4, 2), true);
+        cache.purge_partition(p(1));
+        assert!(!cache.contains(p(1), Position::map(1, 0)));
+        assert!(cache.contains(p(2), Position::map(1, 0)));
+    }
+
+    #[test]
+    fn dirty_keys_sorted_bottom_up() {
+        let mut cache = MapCache::new(32);
+        cache.insert(p(2), Position::map(2, 0), mc(4, 1), true);
+        cache.insert(p(1), Position::map(1, 5), mc(4, 2), true);
+        cache.insert(p(1), Position::map(1, 2), mc(4, 3), true);
+        cache.insert(p(1), Position::map(2, 0), mc(4, 4), true);
+        let keys = cache.dirty_keys();
+        assert_eq!(
+            keys,
+            vec![
+                (p(1), Position::map(1, 2)),
+                (p(1), Position::map(1, 5)),
+                (p(1), Position::map(2, 0)),
+                (p(2), Position::map(2, 0)),
+            ]
+        );
+    }
+}

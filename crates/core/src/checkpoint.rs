@@ -1,0 +1,201 @@
+//! Checkpointing (§4.7): consolidating buffered chunk-map updates.
+//!
+//! "When the cache becomes too large because of dirty descriptors, all map
+//! chunks containing dirty descriptors and their ancestors up to the leader
+//! are written to the log … The chunk store extends the optimization to
+//! propagating hash values up the chunk map."
+//!
+//! Write order is strictly bottom-up: user-partition map chunks (heights
+//! ascending), then dirty partition leaders (data chunks of the system
+//! partition), then system map chunks (heights ascending), and the system
+//! leader last. "The leader is written last during a checkpoint" — the log
+//! before it is the checkpointed log, the leader and everything after is
+//! the residual log.
+
+use crate::errors::Result;
+use crate::ids::{ChunkId, PartitionId, Position};
+use crate::log::Superblock;
+use crate::metrics::{self, modules};
+use crate::store::{Inner, ValidationMode, COMMIT_CHUNK_ROOM};
+use crate::version::{seal_version, sealed_version_len, CommitRecord, VersionHeader, VersionKind};
+
+impl Inner {
+    /// Runs a full checkpoint. Safe to call with no dirty state (used to
+    /// format a fresh store).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures; on failure the store must be reopened.
+    pub(crate) fn checkpoint(&mut self) -> Result<()> {
+        let result = self.checkpoint_impl();
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn checkpoint_impl(&mut self) -> Result<()> {
+        // 1. User-partition map chunks, bottom-up. Writing a chunk at height
+        //    h dirties its parent at h+1 (or the partition leader), so
+        //    re-collect keys per height until only system chunks remain.
+        self.write_dirty_maps(false)?;
+
+        // 2. Dirty partition leaders become system data chunks.
+        let dirty_leaders: Vec<PartitionId> = self
+            .leaders
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(p, _)| *p)
+            .collect();
+        for p in dirty_leaders {
+            let leader = self.leaders.get(&p).expect("listed above").leader.clone();
+            self.write_partition_leader(p, leader)?;
+        }
+
+        // 3. System map chunks, bottom-up.
+        self.write_dirty_maps(true)?;
+
+        // 4. The system leader, last. Budget room for it plus the commit
+        //    chunk so nothing after the hash boundary switches segments.
+        self.sys_leader.checkpoint_seq += 1;
+        let probe = self.sys_leader.encode();
+        let budget = sealed_version_len(&self.system, &self.system, probe.len() + 64) as u32
+            + COMMIT_CHUNK_ROOM;
+        self.log.ensure_room(
+            &mut self.sys_leader.log,
+            &self.system,
+            &mut self.hashes,
+            budget,
+        )?;
+
+        let counter_mode = matches!(self.config.validation, ValidationMode::Counter { .. });
+        if counter_mode {
+            // The checkpoint's commit chunk covers the leader alone: "a
+            // checkpoint is followed by a commit chunk containing the hash
+            // of the leader chunk, as if the leader were the only chunk in
+            // the commit set" (§4.8.2.2).
+            self.hashes.begin_set();
+        } else {
+            // Direct validation: the chained hash restarts at the leader,
+            // the head of the new residual log (§4.8.2.1).
+            self.hashes.reset_chain();
+        }
+
+        // Re-encode after ensure_room (a segment switch changes log state).
+        let body = self.sys_leader.encode();
+        let sealed = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            seal_version(
+                &self.system,
+                &self.system,
+                VersionKind::Named,
+                ChunkId::system_leader(),
+                &body,
+            )
+        };
+        let leader_loc = self.append(&sealed)?;
+
+        // Utilization: retire the previous leader version, count this one.
+        if let Some((old_loc, old_vlen)) = self.leader_version {
+            let seg = self.log.segment_of(old_loc) as usize;
+            if let Some(u) = self.sys_leader.log.utilization.get_mut(seg) {
+                *u = u.saturating_sub(old_vlen);
+            }
+        }
+        {
+            let seg = self.log.segment_of(leader_loc) as usize;
+            if let Some(u) = self.sys_leader.log.utilization.get_mut(seg) {
+                *u += sealed.len() as u32;
+            }
+        }
+        self.leader_version = Some((leader_loc, sealed.len() as u32));
+
+        // 5. Seal the checkpoint per the validation protocol.
+        match self.config.validation {
+            ValidationMode::Counter { .. } => {
+                let set_hash = self.hashes.end_set();
+                let count = self.commit_count + 1;
+                let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
+                let sealed = {
+                    let _t = metrics::span(modules::ENCRYPTION);
+                    seal_version(
+                        &self.system,
+                        &self.system,
+                        VersionKind::Commit,
+                        VersionHeader::unnamed_id(),
+                        &record.encode(),
+                    )
+                };
+                self.append(&sealed)?;
+                self.commit_count = count;
+                self.log.flush()?;
+                // A checkpoint always syncs the counter.
+                self.advance_counter(count)?;
+                self.write_superblock(leader_loc)?;
+            }
+            ValidationMode::DirectHash => {
+                self.log.flush()?;
+                // Superblock first, trusted record second: whichever leader
+                // the register's chain matches is the one recovery accepts,
+                // so both crash windows fall back cleanly (§4.9.2).
+                self.write_superblock(leader_loc)?;
+                self.write_direct_record()?;
+            }
+        }
+
+        // 6. The residual log now starts at the leader.
+        self.log.reset_residual();
+        self.stats.checkpoints += 1;
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Writes every dirty map chunk of user partitions (`system == false`)
+    /// or the system partition (`system == true`), heights ascending.
+    fn write_dirty_maps(&mut self, system: bool) -> Result<()> {
+        loop {
+            let mut keys: Vec<(PartitionId, Position)> = self
+                .map_cache
+                .dirty_keys()
+                .into_iter()
+                .filter(|(p, _)| p.is_system() == system)
+                .collect();
+            if keys.is_empty() {
+                return Ok(());
+            }
+            // Writing a chunk at height h only dirties chunks at heights
+            // > h (its ancestors), so one whole height level can be written
+            // per collection pass without re-scanning.
+            keys.sort_by_key(|(p, pos)| (pos.height, *p, pos.rank));
+            let level = keys[0].1.height;
+            for (p, pos) in keys.into_iter().take_while(|(_, pos)| pos.height == level) {
+                self.write_map_chunk(p, pos)?;
+            }
+        }
+    }
+
+    fn write_map_chunk(&mut self, p: PartitionId, pos: Position) -> Result<()> {
+        let hash_len = self.crypto_for(p)?.hash_kind().digest_len();
+        let body = self
+            .map_cache
+            .get(p, pos)
+            .expect("dirty chunk must be cached")
+            .encode(hash_len);
+        let id = ChunkId::new(p, pos);
+        let desc = self.write_named(VersionKind::Named, id, &body)?;
+        self.set_descriptor(id, desc)?;
+        self.map_cache.mark_clean(p, pos);
+        Ok(())
+    }
+
+    fn write_superblock(&mut self, leader_loc: u64) -> Result<()> {
+        let sb = Superblock {
+            epoch: self.superblock.epoch + 1,
+            current_leader: leader_loc,
+            prev_leader: self.superblock.current_leader,
+        };
+        sb.write(self.log.store())?;
+        self.superblock = sb;
+        Ok(())
+    }
+}

@@ -1,0 +1,218 @@
+//! The log cleaner (§4.9.5, §5.5): reclaiming obsolete chunk versions.
+//!
+//! "The log cleaner reclaims the storage of obsolete chunk versions and
+//! compacts the storage to create empty segments. It selects a segment to
+//! clean and determines whether each chunk version is current by using the
+//! chunk id in the header to find the current location in the chunk map. It
+//! then commits the set of current chunks, which rewrites them to the end
+//! of the log."
+//!
+//! Partition copies complicate currency: "even if the version is obsolete
+//! in P, it may be current in some direct or indirect copy of P", so the
+//! cleaner checks the copy closure and appends a *cleaner chunk* naming the
+//! partitions where the relocated version is current, for recovery.
+//!
+//! Two variants are implemented (§4.9.5): the paper's simple one, where the
+//! rewrite is a regular commit that decrypts, *revalidates*, and re-hashes
+//! each chunk (so the cleaner cannot launder an attacker's modifications),
+//! and the faster variant that moves sealed bytes verbatim without updating
+//! stored hashes.
+
+use std::collections::HashSet;
+
+use crate::descriptor::Descriptor;
+use crate::errors::{CoreError, Result, TamperKind};
+use crate::ids::{ChunkId, PartitionId, LEADER_HEIGHT};
+use crate::metrics::{self, modules};
+use crate::store::{Inner, ValidationMode};
+use crate::version::{parse_version, seal_version, CleanerRecord, VersionHeader, VersionKind};
+
+impl Inner {
+    /// Cleans up to `max_segments` low-utilization segments; returns how
+    /// many were reclaimed.
+    pub(crate) fn clean(&mut self, max_segments: usize) -> Result<usize> {
+        let targets = self.pick_segments(max_segments);
+        if targets.is_empty() {
+            return Ok(0);
+        }
+        let result = self.clean_segments(&targets);
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    /// Chooses cleanable segments, lowest utilization first ("for
+    /// performance reasons, the cleaner selects segments with low
+    /// utilization").
+    fn pick_segments(&self, max_segments: usize) -> Vec<u32> {
+        let residual = self.log.residual_segments();
+        let free: HashSet<u32> = self.sys_leader.log.free_segments.iter().copied().collect();
+        let mut candidates: Vec<(u32, u32)> = self
+            .sys_leader
+            .log
+            .utilization
+            .iter()
+            .enumerate()
+            .map(|(seg, util)| (*util, seg as u32))
+            .filter(|(_, seg)| !residual.contains(seg) && !free.contains(seg))
+            .collect();
+        candidates.sort_unstable();
+        candidates
+            .into_iter()
+            .take(max_segments)
+            .map(|(_, seg)| seg)
+            .collect()
+    }
+
+    fn clean_segments(&mut self, targets: &[u32]) -> Result<usize> {
+        if matches!(self.config.validation, ValidationMode::Counter { .. }) {
+            self.hashes.begin_set();
+        }
+        let mut freed = Vec::new();
+        let mut rewrote_any = false;
+        for &seg in targets {
+            rewrote_any |= self.clean_one_segment(seg)?;
+            freed.push(seg);
+        }
+        if rewrote_any || matches!(self.config.validation, ValidationMode::Counter { .. }) {
+            // The rewrites form one commit (§4.9.5: "then commits the set of
+            // current chunks").
+            self.finish_commit()?;
+        }
+        // Only after the cleaning commit is durable may the segments be
+        // recycled.
+        for seg in &freed {
+            self.sys_leader.log.free_segments.push(*seg);
+            if let Some(u) = self.sys_leader.log.utilization.get_mut(*seg as usize) {
+                *u = 0;
+            }
+        }
+        self.stats.segments_cleaned += freed.len() as u64;
+        Ok(freed.len())
+    }
+
+    fn clean_one_segment(&mut self, seg: u32) -> Result<bool> {
+        let buf = self.log.read_segment(seg)?;
+        let base = self.log.segment_offset(seg);
+        let mut off = 0usize;
+        let mut rewrote = false;
+        while off < buf.len() {
+            let location = base + off as u64;
+            let parsed = {
+                let _t = metrics::span(modules::ENCRYPTION);
+                match parse_version(&self.system, &buf[off..], location) {
+                    Ok(p) => p,
+                    // Torn bytes at an old crash tail: everything beyond is
+                    // garbage, and garbage is never current.
+                    Err(_) => break,
+                }
+            };
+            let Some(raw) = parsed else { break };
+            let total = raw.total_len;
+            if matches!(raw.header.kind, VersionKind::Named | VersionKind::Relocated)
+                && raw.header.id.pos.height != LEADER_HEIGHT
+            {
+                let current_in = self.current_in(raw.header.id, location)?;
+                if !current_in.is_empty() {
+                    self.relocate(raw.header.id, &buf[off..off + total], location, &current_in)?;
+                    rewrote = true;
+                }
+            }
+            off += total;
+        }
+        Ok(rewrote)
+    }
+
+    /// Finds the partitions (header partition plus its copy closure) in
+    /// which the version at `location` is current.
+    fn current_in(&mut self, id: ChunkId, location: u64) -> Result<Vec<PartitionId>> {
+        let mut result = Vec::new();
+        let mut queue = vec![id.partition];
+        let mut seen: HashSet<PartitionId> = queue.iter().copied().collect();
+        while let Some(q) = queue.pop() {
+            if !q.is_system() {
+                match self.leader_entry(q) {
+                    Ok(entry) => {
+                        // Walk down to copies and up to the source, so
+                        // sibling copies are reached no matter which family
+                        // member the version's header names.
+                        let mut neighbors = entry.leader.copies.clone();
+                        if let Some(src) = entry.leader.source {
+                            neighbors.push(src);
+                        }
+                        for c in neighbors {
+                            if seen.insert(c) {
+                                queue.push(c);
+                            }
+                        }
+                    }
+                    // Deallocated partition: all its versions are obsolete
+                    // (its copies were deallocated with it, §5.5).
+                    Err(_) => continue,
+                }
+            }
+            let desc = self.get_descriptor(ChunkId::new(q, id.pos))?;
+            if desc.is_written() && desc.location == location {
+                result.push(q);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Rewrites one current version to the log tail and repoints every
+    /// partition in `current_in` at it.
+    fn relocate(
+        &mut self,
+        original_id: ChunkId,
+        sealed_old: &[u8],
+        old_location: u64,
+        current_in: &[PartitionId],
+    ) -> Result<()> {
+        let pos = original_id.pos;
+        let owner = current_in[0];
+        let old_desc = self.get_descriptor(ChunkId::new(owner, pos))?;
+        let new_desc = if self.config.cleaner_revalidates {
+            // The paper's implemented variant: decrypt, validate against
+            // the map, and run the regular (re-hashing, re-encrypting)
+            // write path — "otherwise, the cleaner might launder chunks
+            // modified by an attack".
+            let body = self.read_validated(ChunkId::new(owner, pos), &old_desc)?;
+            self.write_named(VersionKind::Relocated, original_id, &body)?
+        } else {
+            // Fast variant: move the sealed bytes verbatim; the stored hash
+            // (which covers the plaintext) remains valid.
+            let new_location = self.append(&sealed_old.to_vec().clone())?;
+            Descriptor::written(new_location, old_desc.vlen, old_desc.size, old_desc.hash)
+        };
+        let record = CleanerRecord {
+            pos,
+            new_location: new_desc.location,
+            current_in: current_in.to_vec(),
+        };
+        let sealed = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            seal_version(
+                &self.system,
+                &self.system,
+                VersionKind::Cleaner,
+                VersionHeader::unnamed_id(),
+                &record.encode(),
+            )
+        };
+        self.append(&sealed)?;
+        for &q in current_in {
+            // Sanity: each partition still points at the old version.
+            let d = self.get_descriptor(ChunkId::new(q, pos))?;
+            if !d.is_written() || d.location != old_location {
+                return Err(CoreError::TamperDetected(TamperKind::MisdirectedChunk {
+                    expected: ChunkId::new(q, pos),
+                    location: old_location,
+                }));
+            }
+            self.set_descriptor(ChunkId::new(q, pos), new_desc)?;
+        }
+        self.stats.chunks_relocated += 1;
+        Ok(())
+    }
+}

@@ -1,0 +1,261 @@
+//! Chunk and partition identifiers.
+//!
+//! The id of a chunk encodes its *position* in the chunk-map tree (§4.3):
+//! "The position comprises the height of the chunk in the tree and its rank
+//! from the left among the chunks at that height." Data chunks live at
+//! height 0; map chunks above them. As the tree grows, chunks are added to
+//! the right and the top, which preserves existing positions — so no ids
+//! ever need to be stored inside the map itself.
+//!
+//! With multiple partitions (§5.1), "a chunk id comprises the chunk
+//! position, as before, and the id of the containing partition."
+
+use std::fmt;
+
+/// The reserved height marking a partition leader (whose position in the
+/// tree changes as the tree grows, so "it is given a reserved id instead",
+/// §4.3).
+pub const LEADER_HEIGHT: u8 = 0xFF;
+
+/// A partition identifier.
+///
+/// The reserved *system* partition ([`PartitionId::SYSTEM`]) holds the
+/// partition map and all partition leaders (§5.2). User partition ids are
+/// allocated from the system partition's data-chunk ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// The reserved system partition (denoted *S* in the paper's Figure 7).
+    pub const SYSTEM: PartitionId = PartitionId(0);
+
+    /// True for the system partition id.
+    pub fn is_system(self) -> bool {
+        self == Self::SYSTEM
+    }
+
+    /// The system-partition data-chunk rank storing this partition's leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the system partition, whose leader is the system leader
+    /// and lives outside the partition map.
+    pub fn leader_rank(self) -> u64 {
+        assert!(
+            !self.is_system(),
+            "system leader is not in the partition map"
+        );
+        u64::from(self.0) - 1
+    }
+
+    /// Inverse of [`PartitionId::leader_rank`].
+    pub fn from_leader_rank(rank: u64) -> PartitionId {
+        PartitionId((rank + 1) as u32)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_system() {
+            write!(f, "S")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+/// A position in the chunk-map tree: height and rank (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Position {
+    /// Height in the tree: 0 for data chunks, ≥ 1 for map chunks,
+    /// [`LEADER_HEIGHT`] for leaders.
+    pub height: u8,
+    /// Rank from the left among chunks at this height.
+    pub rank: u64,
+}
+
+impl Position {
+    /// A data-chunk position.
+    pub fn data(rank: u64) -> Position {
+        Position { height: 0, rank }
+    }
+
+    /// A map-chunk position.
+    pub fn map(height: u8, rank: u64) -> Position {
+        debug_assert!(height >= 1 && height != LEADER_HEIGHT);
+        Position { height, rank }
+    }
+
+    /// The reserved leader position.
+    pub fn leader() -> Position {
+        Position {
+            height: LEADER_HEIGHT,
+            rank: 0,
+        }
+    }
+
+    /// True for data-chunk positions.
+    pub fn is_data(self) -> bool {
+        self.height == 0
+    }
+
+    /// True for map-chunk positions.
+    pub fn is_map(self) -> bool {
+        self.height >= 1 && self.height != LEADER_HEIGHT
+    }
+
+    /// True for the reserved leader position.
+    pub fn is_leader(self) -> bool {
+        self.height == LEADER_HEIGHT
+    }
+
+    /// Position of the map chunk holding this chunk's descriptor, given the
+    /// tree fanout. Id-based navigation of the map (§4.3) uses only this.
+    pub fn parent(self, fanout: u64) -> Position {
+        debug_assert!(
+            !self.is_leader(),
+            "the leader's descriptor is not in the map"
+        );
+        Position {
+            height: self.height + 1,
+            rank: self.rank / fanout,
+        }
+    }
+
+    /// Slot index of this chunk's descriptor within its parent map chunk.
+    pub fn slot(self, fanout: u64) -> usize {
+        (self.rank % fanout) as usize
+    }
+
+    /// Position of the child in `slot` under this map chunk.
+    pub fn child(self, fanout: u64, slot: usize) -> Position {
+        debug_assert!(self.is_map());
+        Position {
+            height: self.height - 1,
+            rank: self.rank * fanout + slot as u64,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_leader() {
+            write!(f, "leader")
+        } else {
+            // The paper denotes positions as "height.rank".
+            write!(f, "{}.{}", self.height, self.rank)
+        }
+    }
+}
+
+/// A fully qualified chunk id: partition plus position (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId {
+    /// Containing partition.
+    pub partition: PartitionId,
+    /// Position within the partition's tree.
+    pub pos: Position,
+}
+
+impl ChunkId {
+    /// Builds a chunk id.
+    pub fn new(partition: PartitionId, pos: Position) -> ChunkId {
+        ChunkId { partition, pos }
+    }
+
+    /// A data chunk id.
+    pub fn data(partition: PartitionId, rank: u64) -> ChunkId {
+        ChunkId::new(partition, Position::data(rank))
+    }
+
+    /// The system leader's reserved id.
+    pub fn system_leader() -> ChunkId {
+        ChunkId::new(PartitionId::SYSTEM, Position::leader())
+    }
+
+    /// The id of the system chunk storing `partition`'s leader.
+    pub fn leader_chunk(partition: PartitionId) -> ChunkId {
+        ChunkId::data(PartitionId::SYSTEM, partition.leader_rank())
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper denotes chunk ids as "partition:position".
+        write!(f, "{}:{}", self.partition, self.pos)
+    }
+}
+
+/// Number of data chunks a tree of `height` can address at fanout `fanout`.
+pub fn capacity(fanout: u64, height: u8) -> u64 {
+    fanout.saturating_pow(u32::from(height))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_parent_child_roundtrip() {
+        let fanout = 64;
+        let pos = Position::data(1000);
+        let parent = pos.parent(fanout);
+        assert_eq!(parent, Position::map(1, 15));
+        assert_eq!(pos.slot(fanout), 1000 - 15 * 64);
+        assert_eq!(parent.child(fanout, pos.slot(fanout)), pos);
+    }
+
+    #[test]
+    fn deep_tree_navigation() {
+        let fanout = 4;
+        // Rank 77 at height 0: parents are 19 (h1), 4 (h2), 1 (h3), 0 (h4).
+        let mut pos = Position::data(77);
+        let expected = [(1u8, 19u64), (2, 4), (3, 1), (4, 0)];
+        for (h, r) in expected {
+            pos = pos.parent(fanout);
+            assert_eq!(pos, Position::map(h, r));
+        }
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(capacity(64, 1), 64);
+        assert_eq!(capacity(64, 2), 4096);
+        assert_eq!(capacity(4, 3), 64);
+        // Saturates rather than overflowing for absurd heights.
+        assert_eq!(capacity(64, 40), u64::MAX);
+    }
+
+    #[test]
+    fn partition_leader_rank_mapping() {
+        let p = PartitionId(1);
+        assert_eq!(p.leader_rank(), 0);
+        assert_eq!(PartitionId::from_leader_rank(0), p);
+        let q = PartitionId(17);
+        assert_eq!(PartitionId::from_leader_rank(q.leader_rank()), q);
+    }
+
+    #[test]
+    #[should_panic(expected = "system leader")]
+    fn system_partition_has_no_leader_rank() {
+        let _ = PartitionId::SYSTEM.leader_rank();
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ChunkId::data(PartitionId(2), 5).to_string(), "P2:0.5");
+        assert_eq!(ChunkId::system_leader().to_string(), "S:leader");
+        assert_eq!(
+            ChunkId::new(PartitionId(1), Position::map(2, 3)).to_string(),
+            "P1:2.3"
+        );
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Position::data(0).is_data());
+        assert!(Position::map(1, 0).is_map());
+        assert!(Position::leader().is_leader());
+        assert!(!Position::leader().is_map());
+    }
+}

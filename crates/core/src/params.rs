@@ -1,0 +1,293 @@
+//! Per-partition cryptographic parameters (§2.2, §5.2).
+//!
+//! Each partition protects its chunks with its own secret key, cipher, and
+//! collision-resistant hash function, so applications can trade protection
+//! for speed per data type, and "using different secret keys reduces the
+//! loss from the disclosure of a single key". The system partition uses a
+//! fixed, conservative pair (the paper: 3DES + SHA-1) keyed from the secret
+//! store, forming the root of the *cipher links* from the secret store to
+//! every chunk.
+
+use tdb_crypto::cbc::Cbc;
+use tdb_crypto::hmac::Hmac;
+use tdb_crypto::{CipherKind, HashKind, HashValue, SecretKey};
+
+use crate::codec::{Dec, Enc};
+use crate::errors::{CoreError, Result, TamperKind};
+
+/// The cryptographic parameters of one partition.
+#[derive(Clone)]
+pub struct CryptoParams {
+    /// Cipher protecting chunk bodies.
+    pub cipher: CipherKind,
+    /// Collision-resistant hash over chunk state.
+    pub hash: HashKind,
+    /// The partition's secret key. For the system partition this is the key
+    /// in the platform's secret store; for others it is stored inside the
+    /// (system-encrypted) partition leader.
+    pub key: SecretKey,
+}
+
+impl CryptoParams {
+    /// Parameters with a freshly generated random key.
+    pub fn generate(cipher: CipherKind, hash: HashKind) -> CryptoParams {
+        CryptoParams {
+            cipher,
+            hash,
+            key: SecretKey::random(cipher.key_len()),
+        }
+    }
+
+    /// The paper's defaults for user partitions: DES + SHA-1 (§9.2.1).
+    pub fn paper_default() -> CryptoParams {
+        Self::generate(CipherKind::Des, HashKind::Sha1)
+    }
+
+    /// The paper's system-partition parameters: 3DES + SHA-1 (§5.2), with
+    /// the given secret-store key.
+    pub fn paper_system(key: SecretKey) -> CryptoParams {
+        CryptoParams {
+            cipher: CipherKind::TripleDes,
+            hash: HashKind::Sha1,
+            key,
+        }
+    }
+
+    /// Serializes the parameters (key included — callers must only embed
+    /// this inside data that is itself encrypted, i.e. partition leaders).
+    pub fn encode(&self, e: &mut Enc) {
+        e.u8(self.cipher.tag());
+        e.u8(self.hash.tag());
+        e.bytes(self.key.as_bytes());
+    }
+
+    /// Inverse of [`CryptoParams::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown tags or a key of the wrong length.
+    pub fn decode(d: &mut Dec<'_>) -> Result<CryptoParams> {
+        let cipher = CipherKind::from_tag(d.u8()?)
+            .ok_or_else(|| CoreError::Corrupt("unknown cipher tag".into()))?;
+        let hash = HashKind::from_tag(d.u8()?)
+            .ok_or_else(|| CoreError::Corrupt("unknown hash tag".into()))?;
+        let key_bytes = d.bytes()?;
+        if key_bytes.len() != cipher.key_len() {
+            return Err(CoreError::Corrupt(format!(
+                "key length {} does not match cipher {:?}",
+                key_bytes.len(),
+                cipher
+            )));
+        }
+        Ok(CryptoParams {
+            cipher,
+            hash,
+            key: SecretKey::new(key_bytes.to_vec()),
+        })
+    }
+
+    /// Builds the runtime cipher/hash handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the key does not match the cipher's key length.
+    pub fn runtime(&self) -> Result<PartitionCrypto> {
+        let cbc = Cbc::new(self.cipher.new_cipher(self.key.as_bytes())?);
+        Ok(PartitionCrypto {
+            cipher: self.cipher,
+            hash: self.hash,
+            mac_key: self.key.clone(),
+            cbc,
+        })
+    }
+}
+
+impl std::fmt::Debug for CryptoParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Key material is never printed.
+        write!(f, "CryptoParams({:?}, {:?})", self.cipher, self.hash)
+    }
+}
+
+/// Runtime encrypt/decrypt/hash/sign operations for one partition.
+pub struct PartitionCrypto {
+    cipher: CipherKind,
+    hash: HashKind,
+    mac_key: SecretKey,
+    cbc: Cbc,
+}
+
+impl PartitionCrypto {
+    /// The partition's hash function.
+    pub fn hash_kind(&self) -> HashKind {
+        self.hash
+    }
+
+    /// The partition's cipher.
+    pub fn cipher_kind(&self) -> CipherKind {
+        self.cipher
+    }
+
+    /// Encrypts `plain`, returning `IV ‖ ciphertext` under a fresh IV.
+    pub fn encrypt(&self, plain: &[u8]) -> Vec<u8> {
+        let iv = self.cbc.random_iv();
+        let ct = self
+            .cbc
+            .encrypt(&iv, plain)
+            .expect("fresh IV always has the right length");
+        let mut out = iv;
+        out.extend_from_slice(&ct);
+        out
+    }
+
+    /// Decrypts `IV ‖ ciphertext` produced by [`PartitionCrypto::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a tamper-detection error at `location` when the ciphertext
+    /// does not decrypt (wrong length or corrupt padding).
+    pub fn decrypt(&self, data: &[u8], location: u64) -> Result<Vec<u8>> {
+        let bs = self.cbc.block_size();
+        if data.len() < bs {
+            return Err(CoreError::TamperDetected(TamperKind::UndecryptableChunk {
+                location,
+            }));
+        }
+        let (iv, ct) = data.split_at(bs);
+        self.cbc
+            .decrypt(iv, ct)
+            .map_err(|_| CoreError::TamperDetected(TamperKind::UndecryptableChunk { location }))
+    }
+
+    /// Ciphertext length (including the IV) for a plaintext of `len` bytes.
+    pub fn sealed_len(&self, len: usize) -> usize {
+        self.cbc.block_size() + self.cbc.ciphertext_len(len)
+    }
+
+    /// Hash of `data` with the partition's hash function.
+    pub fn hash(&self, data: &[u8]) -> HashValue {
+        self.hash.hash(data)
+    }
+
+    /// Hash over several segments.
+    pub fn hash_parts(&self, parts: &[&[u8]]) -> HashValue {
+        self.hash.hash_parts(parts)
+    }
+
+    /// Symmetric signature (HMAC under the partition key) over `parts`.
+    ///
+    /// Used for commit chunks and backup signatures; "the signature need not
+    /// be publicly verifiable, so it may be based on symmetric-key
+    /// encryption" (§4.8.2.2). The null hash falls back to SHA-256 so a
+    /// signature always exists.
+    pub fn sign(&self, parts: &[&[u8]]) -> HashValue {
+        let kind = if self.hash == HashKind::Null {
+            HashKind::Sha256
+        } else {
+            self.hash
+        };
+        Hmac::mac_parts(kind, self.mac_key.as_bytes(), parts)
+    }
+
+    /// Verifies a signature produced by [`PartitionCrypto::sign`].
+    pub fn verify(&self, parts: &[&[u8]], tag: &HashValue) -> bool {
+        self.sign(parts).ct_eq(tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = CryptoParams::generate(CipherKind::Aes256, HashKind::Sha256);
+        let mut e = Enc::new();
+        p.encode(&mut e);
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        let q = CryptoParams::decode(&mut d).unwrap();
+        assert!(d.is_done());
+        assert_eq!(q.cipher, CipherKind::Aes256);
+        assert_eq!(q.hash, HashKind::Sha256);
+        assert_eq!(q.key.as_bytes(), p.key.as_bytes());
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_key() {
+        let mut e = Enc::new();
+        e.u8(CipherKind::Des.tag());
+        e.u8(HashKind::Sha1.tag());
+        e.bytes(&[0u8; 5]); // DES needs 8 bytes.
+        let buf = e.finish();
+        assert!(matches!(
+            CryptoParams::decode(&mut Dec::new(&buf)),
+            Err(CoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        for (cipher, hash) in [
+            (CipherKind::TripleDes, HashKind::Sha1),
+            (CipherKind::Aes128, HashKind::Sha256),
+            (CipherKind::Null, HashKind::Null),
+        ] {
+            let rt = CryptoParams::generate(cipher, hash).runtime().unwrap();
+            for len in [0usize, 1, 100, 4096] {
+                let plain: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                let sealed = rt.encrypt(&plain);
+                assert_eq!(sealed.len(), rt.sealed_len(len), "{cipher:?} {len}");
+                assert_eq!(rt.decrypt(&sealed, 0).unwrap(), plain);
+            }
+        }
+    }
+
+    #[test]
+    fn decrypt_corruption_is_tamper() {
+        let rt = CryptoParams::generate(CipherKind::Aes128, HashKind::Sha1)
+            .runtime()
+            .unwrap();
+        let sealed = rt.encrypt(b"secret chunk body");
+        // Truncated to a non-block length.
+        let err = rt.decrypt(&sealed[..sealed.len() - 3], 99).unwrap_err();
+        assert!(err.is_tamper());
+        // Too short to even hold an IV.
+        assert!(rt.decrypt(&sealed[..4], 99).unwrap_err().is_tamper());
+    }
+
+    #[test]
+    fn sign_verify() {
+        let rt = CryptoParams::generate(CipherKind::TripleDes, HashKind::Sha1)
+            .runtime()
+            .unwrap();
+        let tag = rt.sign(&[b"commit", b"set"]);
+        assert!(rt.verify(&[b"commit", b"set"], &tag));
+        assert!(!rt.verify(&[b"commit", b"forged"], &tag));
+    }
+
+    #[test]
+    fn null_hash_partitions_still_sign() {
+        let rt = CryptoParams::generate(CipherKind::Des, HashKind::Null)
+            .runtime()
+            .unwrap();
+        let tag = rt.sign(&[b"x"]);
+        assert!(!tag.is_empty());
+        assert!(rt.verify(&[b"x"], &tag));
+    }
+
+    #[test]
+    fn different_partitions_produce_unrelated_ciphertexts() {
+        let a = CryptoParams::generate(CipherKind::Aes128, HashKind::Sha1)
+            .runtime()
+            .unwrap();
+        let b = CryptoParams::generate(CipherKind::Aes128, HashKind::Sha1)
+            .runtime()
+            .unwrap();
+        let sealed = a.encrypt(b"cross-partition read attempt");
+        assert!(
+            b.decrypt(&sealed, 0).is_err()
+                || b.decrypt(&sealed, 0).unwrap() != b"cross-partition read attempt"
+        );
+    }
+}

@@ -1,0 +1,1287 @@
+//! The chunk store (§4, §5): TDB's trusted storage engine.
+//!
+//! The chunk store keeps a set of named, variable-sized chunks in a
+//! log-structured untrusted store, validated through a Merkle tree embedded
+//! in the chunk map and rooted — via the residual-log hash or signed commit
+//! counts — in the tamper-resistant store. See the paper §4.2 for the
+//! implementation overview this module follows.
+//!
+//! Concurrency: "serializability of operations is provided through mutual
+//! exclusion, which does not overlap I/O and computation, but is simple and
+//! acceptable when concurrency is low" (§4.2) — a single mutex around the
+//! whole engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tdb_crypto::{HashValue, SecretKey};
+use tdb_storage::{MonotonicCounter, SharedUntrusted, TrustedStore};
+
+use crate::cache::MapCache;
+use crate::codec::{Dec, Enc};
+use crate::descriptor::{ChunkStatus, Descriptor, MapChunk};
+use crate::errors::{CoreError, Result, TamperKind};
+use crate::ids::{capacity, ChunkId, PartitionId, Position};
+use crate::leader::{PartitionLeader, SystemLeader};
+use crate::log::{LogHashes, SegmentedLog, Superblock};
+use crate::metrics::{self, modules};
+use crate::params::{CryptoParams, PartitionCrypto};
+use crate::version::{
+    parse_version, seal_version, CommitRecord, DeallocRecord, RawVersion, VersionHeader,
+    VersionKind,
+};
+
+/// Conservative byte budget reserved for a commit chunk, so finalizing a
+/// commit set never forces a segment switch after the set hash is taken.
+pub(crate) const COMMIT_CHUNK_ROOM: u32 = 256;
+
+/// How the tamper-resistant store is used (§4.8.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationMode {
+    /// Direct hash validation (§4.8.2.1): the tamper-resistant store holds
+    /// a chained hash of the residual log plus the log-tail location, and
+    /// is updated on every commit.
+    DirectHash,
+    /// Counter-based validation (§4.8.2.2): signed, counted commit chunks
+    /// in the log; the tamper-resistant store holds only a monotonic
+    /// counter, flushed lazily.
+    Counter {
+        /// Allowed lag of the trusted counter behind the log (the paper ran
+        /// with Δut = 5, flushing the counter once every 5 commits).
+        delta_ut: u64,
+        /// Allowed lead of the trusted counter over the log (for lazily
+        /// flushed untrusted stores; the paper ran with Δtu = 0).
+        delta_tu: u64,
+    },
+}
+
+/// The tamper-resistant store backend matching the [`ValidationMode`].
+#[derive(Clone)]
+pub enum TrustedBackend {
+    /// A small writable register (for [`ValidationMode::DirectHash`]).
+    Register(Arc<dyn TrustedStore>),
+    /// A non-decrementable counter (for [`ValidationMode::Counter`]).
+    Counter(Arc<dyn MonotonicCounter>),
+}
+
+/// Chunk store configuration.
+#[derive(Clone)]
+pub struct ChunkStoreConfig {
+    /// Descriptors per map chunk (the paper's experiments use 64, §9.2.2).
+    pub fanout: u32,
+    /// Log segment size in bytes (§4.9.4 suggests ~100 KB for disks).
+    pub segment_size: u32,
+    /// Soft cap on cached map chunks.
+    pub map_cache_capacity: usize,
+    /// Dirty map chunks that trigger an automatic checkpoint (§4.7).
+    pub checkpoint_threshold: usize,
+    /// Validation protocol.
+    pub validation: ValidationMode,
+    /// When true the cleaner decrypts, revalidates, and re-hashes the
+    /// chunks it moves (the variant the paper implemented, §4.9.5).
+    pub cleaner_revalidates: bool,
+    /// Hard cap on segments (0 = unbounded).
+    pub max_segments: u32,
+    /// System-partition cipher and hash (the paper fixes 3DES + SHA-1).
+    pub system_cipher: tdb_crypto::CipherKind,
+    /// System-partition hash.
+    pub system_hash: tdb_crypto::HashKind,
+}
+
+impl Default for ChunkStoreConfig {
+    fn default() -> Self {
+        ChunkStoreConfig {
+            fanout: 64,
+            segment_size: 128 * 1024,
+            map_cache_capacity: 1024,
+            checkpoint_threshold: 128,
+            validation: ValidationMode::Counter {
+                delta_ut: 5,
+                delta_tu: 0,
+            },
+            cleaner_revalidates: true,
+            max_segments: 0,
+            system_cipher: tdb_crypto::CipherKind::TripleDes,
+            system_hash: tdb_crypto::HashKind::Sha1,
+        }
+    }
+}
+
+/// One operation inside an atomic commit (§4.1, §5.1).
+#[derive(Debug)]
+pub enum CommitOp {
+    /// Sets the state of an allocated chunk.
+    WriteChunk {
+        /// Target chunk (allocated via [`ChunkStore::allocate_chunk`]).
+        id: ChunkId,
+        /// New state, of any size.
+        bytes: Vec<u8>,
+    },
+    /// Deallocates a chunk.
+    DeallocChunk {
+        /// Target chunk.
+        id: ChunkId,
+    },
+    /// Writes an empty partition with the given parameters
+    /// (`Write(partitionId, secretKey, cipher, hashFunction)` of §5.1).
+    CreatePartition {
+        /// Target id (allocated via [`ChunkStore::allocate_partition`]).
+        id: PartitionId,
+        /// Cryptographic parameters (cipher, hash, key).
+        params: CryptoParams,
+    },
+    /// Copies the current state of `src` to `dst`
+    /// (`Write(partitionId, sourcePId)` of §5.1). Cheap: copy-on-write.
+    CopyPartition {
+        /// Target id (allocated, unwritten).
+        dst: PartitionId,
+        /// Source partition.
+        src: PartitionId,
+    },
+    /// Deallocates a partition, all of its copies, and all their chunks.
+    DeallocPartition {
+        /// Target partition.
+        id: PartitionId,
+    },
+}
+
+/// How a chunk position changed between two partitions (§5.1 `Diff`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffChange {
+    /// Written in `new` but not in `old`.
+    Created,
+    /// Written in both with different state.
+    Updated,
+    /// Written in `old` but not in `new`.
+    Deallocated,
+}
+
+/// One entry of a partition diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffEntry {
+    /// Data-chunk position that changed.
+    pub pos: Position,
+    /// Kind of change.
+    pub change: DiffChange,
+}
+
+/// Aggregate counters exposed for benchmarks and experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChunkStoreStats {
+    /// Commits performed (including checkpoints and cleaner commits).
+    pub commits: u64,
+    /// Checkpoints performed.
+    pub checkpoints: u64,
+    /// Segments reclaimed by the cleaner.
+    pub segments_cleaned: u64,
+    /// Versions relocated by the cleaner.
+    pub chunks_relocated: u64,
+    /// Bytes appended to the log.
+    pub bytes_appended: u64,
+}
+
+/// Cached per-partition state: decoded leader, runtime crypto, and session
+/// allocation state.
+pub(crate) struct LeaderEntry {
+    pub leader: PartitionLeader,
+    pub crypto: Arc<PartitionCrypto>,
+    /// Session-only allocation high-water (≥ `leader.next_rank`).
+    pub alloc_next: u64,
+    /// Session view of the free list (ranks handed out are removed here
+    /// but stay in `leader.free_ranks` until the write commits).
+    pub alloc_free: Vec<u64>,
+    /// Session-allocated ranks not yet written. Purely in-memory: "id
+    /// allocation is not persistent until the chunk is written" (§4.4), so
+    /// allocation touches no map state at all.
+    pub reserved: std::collections::HashSet<u64>,
+    /// True when committed leader state changed since its last version was
+    /// written; checkpoints persist dirty leaders.
+    pub dirty: bool,
+}
+
+impl LeaderEntry {
+    pub(crate) fn new(leader: PartitionLeader) -> Result<LeaderEntry> {
+        let crypto = Arc::new(leader.params.runtime()?);
+        let alloc_next = leader.next_rank;
+        let alloc_free = leader.free_ranks.clone();
+        Ok(LeaderEntry {
+            leader,
+            crypto,
+            alloc_next,
+            alloc_free,
+            reserved: std::collections::HashSet::new(),
+            dirty: false,
+        })
+    }
+}
+
+/// The engine state behind the mutex.
+pub(crate) struct Inner {
+    pub config: ChunkStoreConfig,
+    pub system: Arc<PartitionCrypto>,
+    pub trusted: TrustedBackend,
+    pub log: SegmentedLog,
+    pub hashes: LogHashes,
+    pub sys_leader: SystemLeader,
+    /// Session allocation state for the system partition (partition ids).
+    pub sys_alloc_next: u64,
+    pub sys_alloc_free: Vec<u64>,
+    /// Session-allocated (unwritten) partition-leader ranks.
+    pub sys_reserved: std::collections::HashSet<u64>,
+    pub map_cache: MapCache,
+    pub leaders: HashMap<PartitionId, LeaderEntry>,
+    /// Last commit count appended to the log (counter mode).
+    pub commit_count: u64,
+    /// Last count pushed to the trusted counter.
+    pub trusted_count: u64,
+    /// Location and on-log length of the current system leader version
+    /// (for utilization accounting across checkpoints).
+    pub leader_version: Option<(u64, u32)>,
+    pub superblock: Superblock,
+    pub stats: ChunkStoreStats,
+    /// Set when a mid-commit failure may have left buffered state
+    /// inconsistent; all further operations fail until reopen.
+    pub poisoned: bool,
+}
+
+/// The trusted chunk store.
+///
+/// All operations are serialized behind one lock, per the paper's simple
+/// mutual-exclusion concurrency model.
+pub struct ChunkStore {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ChunkStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkStore").finish_non_exhaustive()
+    }
+}
+
+impl ChunkStore {
+    /// Formats a fresh store on `store` and returns it ready for use.
+    ///
+    /// # Errors
+    ///
+    /// Fails on storage or key-length errors.
+    pub fn create(
+        store: SharedUntrusted,
+        trusted: TrustedBackend,
+        secret: SecretKey,
+        config: ChunkStoreConfig,
+    ) -> Result<ChunkStore> {
+        let sys_params = CryptoParams {
+            cipher: config.system_cipher,
+            hash: config.system_hash,
+            key: secret,
+        };
+        let system = Arc::new(sys_params.runtime()?);
+        let mut sys_leader = SystemLeader::new(sys_params, config.segment_size);
+        sys_leader.log.num_segments = 1;
+        sys_leader.log.utilization.push(0);
+        let log = SegmentedLog::new(
+            Arc::clone(&store),
+            &system,
+            config.segment_size,
+            config.max_segments,
+            0,
+            0,
+        );
+        let hashes = LogHashes::new(config.system_hash);
+        // Continue from any pre-existing trusted counter so reformatting a
+        // platform with a used (non-decrementable) counter still works.
+        let base_count = match (&config.validation, &trusted) {
+            (ValidationMode::Counter { .. }, TrustedBackend::Counter(c)) => c.get()?,
+            _ => 0,
+        };
+        let mut inner = Inner {
+            map_cache: MapCache::new(config.map_cache_capacity),
+            config,
+            system,
+            trusted,
+            log,
+            hashes,
+            sys_alloc_next: sys_leader.map.next_rank,
+            sys_alloc_free: sys_leader.map.free_ranks.clone(),
+            sys_reserved: std::collections::HashSet::new(),
+            sys_leader,
+            leaders: HashMap::new(),
+            commit_count: base_count,
+            trusted_count: base_count,
+            leader_version: None,
+            superblock: Superblock {
+                epoch: 0,
+                current_leader: 0,
+                prev_leader: 0,
+            },
+            stats: ChunkStoreStats::default(),
+            poisoned: false,
+        };
+        // The initial checkpoint materializes the empty database: leader,
+        // commit chunk / trusted hash, and superblock.
+        inner.checkpoint()?;
+        Ok(ChunkStore {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Opens an existing store, running crash recovery (§4.8) and
+    /// validating the residual log against the tamper-resistant store.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tamper-detection error when validation fails, or storage
+    /// errors.
+    pub fn open(
+        store: SharedUntrusted,
+        trusted: TrustedBackend,
+        secret: SecretKey,
+        config: ChunkStoreConfig,
+    ) -> Result<ChunkStore> {
+        let inner = crate::recovery::recover(store, trusted, secret, config)?;
+        Ok(ChunkStore {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Returns an unallocated partition id (§5.1 `Allocate`). The
+    /// allocation is not persistent until the partition is written.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store is poisoned.
+    pub fn allocate_partition(&self) -> Result<PartitionId> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.allocate_partition()
+    }
+
+    /// Returns an unallocated chunk id in `partition` (§4.1 `Allocate`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition does not exist.
+    pub fn allocate_chunk(&self, partition: PartitionId) -> Result<ChunkId> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.allocate_chunk(partition)
+    }
+
+    /// Reads the last written state of a chunk, locating and validating it
+    /// through the chunk map (§4.5).
+    ///
+    /// # Errors
+    ///
+    /// Signals if the chunk is not written, and tamper detection if
+    /// validation fails.
+    pub fn read(&self, id: ChunkId) -> Result<Vec<u8>> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.read_chunk(id)
+    }
+
+    /// Atomically applies a group of operations (§4.1 `Commit`).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors leave the store unchanged; I/O failures mid-commit
+    /// poison the store (reopen to recover).
+    pub fn commit(&self, ops: Vec<CommitOp>) -> Result<()> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.commit(ops)
+    }
+
+    /// Forces a checkpoint (§4.7), consolidating buffered chunk-map updates.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures poison the store.
+    pub fn checkpoint(&self) -> Result<()> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.checkpoint()
+    }
+
+    /// Runs the log cleaner over up to `max_segments` segments (§4.9.5),
+    /// returning how many were reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures poison the store; revalidation failures signal tamper.
+    pub fn clean(&self, max_segments: usize) -> Result<usize> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.clean(max_segments)
+    }
+
+    /// Chunk positions whose state differs between two partitions (§5.1
+    /// `Diff`). Commonly both are snapshots of the same partition.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either partition does not exist.
+    pub fn diff(&self, old: PartitionId, new: PartitionId) -> Result<Vec<DiffEntry>> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.diff(old, new)
+    }
+
+    /// The written data-chunk ranks of a partition, ascending (used by full
+    /// backups and integrity sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition does not exist.
+    pub fn written_ranks(&self, partition: PartitionId) -> Result<Vec<u64>> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.written_ranks(partition)
+    }
+
+    /// The cryptographic parameters of a partition (cipher and hash kinds
+    /// only; the key is not exposed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition does not exist.
+    pub fn partition_kinds(
+        &self,
+        partition: PartitionId,
+    ) -> Result<(tdb_crypto::CipherKind, tdb_crypto::HashKind)> {
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        let entry = inner.leader_entry(partition)?;
+        Ok((entry.leader.params.cipher, entry.leader.params.hash))
+    }
+
+    /// Whether `partition` currently exists (is written).
+    pub fn partition_exists(&self, partition: PartitionId) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.check_ok().is_err() {
+            return false;
+        }
+        inner.leader_entry(partition).is_ok()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ChunkStoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Total bytes the store occupies (superblock + all segments).
+    pub fn stored_size(&self) -> u64 {
+        let inner = self.inner.lock();
+        crate::log::SEGMENT_BASE
+            + u64::from(inner.sys_leader.log.num_segments)
+                * u64::from(inner.sys_leader.log.segment_size)
+    }
+
+    /// Live (current-version) bytes per segment, for space experiments.
+    pub fn utilization(&self) -> Vec<u32> {
+        self.inner.lock().sys_leader.log.utilization.clone()
+    }
+
+    /// Checkpoints and flushes; call before dropping for a clean shutdown.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures poison the store.
+    pub fn close(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        inner.checkpoint()
+    }
+
+    /// Runs `f` with the engine lock held (crate-internal escape hatch for
+    /// the backup store).
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> Result<R>) -> Result<R> {
+        let mut inner = self.inner.lock();
+        inner.check_ok()?;
+        f(&mut inner)
+    }
+}
+
+impl Inner {
+    pub(crate) fn check_ok(&self) -> Result<()> {
+        if self.poisoned {
+            Err(CoreError::Corrupt(
+                "store poisoned by earlier mid-commit failure; reopen to recover".into(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fanout(&self) -> u64 {
+        u64::from(self.config.fanout)
+    }
+
+    // -- Leader and crypto access --------------------------------------------
+
+    /// Loads (if needed) and returns the cached state for a user partition.
+    pub(crate) fn leader_entry(&mut self, p: PartitionId) -> Result<&mut LeaderEntry> {
+        if p.is_system() {
+            return Err(CoreError::NoSuchPartition(p));
+        }
+        if !self.leaders.contains_key(&p) {
+            let id = ChunkId::leader_chunk(p);
+            let desc = self.get_descriptor(id)?;
+            if desc.status != ChunkStatus::Written {
+                return Err(CoreError::NoSuchPartition(p));
+            }
+            let body = self.read_validated(id, &desc)?;
+            let leader = PartitionLeader::decode(&body)?;
+            self.leaders.insert(p, LeaderEntry::new(leader)?);
+        }
+        Ok(self.leaders.get_mut(&p).expect("just inserted"))
+    }
+
+    /// Runtime crypto for a partition (system partition included).
+    pub(crate) fn crypto_for(&mut self, p: PartitionId) -> Result<Arc<PartitionCrypto>> {
+        if p.is_system() {
+            Ok(Arc::clone(&self.system))
+        } else {
+            Ok(Arc::clone(&self.leader_entry(p)?.crypto))
+        }
+    }
+
+    /// The tree height of a partition's position map.
+    fn tree_height(&mut self, p: PartitionId) -> Result<u8> {
+        if p.is_system() {
+            Ok(self.sys_leader.map.height)
+        } else {
+            Ok(self.leader_entry(p)?.leader.height)
+        }
+    }
+
+    fn root_descriptor(&mut self, p: PartitionId) -> Result<Descriptor> {
+        if p.is_system() {
+            Ok(self.sys_leader.map.root)
+        } else {
+            Ok(self.leader_entry(p)?.leader.root)
+        }
+    }
+
+    fn set_root_descriptor(&mut self, p: PartitionId, desc: Descriptor) -> Result<()> {
+        if p.is_system() {
+            self.sys_leader.map.root = desc;
+        } else {
+            let entry = self.leader_entry(p)?;
+            entry.leader.root = desc;
+            entry.dirty = true;
+        }
+        Ok(())
+    }
+
+    // -- Chunk map (§4.3, §4.5) ----------------------------------------------
+
+    /// Fetches the descriptor for `id`, walking the map bottom-up from the
+    /// deepest cached ancestor (§4.5).
+    pub(crate) fn get_descriptor(&mut self, id: ChunkId) -> Result<Descriptor> {
+        let height = self.tree_height(id.partition)?;
+        if id.pos.height > height {
+            return Ok(Descriptor::unallocated());
+        }
+        if id.pos.height == height && id.pos.rank == 0 {
+            return self.root_descriptor(id.partition);
+        }
+        let parent = id.pos.parent(self.fanout());
+        self.ensure_map_chunk(id.partition, parent)?;
+        let slot = id.pos.slot(self.fanout());
+        Ok(self
+            .map_cache
+            .get(id.partition, parent)
+            .expect("ensured above")
+            .slots[slot])
+    }
+
+    /// Ensures the map chunk at `(p, pos)` is decoded in the cache,
+    /// validating it against its descriptor on the way in.
+    fn ensure_map_chunk(&mut self, p: PartitionId, pos: Position) -> Result<()> {
+        if self.map_cache.contains(p, pos) {
+            return Ok(());
+        }
+        let desc = self.get_descriptor(ChunkId::new(p, pos))?;
+        let fanout = self.fanout() as usize;
+        let chunk = if desc.is_written() {
+            let body = self.read_validated(ChunkId::new(p, pos), &desc)?;
+            let hash_len = self.crypto_for(p)?.hash_kind().digest_len();
+            MapChunk::decode(&body, fanout, hash_len)?
+        } else {
+            // Never written: synthesize an empty map chunk.
+            MapChunk::empty(fanout)
+        };
+        self.map_cache.insert(p, pos, chunk, false);
+        Ok(())
+    }
+
+    /// Updates the descriptor for `id`, dirtying its parent map chunk (the
+    /// §4.6 deferral) and maintaining segment utilization.
+    pub(crate) fn set_descriptor(&mut self, id: ChunkId, desc: Descriptor) -> Result<()> {
+        let old = self.get_descriptor(id)?;
+        // Utilization: the old version becomes obsolete, the new is live.
+        if old.is_written() {
+            let seg = self.log.segment_of(old.location) as usize;
+            if let Some(u) = self.sys_leader.log.utilization.get_mut(seg) {
+                *u = u.saturating_sub(old.vlen);
+            }
+        }
+        if desc.is_written() {
+            let seg = self.log.segment_of(desc.location) as usize;
+            if let Some(u) = self.sys_leader.log.utilization.get_mut(seg) {
+                *u += desc.vlen;
+            }
+        }
+        let height = self.tree_height(id.partition)?;
+        debug_assert!(
+            id.pos.height < height || (id.pos.height == height && id.pos.rank == 0),
+            "descriptor write outside tree: {id} at height {height}"
+        );
+        if id.pos.height == height && id.pos.rank == 0 {
+            return self.set_root_descriptor(id.partition, desc);
+        }
+        let parent = id.pos.parent(self.fanout());
+        self.ensure_map_chunk(id.partition, parent)?;
+        let slot = id.pos.slot(self.fanout());
+        self.map_cache
+            .get_mut_dirty(id.partition, parent)
+            .expect("ensured above")
+            .slots[slot] = desc;
+        Ok(())
+    }
+
+    /// Grows `p`'s tree until `rank` is addressable (§4.3: "as the tree
+    /// grows, new chunks are added to the right and to the top").
+    pub(crate) fn ensure_capacity(&mut self, p: PartitionId, rank: u64) -> Result<()> {
+        loop {
+            let height = self.tree_height(p)?;
+            if rank < capacity(self.fanout(), height) {
+                return Ok(());
+            }
+            let old_root = self.root_descriptor(p)?;
+            let new_height = height + 1;
+            let mut chunk = MapChunk::empty(self.fanout() as usize);
+            chunk.slots[0] = old_root;
+            self.map_cache
+                .insert(p, Position::map(new_height, 0), chunk, true);
+            if p.is_system() {
+                self.sys_leader.map.height = new_height;
+                self.sys_leader.map.root = Descriptor::unwritten();
+            } else {
+                let entry = self.leader_entry(p)?;
+                entry.leader.height = new_height;
+                entry.leader.root = Descriptor::unwritten();
+                entry.dirty = true;
+            }
+        }
+    }
+
+    /// Reads and validates the version a descriptor points at, returning
+    /// the plaintext body (§4.5: located, decrypted, hashed, compared).
+    pub(crate) fn read_validated(&mut self, id: ChunkId, desc: &Descriptor) -> Result<Vec<u8>> {
+        debug_assert!(desc.is_written());
+        let buf = self.log.read_at(desc.location, desc.vlen as usize)?;
+        let raw = self.parse_at(&buf, desc.location)?;
+        if !matches!(raw.header.kind, VersionKind::Named | VersionKind::Relocated)
+            || raw.header.id.pos != id.pos
+        {
+            return Err(CoreError::TamperDetected(TamperKind::MisdirectedChunk {
+                expected: id,
+                location: desc.location,
+            }));
+        }
+        let crypto = self.crypto_for(id.partition)?;
+        let body = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            raw.open_body(&crypto, desc.location)?
+        };
+        let hash = {
+            let _t = metrics::span(modules::HASHING);
+            crypto.hash(&body)
+        };
+        if hash != desc.hash {
+            return Err(CoreError::TamperDetected(TamperKind::ChunkHashMismatch(id)));
+        }
+        Ok(body)
+    }
+
+    fn parse_at(&self, buf: &[u8], location: u64) -> Result<RawVersion> {
+        let parsed = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            parse_version(&self.system, buf, location)?
+        };
+        parsed.ok_or(CoreError::TamperDetected(TamperKind::UndecryptableChunk {
+            location,
+        }))
+    }
+
+    // -- Allocation (§4.4) ----------------------------------------------------
+
+    pub(crate) fn allocate_partition(&mut self) -> Result<PartitionId> {
+        // Partition ids are ranks in the system partition's data space.
+        // Allocation is purely in-memory: "this operation does not change
+        // the persistent state" (§9.2.2).
+        let rank = match self.sys_alloc_free.pop() {
+            Some(r) => r,
+            None => {
+                let r = self.sys_alloc_next;
+                self.sys_alloc_next += 1;
+                r
+            }
+        };
+        self.sys_reserved.insert(rank);
+        Ok(PartitionId::from_leader_rank(rank))
+    }
+
+    pub(crate) fn allocate_chunk(&mut self, p: PartitionId) -> Result<ChunkId> {
+        let entry = self.leader_entry(p)?;
+        let rank = match entry.alloc_free.pop() {
+            Some(r) => r,
+            None => {
+                let r = entry.alloc_next;
+                entry.alloc_next += 1;
+                r
+            }
+        };
+        entry.reserved.insert(rank);
+        Ok(ChunkId::data(p, rank))
+    }
+
+    /// Effective allocation status of a data chunk id, folding in
+    /// session-only reservations.
+    pub(crate) fn effective_status(&mut self, id: ChunkId) -> Result<ChunkStatus> {
+        let desc = self.get_descriptor(id)?;
+        if desc.status == ChunkStatus::Unallocated {
+            let reserved = self
+                .leader_entry(id.partition)?
+                .reserved
+                .contains(&id.pos.rank);
+            if reserved {
+                return Ok(ChunkStatus::Unwritten);
+            }
+        }
+        Ok(desc.status)
+    }
+
+    // -- Read (§4.5) ----------------------------------------------------------
+
+    pub(crate) fn read_chunk(&mut self, id: ChunkId) -> Result<Vec<u8>> {
+        if id.partition.is_system() || !id.pos.is_data() {
+            return Err(CoreError::NotAllocated(id));
+        }
+        let desc = self.get_descriptor(id)?;
+        match desc.status {
+            ChunkStatus::Unallocated => {
+                if self
+                    .leader_entry(id.partition)?
+                    .reserved
+                    .contains(&id.pos.rank)
+                {
+                    Err(CoreError::NotWritten(id))
+                } else {
+                    Err(CoreError::NotAllocated(id))
+                }
+            }
+            ChunkStatus::Unwritten => Err(CoreError::NotWritten(id)),
+            ChunkStatus::Written => self.read_validated(id, &desc),
+        }
+    }
+
+    // -- Commit (§4.6) --------------------------------------------------------
+
+    pub(crate) fn commit(&mut self, ops: Vec<CommitOp>) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.validate_ops(&ops)?;
+        let result = self.apply_and_finish(ops);
+        if result.is_err() {
+            // Buffered map state may be inconsistent with the log.
+            self.poisoned = true;
+        } else {
+            self.maybe_checkpoint()?;
+        }
+        result
+    }
+
+    fn validate_ops(&mut self, ops: &[CommitOp]) -> Result<()> {
+        // Validation runs against pre-commit state plus the effects of
+        // earlier ops in the same set (e.g. create-then-write).
+        let mut created: Vec<PartitionId> = Vec::new();
+        let mut deallocated: Vec<PartitionId> = Vec::new();
+        for op in ops {
+            match op {
+                CommitOp::WriteChunk { id, bytes } => {
+                    if id.partition.is_system() || !id.pos.is_data() {
+                        return Err(CoreError::NotAllocated(*id));
+                    }
+                    if !created.contains(&id.partition)
+                        && self.effective_status(*id)? == ChunkStatus::Unallocated
+                    {
+                        return Err(CoreError::NotAllocated(*id));
+                    }
+                    let max = self.log.max_version_len() as usize;
+                    if bytes.len() + 512 > max {
+                        return Err(CoreError::ChunkTooLarge {
+                            size: bytes.len(),
+                            max: max - 512,
+                        });
+                    }
+                }
+                CommitOp::DeallocChunk { id } => {
+                    if id.partition.is_system() || !id.pos.is_data() {
+                        return Err(CoreError::NotAllocated(*id));
+                    }
+                    if self.effective_status(*id)? == ChunkStatus::Unallocated {
+                        return Err(CoreError::NotAllocated(*id));
+                    }
+                }
+                CommitOp::CreatePartition { id, params } => {
+                    let exists = self.leader_entry(*id).is_ok() && !deallocated.contains(id);
+                    if id.is_system() || exists {
+                        return Err(CoreError::PartitionExists(*id));
+                    }
+                    params.runtime()?; // Key length check.
+                    created.push(*id);
+                }
+                CommitOp::CopyPartition { dst, src } => {
+                    let exists = self.leader_entry(*dst).is_ok() && !deallocated.contains(dst);
+                    if dst.is_system() || exists {
+                        return Err(CoreError::PartitionExists(*dst));
+                    }
+                    if !created.contains(src) {
+                        self.leader_entry(*src)?;
+                    }
+                    created.push(*dst);
+                }
+                CommitOp::DeallocPartition { id } => {
+                    if deallocated.contains(id) {
+                        return Err(CoreError::NoSuchPartition(*id));
+                    }
+                    self.leader_entry(*id)?;
+                    deallocated.push(*id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_and_finish(&mut self, ops: Vec<CommitOp>) -> Result<()> {
+        if matches!(self.config.validation, ValidationMode::Counter { .. }) {
+            self.hashes.begin_set();
+        }
+        let mut dealloc_ids: Vec<ChunkId> = Vec::new();
+        for op in ops {
+            self.apply_op(op, &mut dealloc_ids)?;
+        }
+        if !dealloc_ids.is_empty() {
+            self.append_dealloc_chunk(&dealloc_ids)?;
+        }
+        self.finish_commit()
+    }
+
+    /// Appends a sealed named version and installs its descriptor.
+    pub(crate) fn write_named(
+        &mut self,
+        kind: VersionKind,
+        id: ChunkId,
+        body: &[u8],
+    ) -> Result<Descriptor> {
+        let crypto = self.crypto_for(id.partition)?;
+        let hash = {
+            let _t = metrics::span(modules::HASHING);
+            crypto.hash(body)
+        };
+        let sealed = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            seal_version(&self.system, &crypto, kind, id, body)
+        };
+        let location = self.append(&sealed)?;
+        let desc = Descriptor::written(location, sealed.len() as u32, body.len() as u32, hash);
+        Ok(desc)
+    }
+
+    pub(crate) fn append(&mut self, sealed: &[u8]) -> Result<u64> {
+        let loc = self.log.append(
+            &mut self.sys_leader.log,
+            &self.system,
+            &mut self.hashes,
+            sealed,
+        )?;
+        self.stats.bytes_appended += sealed.len() as u64;
+        Ok(loc)
+    }
+
+    fn apply_op(&mut self, op: CommitOp, dealloc_ids: &mut Vec<ChunkId>) -> Result<()> {
+        match op {
+            CommitOp::WriteChunk { id, bytes } => {
+                self.ensure_capacity(id.partition, id.pos.rank)?;
+                let desc = self.write_named(VersionKind::Named, id, &bytes)?;
+                self.set_descriptor(id, desc)?;
+                let entry = self.leader_entry(id.partition)?;
+                entry.leader.next_rank = entry.leader.next_rank.max(id.pos.rank + 1);
+                entry.alloc_next = entry.alloc_next.max(entry.leader.next_rank);
+                entry.leader.unfree(id.pos.rank);
+                entry.alloc_free.retain(|r| *r != id.pos.rank);
+                entry.reserved.remove(&id.pos.rank);
+                entry.dirty = true;
+            }
+            CommitOp::DeallocChunk { id } => {
+                // Deallocating a reserved-but-unwritten id is purely an
+                // in-memory affair: there is no persistent state to undo.
+                let was_written = self.get_descriptor(id)?.is_written();
+                if was_written {
+                    dealloc_ids.push(id);
+                    self.set_descriptor(id, Descriptor::unallocated())?;
+                    let entry = self.leader_entry(id.partition)?;
+                    entry.leader.push_free(id.pos.rank);
+                    entry.alloc_free.push(id.pos.rank);
+                    entry.dirty = true;
+                } else {
+                    let entry = self.leader_entry(id.partition)?;
+                    entry.reserved.remove(&id.pos.rank);
+                    entry.alloc_free.push(id.pos.rank);
+                }
+            }
+            CommitOp::CreatePartition { id, params } => {
+                let leader = PartitionLeader::new(params);
+                self.write_partition_leader(id, leader)?;
+            }
+            CommitOp::CopyPartition { dst, src } => {
+                let src_entry = self.leader_entry(src)?;
+                let dst_leader = src_entry.leader.copied(src);
+                src_entry.leader.copies.push(dst);
+                let src_leader = src_entry.leader.clone();
+                // Persist the source's updated copies list.
+                self.write_partition_leader(src, src_leader)?;
+                self.write_partition_leader(dst, dst_leader)?;
+                // Clone buffered (dirty) map state so dst sees post-
+                // checkpoint updates of src (§5.3).
+                self.map_cache.clone_dirty(src, dst);
+            }
+            CommitOp::DeallocPartition { id } => {
+                self.dealloc_partition(id, dealloc_ids)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes and writes a partition leader as a system data chunk,
+    /// refreshing the leaders cache.
+    pub(crate) fn write_partition_leader(
+        &mut self,
+        p: PartitionId,
+        leader: PartitionLeader,
+    ) -> Result<()> {
+        let id = ChunkId::leader_chunk(p);
+        self.ensure_capacity(PartitionId::SYSTEM, id.pos.rank)?;
+        let body = leader.encode();
+        let desc = self.write_named(VersionKind::Named, id, &body)?;
+        self.set_descriptor(id, desc)?;
+        self.sys_leader.map.next_rank = self.sys_leader.map.next_rank.max(id.pos.rank + 1);
+        self.sys_alloc_next = self.sys_alloc_next.max(self.sys_leader.map.next_rank);
+        self.sys_leader.map.unfree(id.pos.rank);
+        self.sys_alloc_free.retain(|r| *r != id.pos.rank);
+        self.sys_reserved.remove(&id.pos.rank);
+        match self.leaders.get_mut(&p) {
+            Some(entry) => {
+                // Preserve session allocation state across the rewrite.
+                let alloc_next = entry.alloc_next.max(leader.next_rank);
+                let alloc_free = entry.alloc_free.clone();
+                entry.leader = leader;
+                entry.alloc_next = alloc_next;
+                entry.alloc_free = alloc_free;
+                entry.dirty = false;
+            }
+            None => {
+                self.leaders.insert(p, LeaderEntry::new(leader)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deallocates `p` and (recursively) all of its copies (§5.1).
+    fn dealloc_partition(&mut self, p: PartitionId, dealloc_ids: &mut Vec<ChunkId>) -> Result<()> {
+        // Gather the closure of copies first.
+        let mut closure = vec![p];
+        let mut i = 0;
+        while i < closure.len() {
+            let q = closure[i];
+            i += 1;
+            if let Ok(entry) = self.leader_entry(q) {
+                for c in entry.leader.copies.clone() {
+                    if !closure.contains(&c) {
+                        closure.push(c);
+                    }
+                }
+            }
+        }
+        // Detach from a surviving source, if any.
+        let source = self.leader_entry(p)?.leader.source;
+        if let Some(src) = source {
+            if !closure.contains(&src) {
+                if let Ok(entry) = self.leader_entry(src) {
+                    entry.leader.copies.retain(|c| *c != p);
+                    let updated = entry.leader.clone();
+                    self.write_partition_leader(src, updated)?;
+                }
+            }
+        }
+        for q in closure {
+            let id = ChunkId::leader_chunk(q);
+            dealloc_ids.push(id);
+            self.set_descriptor(id, Descriptor::unallocated())?;
+            self.sys_leader.map.push_free(id.pos.rank);
+            self.sys_alloc_free.push(id.pos.rank);
+            self.leaders.remove(&q);
+            self.map_cache.purge_partition(q);
+        }
+        Ok(())
+    }
+
+    fn append_dealloc_chunk(&mut self, ids: &[ChunkId]) -> Result<()> {
+        let record = DeallocRecord { ids: ids.to_vec() };
+        let sealed = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            seal_version(
+                &self.system,
+                &self.system,
+                VersionKind::Dealloc,
+                VersionHeader::unnamed_id(),
+                &record.encode(),
+            )
+        };
+        self.append(&sealed)?;
+        Ok(())
+    }
+
+    /// Seals the commit: commit chunk or chained hash, flush, trusted-store
+    /// update (§4.6, §4.8.2).
+    pub(crate) fn finish_commit(&mut self) -> Result<()> {
+        match self.config.validation {
+            ValidationMode::Counter { delta_ut, .. } => {
+                // Reserve room so the commit chunk follows its set in the
+                // same segment (the set hash must cover any next-segment
+                // chunk, so no switch may happen after end_set).
+                self.log.ensure_room(
+                    &mut self.sys_leader.log,
+                    &self.system,
+                    &mut self.hashes,
+                    COMMIT_CHUNK_ROOM,
+                )?;
+                let set_hash = self.hashes.end_set();
+                let count = self.commit_count + 1;
+                let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
+                let sealed = {
+                    let _t = metrics::span(modules::ENCRYPTION);
+                    seal_version(
+                        &self.system,
+                        &self.system,
+                        VersionKind::Commit,
+                        VersionHeader::unnamed_id(),
+                        &record.encode(),
+                    )
+                };
+                self.append(&sealed)?;
+                self.commit_count = count;
+                // "A commit operation waits until the commit set is written
+                // to the untrusted store reliably" (§4.8.2.1).
+                self.log.flush()?;
+                if count - self.trusted_count > delta_ut.saturating_sub(1) {
+                    self.advance_counter(count)?;
+                }
+            }
+            ValidationMode::DirectHash => {
+                self.log.flush()?;
+                self.write_direct_record()?;
+            }
+        }
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    pub(crate) fn advance_counter(&mut self, count: u64) -> Result<()> {
+        let _t = metrics::span(modules::TRUSTED_STORE);
+        match &self.trusted {
+            TrustedBackend::Counter(c) => c.advance_to(count)?,
+            TrustedBackend::Register(_) => {
+                return Err(CoreError::Corrupt(
+                    "counter validation configured with a register backend".into(),
+                ))
+            }
+        }
+        self.trusted_count = count;
+        Ok(())
+    }
+
+    /// Writes `{chain, tail}` to the tamper-resistant register — "the real
+    /// commit point" of direct hash validation (§4.8.2.1).
+    pub(crate) fn write_direct_record(&mut self) -> Result<()> {
+        let record = DirectRecord {
+            chain: self.hashes.chain,
+            tail: self.log.tail_location(),
+        };
+        let _t = metrics::span(modules::TRUSTED_STORE);
+        match &self.trusted {
+            TrustedBackend::Register(r) => r.write(&record.encode())?,
+            TrustedBackend::Counter(_) => {
+                return Err(CoreError::Corrupt(
+                    "direct validation configured with a counter backend".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        if self.map_cache.dirty_count() >= self.config.checkpoint_threshold {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    // -- Diff (§5.3) ----------------------------------------------------------
+
+    pub(crate) fn diff(&mut self, old: PartitionId, new: PartitionId) -> Result<Vec<DiffEntry>> {
+        let old_height = self.leader_entry(old)?.leader.height;
+        let new_height = self.leader_entry(new)?.leader.height;
+        let old_next = self.leader_entry(old)?.leader.next_rank;
+        let new_next = self.leader_entry(new)?.leader.next_rank;
+        let mut out = Vec::new();
+        // Fast path: equal heights allow subtree pruning by comparing map
+        // descriptors ("traversing their position maps and comparing the
+        // descriptors of the corresponding chunks").
+        if old_height == new_height {
+            let root = Position::map(old_height, 0);
+            self.diff_subtree(old, new, root, &mut out)?;
+        } else {
+            let max_rank = old_next.max(new_next);
+            for rank in 0..max_rank {
+                self.diff_leaf(old, new, Position::data(rank), &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn diff_subtree(
+        &mut self,
+        old: PartitionId,
+        new: PartitionId,
+        pos: Position,
+        out: &mut Vec<DiffEntry>,
+    ) -> Result<()> {
+        let d_old = self.get_descriptor(ChunkId::new(old, pos))?;
+        let d_new = self.get_descriptor(ChunkId::new(new, pos))?;
+        // Identical subtrees are pruned — but only when neither side has
+        // buffered overrides anywhere below: dirty cached map chunks are
+        // not yet reflected in ancestor descriptors (that is the §4.7
+        // deferral), so a clean-looking match here can hide changes.
+        let dirty = self.subtree_has_dirty(old, pos) || self.subtree_has_dirty(new, pos);
+        if d_old.same_state(&d_new) && !dirty {
+            return Ok(());
+        }
+        for slot in 0..self.fanout() as usize {
+            let child = pos.child(self.fanout(), slot);
+            if child.is_data() {
+                self.diff_leaf(old, new, child, out)?;
+            } else {
+                self.diff_subtree(old, new, child, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `p` has any dirty cached map chunk inside the subtree
+    /// rooted at `pos` (including `pos` itself).
+    fn subtree_has_dirty(&self, p: PartitionId, pos: Position) -> bool {
+        let fanout = u64::from(self.config.fanout);
+        self.map_cache.dirty_keys().into_iter().any(|(q, dp)| {
+            if q != p || dp.height > pos.height {
+                return false;
+            }
+            // Climb dp to pos.height; ancestor ranks divide by fanout per
+            // level.
+            let levels = u32::from(pos.height - dp.height);
+            dp.rank / fanout.saturating_pow(levels) == pos.rank
+        })
+    }
+
+    fn diff_leaf(
+        &mut self,
+        old: PartitionId,
+        new: PartitionId,
+        pos: Position,
+        out: &mut Vec<DiffEntry>,
+    ) -> Result<()> {
+        let d_old = self.get_descriptor(ChunkId::new(old, pos))?;
+        let d_new = self.get_descriptor(ChunkId::new(new, pos))?;
+        let change = match (d_old.is_written(), d_new.is_written()) {
+            (false, true) => Some(DiffChange::Created),
+            (true, false) => Some(DiffChange::Deallocated),
+            (true, true) if !d_old.same_state(&d_new) => Some(DiffChange::Updated),
+            _ => None,
+        };
+        if let Some(change) = change {
+            out.push(DiffEntry { pos, change });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn written_ranks(&mut self, p: PartitionId) -> Result<Vec<u64>> {
+        let next = self.leader_entry(p)?.leader.next_rank;
+        let mut out = Vec::new();
+        for rank in 0..next {
+            let desc = self.get_descriptor(ChunkId::data(p, rank))?;
+            if desc.is_written() {
+                out.push(rank);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The direct-validation record kept in the tamper-resistant register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DirectRecord {
+    /// Chained hash over the residual log.
+    pub chain: HashValue,
+    /// Exact end of the validated log.
+    pub tail: u64,
+}
+
+impl DirectRecord {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(self.chain.len() + 12);
+        e.bytes(self.chain.as_bytes());
+        e.u64(self.tail);
+        e.finish()
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> Result<DirectRecord> {
+        let mut d = Dec::new(buf);
+        let chain = HashValue::new(d.bytes()?);
+        let tail = d.u64()?;
+        d.expect_done("trusted direct record")?;
+        Ok(DirectRecord { chain, tail })
+    }
+}
+
+impl ChunkStore {
+    /// Test-only descriptor peek (debug builds).
+    #[doc(hidden)]
+    pub fn debug_descriptor(&self, id: ChunkId) -> Result<Descriptor> {
+        let mut inner = self.inner.lock();
+        inner.get_descriptor(id)
+    }
+}

@@ -1,0 +1,155 @@
+//! Regression test: the cleaner must track versions shared by *sibling*
+//! snapshots across repeated cleanings.
+//!
+//! The original bug: relocating a version current in snapshots {P2, P3}
+//! rewrote its header as P3 (= `current_in[0]`); the next cleaning walked
+//! the copy closure from P3, whose own `copies` list is empty, missed P2,
+//! and freed the segment while P2 still pointed into it. Fixed by
+//! preserving the original header id on relocation and walking `source`
+//! links as well as `copies` in the currency check.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tdb_core::store::{ChunkStore, ChunkStoreConfig, CommitOp, TrustedBackend, ValidationMode};
+use tdb_core::{ChunkId, CryptoParams, PartitionId};
+use tdb_crypto::SecretKey;
+use tdb_storage::{CounterOverTrusted, MemStore, MemTrustedStore, SharedUntrusted};
+
+fn config() -> ChunkStoreConfig {
+    ChunkStoreConfig {
+        fanout: 4,
+        segment_size: 8192,
+        checkpoint_threshold: 10,
+        validation: ValidationMode::Counter {
+            delta_ut: 3,
+            delta_tu: 0,
+        },
+        ..ChunkStoreConfig::default()
+    }
+}
+
+#[test]
+fn cleaner_preserves_sibling_snapshot_versions() {
+    let secret = SecretKey::random(24);
+    let register = Arc::new(MemTrustedStore::new(64));
+    let untrusted = Arc::new(MemStore::new());
+    let backend = || {
+        TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+            Arc::clone(&register) as Arc<dyn tdb_storage::TrustedStore>
+        )))
+    };
+    let store = ChunkStore::create(
+        Arc::clone(&untrusted) as SharedUntrusted,
+        backend(),
+        secret.clone(),
+        config(),
+    )
+    .unwrap();
+    let p = store.allocate_partition().unwrap();
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .unwrap();
+
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut live: Vec<ChunkId> = Vec::new();
+    let mut snapshots: Vec<(PartitionId, HashMap<u64, Vec<u8>>)> = Vec::new();
+
+    let script: Vec<(&str, u8, u8, u16)> = vec![
+        ("w", 0, 0, 976),
+        ("w", 7, 0, 464),
+        ("ck", 0, 0, 0),
+        ("w", 1, 0, 256),
+        ("w", 31, 0, 72),
+        ("w", 45, 0, 628),
+        ("w", 132, 103, 1146),
+        ("w", 41, 5, 583),
+        ("snap", 0, 0, 0),
+        ("d", 201, 0, 0),
+        ("d", 1, 0, 0),
+        ("w", 234, 250, 951),
+        ("d", 149, 0, 0),
+        ("snap", 0, 0, 0),
+        ("w", 209, 18, 324),
+        ("w", 207, 10, 1039),
+        ("w", 118, 195, 1196),
+        ("w", 25, 18, 466),
+        ("w", 222, 93, 166),
+        ("ck", 0, 0, 0),
+        ("cl", 0, 0, 0),
+        ("w", 6, 218, 1150),
+        ("w", 192, 136, 783),
+        ("w", 252, 141, 87),
+        ("d", 227, 0, 0),
+        ("snap", 0, 0, 0),
+        ("d", 135, 0, 0),
+        ("w", 44, 196, 37),
+        ("w", 80, 255, 272),
+        ("w", 80, 102, 693),
+        ("ck", 0, 0, 0),
+        ("cl", 0, 0, 0),
+        ("snap", 0, 0, 0),
+        ("w", 90, 208, 349),
+        ("ck", 0, 0, 0),
+    ];
+
+    for (step, (op, slot, fill, len)) in script.into_iter().enumerate() {
+        match op {
+            "w" => {
+                let id = if !live.is_empty() && !(slot as usize).is_multiple_of(3) {
+                    live[slot as usize % live.len()]
+                } else {
+                    let id = store.allocate_chunk(p).unwrap();
+                    live.push(id);
+                    id
+                };
+                let data = vec![fill; len as usize];
+                store
+                    .commit(vec![CommitOp::WriteChunk {
+                        id,
+                        bytes: data.clone(),
+                    }])
+                    .unwrap();
+                model.insert(id.pos.rank, data);
+            }
+            "d" => {
+                if live.is_empty() {
+                    continue;
+                }
+                let i = slot as usize % live.len();
+                let id = live.swap_remove(i);
+                store.commit(vec![CommitOp::DeallocChunk { id }]).unwrap();
+                model.remove(&id.pos.rank);
+            }
+            "ck" => store.checkpoint().unwrap(),
+            "cl" => {
+                let n = store.clean(3).unwrap();
+                let _ = n;
+            }
+            "snap" => {
+                let snap = store.allocate_partition().unwrap();
+                store
+                    .commit(vec![CommitOp::CopyPartition { dst: snap, src: p }])
+                    .unwrap();
+                snapshots.push((snap, model.clone()));
+            }
+            _ => unreachable!(),
+        }
+        // Check all snapshots after every step to find the first breakage.
+        for (snap, frozen) in &snapshots {
+            for (rank, data) in frozen {
+                let got = store.read(ChunkId::data(*snap, *rank));
+                match got {
+                    Ok(g) if &g == data => {}
+                    other => panic!(
+                        "step {step} ({op} slot {slot}): snapshot {snap} rank {rank}: {:?}",
+                        other.map(|v| v.len())
+                    ),
+                }
+            }
+        }
+    }
+}

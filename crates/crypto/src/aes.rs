@@ -1,0 +1,341 @@
+//! AES-128/-256 (FIPS 197).
+//!
+//! The paper notes "there are other, more secure, algorithms that run faster
+//! than DES" (§9.2.1); AES is the canonical such choice today and is offered
+//! as a partition cipher alongside DES/3DES.
+//!
+//! The S-box is derived algebraically (multiplicative inverse in GF(2⁸)
+//! followed by the affine transform) instead of being transcribed, and the
+//! whole cipher is verified against the FIPS 197 appendix vectors.
+
+use std::sync::OnceLock;
+
+use crate::BlockCipher;
+
+/// Precomputed S-box, inverse S-box, and round constants.
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+/// Multiplies two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut out = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            out ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    out
+}
+
+/// Computes the multiplicative inverse in GF(2⁸) (0 maps to 0).
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8); square-and-multiply over the 254 = 0b11111110
+    // exponent.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for i in 0..=255u8 {
+            let x = gf_inv(i);
+            let s = x
+                ^ x.rotate_left(1)
+                ^ x.rotate_left(2)
+                ^ x.rotate_left(3)
+                ^ x.rotate_left(4)
+                ^ 0x63;
+            sbox[i as usize] = s;
+            inv_sbox[s as usize] = i;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+/// Maximum number of round keys (AES-256: 15 round keys of 16 bytes).
+const MAX_ROUND_KEYS: usize = 15;
+
+/// An AES instance holding the expanded key schedule.
+pub struct Aes {
+    round_keys: [[u8; 16]; MAX_ROUND_KEYS],
+    rounds: usize,
+}
+
+impl Aes {
+    /// Keys AES-128 (10 rounds).
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::expand(key, 4, 10)
+    }
+
+    /// Keys AES-256 (14 rounds).
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::expand(key, 8, 14)
+    }
+
+    /// Expands `key` (`nk` 32-bit words) into `rounds + 1` round keys.
+    fn expand(key: &[u8], nk: usize, rounds: usize) -> Self {
+        let t = tables();
+        let total_words = 4 * (rounds + 1);
+        let mut w = vec![[0u8; 4]; total_words];
+        for (i, word) in w.iter_mut().take(nk).enumerate() {
+            word.copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = t.sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = t.sbox[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; MAX_ROUND_KEYS];
+        for (r, rk) in round_keys.iter_mut().take(rounds + 1).enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes { round_keys, rounds }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        let t = tables();
+        for b in state.iter_mut() {
+            *b = t.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let t = tables();
+        for b in state.iter_mut() {
+            *b = t.inv_sbox[*b as usize];
+        }
+    }
+
+    /// State layout is column-major: byte `state[c*4 + r]` is row `r`,
+    /// column `c`, matching the FIPS 197 input ordering.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[((c + r) % 4) * 4 + r] = s[c * 4 + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("4-byte column");
+            state[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[c * 4 + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("4-byte column");
+            state[c * 4] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[c * 4 + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[c * 4 + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[c * 4 + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+}
+
+impl BlockCipher for Aes {
+    fn block_size(&self) -> usize {
+        16
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        let state: &mut [u8; 16] = block.try_into().expect("AES block must be 16 bytes");
+        Self::add_round_key(state, &self.round_keys[0]);
+        for round in 1..self.rounds {
+            Self::sub_bytes(state);
+            Self::shift_rows(state);
+            Self::mix_columns(state);
+            Self::add_round_key(state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(state);
+        Self::shift_rows(state);
+        Self::add_round_key(state, &self.round_keys[self.rounds]);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        let state: &mut [u8; 16] = block.try_into().expect("AES block must be 16 bytes");
+        Self::add_round_key(state, &self.round_keys[self.rounds]);
+        for round in (1..self.rounds).rev() {
+            Self::inv_shift_rows(state);
+            Self::inv_sub_bytes(state);
+            Self::add_round_key(state, &self.round_keys[round]);
+            Self::inv_mix_columns(state);
+        }
+        Self::inv_shift_rows(state);
+        Self::inv_sub_bytes(state);
+        Self::add_round_key(state, &self.round_keys[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        let t = tables();
+        // Spot values from the FIPS 197 S-box table.
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+        assert_eq!(t.sbox[0xff], 0x16);
+        // Inverse really inverts.
+        for i in 0..=255usize {
+            assert_eq!(t.inv_sbox[t.sbox[i] as usize], i as u8);
+        }
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS 197 Appendix C.1.
+        let key: [u8; 16] = (0..16u8).collect::<Vec<_>>().try_into().unwrap();
+        let aes = Aes::new_128(&key);
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let pt = block;
+        aes.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
+            ]
+        );
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, pt);
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS 197 Appendix C.3.
+        let key: [u8; 32] = (0..32u8).collect::<Vec<_>>().try_into().unwrap();
+        let aes = Aes::new_256(&key);
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let pt = block;
+        aes.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                0x60, 0x89
+            ]
+        );
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, pt);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS 197 Appendix B: key 2b7e151628aed2a6abf7158809cf4f3c.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        Aes::new_128(&key).encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn gf_mul_properties() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS 197 §4.2 example.
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "inverse of {a:#x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        use rand::RngCore;
+        let mut rng = rand::thread_rng();
+        let mut key = [0u8; 32];
+        rng.fill_bytes(&mut key);
+        let aes = Aes::new_256(&key);
+        for _ in 0..50 {
+            let mut block = [0u8; 16];
+            rng.fill_bytes(&mut block);
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+}

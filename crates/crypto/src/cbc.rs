@@ -1,0 +1,224 @@
+//! CBC mode with PKCS#7 padding over any [`BlockCipher`].
+//!
+//! All bulk encryption in TDB (chunk headers, chunk bodies, backup streams)
+//! runs in CBC mode, as in the paper (§9.2.1: "3DES in CBC mode", "DES in
+//! CBC mode"). Each encrypted unit carries its own fresh IV, so identical
+//! plaintexts written at different times yield unrelated ciphertexts — part
+//! of the paper's resistance to traffic-monitoring attacks (§1.2).
+
+use rand::RngCore;
+
+use crate::{BlockCipher, CryptoError};
+
+/// A CBC-mode wrapper around a keyed block cipher.
+pub struct Cbc {
+    cipher: Box<dyn BlockCipher>,
+}
+
+impl Cbc {
+    /// Wraps a keyed block cipher.
+    pub fn new(cipher: Box<dyn BlockCipher>) -> Self {
+        Cbc { cipher }
+    }
+
+    /// Block size of the underlying cipher.
+    pub fn block_size(&self) -> usize {
+        self.cipher.block_size()
+    }
+
+    /// Generates a random IV of the cipher's block size.
+    pub fn random_iv(&self) -> Vec<u8> {
+        let mut iv = vec![0u8; self.cipher.block_size()];
+        // The null cipher has block size 1; its IV is a single ignored byte.
+        rand::thread_rng().fill_bytes(&mut iv);
+        iv
+    }
+
+    /// Encrypts `plaintext` with PKCS#7 padding under `iv`.
+    ///
+    /// The output length is `plaintext.len()` rounded up to the next whole
+    /// multiple of the block size (always at least one padding byte). The
+    /// null cipher (block size 1) adds exactly one padding byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadIvLength`] if `iv` has the wrong length.
+    pub fn encrypt(&self, iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let bs = self.cipher.block_size();
+        if iv.len() != bs {
+            return Err(CryptoError::BadIvLength {
+                expected: bs,
+                got: iv.len(),
+            });
+        }
+        let pad = bs - plaintext.len() % bs;
+        let mut out = Vec::with_capacity(plaintext.len() + pad);
+        out.extend_from_slice(plaintext);
+        out.extend(std::iter::repeat_n(pad as u8, pad));
+        let mut prev = iv.to_vec();
+        for block in out.chunks_mut(bs) {
+            for (b, p) in block.iter_mut().zip(prev.iter()) {
+                *b ^= p;
+            }
+            self.cipher.encrypt_block(block);
+            prev.copy_from_slice(block);
+        }
+        Ok(out)
+    }
+
+    /// Decrypts `ciphertext` under `iv` and strips PKCS#7 padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadCiphertextLength`] for a length that is not
+    /// a whole number of blocks, [`CryptoError::BadIvLength`] for a bad IV,
+    /// and [`CryptoError::BadPadding`] when padding is malformed — which is
+    /// how ciphertext corruption usually first surfaces.
+    pub fn decrypt(&self, iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let bs = self.cipher.block_size();
+        if iv.len() != bs {
+            return Err(CryptoError::BadIvLength {
+                expected: bs,
+                got: iv.len(),
+            });
+        }
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(bs) {
+            return Err(CryptoError::BadCiphertextLength {
+                block: bs,
+                got: ciphertext.len(),
+            });
+        }
+        let mut out = ciphertext.to_vec();
+        let mut prev = iv.to_vec();
+        for block in out.chunks_mut(bs) {
+            let saved: Vec<u8> = block.to_vec();
+            self.cipher.decrypt_block(block);
+            for (b, p) in block.iter_mut().zip(prev.iter()) {
+                *b ^= p;
+            }
+            prev = saved;
+        }
+        let pad = *out.last().expect("non-empty checked") as usize;
+        if pad == 0 || pad > bs || pad > out.len() {
+            return Err(CryptoError::BadPadding);
+        }
+        if !out[out.len() - pad..].iter().all(|&b| b as usize == pad) {
+            return Err(CryptoError::BadPadding);
+        }
+        out.truncate(out.len() - pad);
+        Ok(out)
+    }
+
+    /// Length of the ciphertext produced for a plaintext of `len` bytes
+    /// (including padding, excluding the IV).
+    pub fn ciphertext_len(&self, len: usize) -> usize {
+        let bs = self.cipher.block_size();
+        len + (bs - len % bs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CipherKind;
+
+    fn cbc(kind: CipherKind) -> Cbc {
+        let key = vec![0x42u8; kind.key_len()];
+        Cbc::new(kind.new_cipher(&key).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_all_ciphers_various_lengths() {
+        for kind in [
+            CipherKind::Null,
+            CipherKind::Des,
+            CipherKind::TripleDes,
+            CipherKind::Aes128,
+            CipherKind::Aes256,
+        ] {
+            let c = cbc(kind);
+            for len in [0usize, 1, 7, 8, 15, 16, 17, 100, 1000] {
+                let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+                let iv = c.random_iv();
+                let ct = c.encrypt(&iv, &pt).unwrap();
+                assert_eq!(ct.len(), c.ciphertext_len(len), "{kind:?} len {len}");
+                assert_eq!(c.decrypt(&iv, &ct).unwrap(), pt, "{kind:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn nist_sp800_38a_aes128_cbc_vector() {
+        // NIST SP 800-38A F.2.1 CBC-AES128.Encrypt, first block.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let iv: [u8; 16] = (0..16u8).collect::<Vec<_>>().try_into().unwrap();
+        let pt: [u8; 16] = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        let c = Cbc::new(CipherKind::Aes128.new_cipher(&key).unwrap());
+        let ct = c.encrypt(&iv, &pt).unwrap();
+        // Our output includes a full padding block after the vector block.
+        assert_eq!(
+            &ct[..16],
+            &[
+                0x76, 0x49, 0xab, 0xac, 0x81, 0x19, 0xb2, 0x46, 0xce, 0xe9, 0x8e, 0x9b, 0x12, 0xe9,
+                0x19, 0x7d
+            ]
+        );
+    }
+
+    #[test]
+    fn ciphertext_differs_across_ivs() {
+        let c = cbc(CipherKind::Aes128);
+        let pt = b"identical plaintext";
+        let ct1 = c.encrypt(&c.random_iv(), pt).unwrap();
+        let ct2 = c.encrypt(&c.random_iv(), pt).unwrap();
+        assert_ne!(ct1, ct2);
+    }
+
+    #[test]
+    fn tampered_padding_detected() {
+        let c = cbc(CipherKind::Aes128);
+        let iv = vec![0u8; 16];
+        let mut ct = c.encrypt(&iv, b"hello").unwrap();
+        // Corrupt the last block; padding check should usually fail. (A
+        // random corruption may accidentally produce valid padding, so use a
+        // deterministic corruption known to break it for this key/iv.)
+        let last = ct.len() - 1;
+        ct[last] ^= 0xFF;
+        let res = c.decrypt(&iv, &ct);
+        if let Ok(pt) = res {
+            assert_ne!(pt, b"hello");
+        }
+    }
+
+    #[test]
+    fn length_errors() {
+        let c = cbc(CipherKind::Des);
+        assert!(matches!(
+            c.decrypt(&[0; 8], &[0u8; 9]),
+            Err(CryptoError::BadCiphertextLength { .. })
+        ));
+        assert!(matches!(
+            c.decrypt(&[0; 8], &[]),
+            Err(CryptoError::BadCiphertextLength { .. })
+        ));
+        assert!(matches!(
+            c.encrypt(&[0; 7], b"x"),
+            Err(CryptoError::BadIvLength { .. })
+        ));
+    }
+
+    #[test]
+    fn null_cipher_cbc_passes_data_with_padding_byte() {
+        let c = cbc(CipherKind::Null);
+        let iv = c.random_iv();
+        let ct = c.encrypt(&iv, b"abc").unwrap();
+        assert_eq!(ct.len(), 4);
+        assert_eq!(c.decrypt(&iv, &ct).unwrap(), b"abc");
+    }
+}

@@ -1,0 +1,116 @@
+//! CRC-32 (IEEE 802.3), the unencrypted trailer checksum on backups.
+//!
+//! The paper's backup format ends with an unencrypted checksum so that an
+//! *external, untrusted* application (e.g. a tape archiver) can verify the
+//! backup was written completely, without any keys (§6.2). CRC-32 provides
+//! exactly that: integrity against accidental truncation/corruption, with no
+//! security claim — the encrypted HMAC signature provides tamper detection.
+
+use std::sync::OnceLock;
+
+/// Reflected CRC-32 polynomial (IEEE).
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// An incremental CRC-32 computation.
+#[derive(Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh CRC computation.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = (self.state >> 8) ^ t[((self.state ^ u32::from(b)) & 0xFF) as usize];
+        }
+    }
+
+    /// Returns the final checksum.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// One-shot checksum of `data`.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(data);
+        c.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The canonical CRC-32 check value.
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(Crc32::checksum(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..500u32).map(|i| (i * 3) as u8).collect();
+        let mut c = Crc32::new();
+        for piece in data.chunks(17) {
+            c.update(piece);
+        }
+        assert_eq!(c.finalize(), Crc32::checksum(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = vec![0xA5u8; 100];
+        let base = Crc32::checksum(&data);
+        for i in 0..data.len() {
+            let mut corrupted = data.clone();
+            corrupted[i] ^= 0x10;
+            assert_ne!(Crc32::checksum(&corrupted), base, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = b"a backup stream with a trailer";
+        assert_ne!(
+            Crc32::checksum(data),
+            Crc32::checksum(&data[..data.len() - 1])
+        );
+    }
+}

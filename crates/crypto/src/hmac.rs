@@ -1,0 +1,178 @@
+//! HMAC (RFC 2104) over any supported hash.
+//!
+//! TDB uses HMAC as the symmetric signature on commit chunks (§4.8.2.2: "the
+//! signature need not be publicly verifiable, so it may be based on
+//! symmetric-key encryption") and on backup signatures (§6.2).
+
+use crate::{HashKind, HashValue};
+
+/// Block size (in bytes) of the compression function for `kind`.
+///
+/// SHA-1 and SHA-256 both use 64-byte blocks.
+fn block_len(kind: HashKind) -> usize {
+    match kind {
+        HashKind::Null => 64,
+        HashKind::Sha1 | HashKind::Sha256 => 64,
+    }
+}
+
+/// An incremental HMAC computation.
+pub struct Hmac {
+    kind: HashKind,
+    inner: Box<dyn crate::Hasher>,
+    opad_key: Vec<u8>,
+}
+
+impl Hmac {
+    /// Creates an HMAC instance keyed with `key`.
+    ///
+    /// Keys longer than the hash block size are hashed first, per RFC 2104.
+    pub fn new(kind: HashKind, key: &[u8]) -> Self {
+        let bl = block_len(kind);
+        let mut k = if key.len() > bl {
+            kind.hash(key).as_bytes().to_vec()
+        } else {
+            key.to_vec()
+        };
+        k.resize(bl, 0);
+        let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = kind.hasher();
+        inner.update(&ipad);
+        Hmac {
+            kind,
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the MAC value.
+    pub fn finalize(self) -> HashValue {
+        let inner_digest = self.inner.finalize();
+        let mut outer = self.kind.hasher();
+        outer.update(&self.opad_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `data`.
+    pub fn mac(kind: HashKind, key: &[u8], data: &[u8]) -> HashValue {
+        let mut h = Hmac::new(kind, key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot MAC over several segments.
+    pub fn mac_parts(kind: HashKind, key: &[u8], parts: &[&[u8]]) -> HashValue {
+        let mut h = Hmac::new(kind, key);
+        for p in parts {
+            h.update(p);
+        }
+        h.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` in constant time.
+    pub fn verify(kind: HashKind, key: &[u8], data: &[u8], tag: &HashValue) -> bool {
+        Hmac::mac(kind, key, data).ct_eq(tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(h: &HashValue) -> String {
+        h.as_bytes().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc2202_hmac_sha1_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&Hmac::mac(HashKind::Sha1, &key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_hmac_sha1_case2() {
+        assert_eq!(
+            hex(&Hmac::mac(
+                HashKind::Sha1,
+                b"Jefe",
+                b"what do ya want for nothing?"
+            )),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_hmac_sha1_long_key() {
+        // Case 6: 80-byte key (longer than block size).
+        let key = [0xaa; 80];
+        assert_eq!(
+            hex(&Hmac::mac(
+                HashKind::Sha1,
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn rfc4231_hmac_sha256_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&Hmac::mac(HashKind::Sha256, &key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_hmac_sha256_case2() {
+        assert_eq!(
+            hex(&Hmac::mac(
+                HashKind::Sha256,
+                b"Jefe",
+                b"what do ya want for nothing?"
+            )),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"some signing key";
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Hmac::new(HashKind::Sha256, key);
+        for piece in data.chunks(5) {
+            h.update(piece);
+        }
+        assert_eq!(h.finalize(), Hmac::mac(HashKind::Sha256, key, data));
+        assert_eq!(
+            Hmac::mac_parts(HashKind::Sha256, key, &[&data[..10], &data[10..]]),
+            Hmac::mac(HashKind::Sha256, key, data)
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = Hmac::mac(HashKind::Sha1, b"k", b"msg");
+        assert!(Hmac::verify(HashKind::Sha1, b"k", b"msg", &tag));
+        assert!(!Hmac::verify(HashKind::Sha1, b"k", b"msg2", &tag));
+        assert!(!Hmac::verify(HashKind::Sha1, b"k2", b"msg", &tag));
+    }
+
+    #[test]
+    fn different_keys_different_macs() {
+        let a = Hmac::mac(HashKind::Sha256, b"key-a", b"data");
+        let b = Hmac::mac(HashKind::Sha256, b"key-b", b"data");
+        assert_ne!(a, b);
+    }
+}

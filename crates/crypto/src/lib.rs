@@ -1,0 +1,542 @@
+#![warn(missing_docs)]
+
+//! From-scratch cryptographic primitives for TDB.
+//!
+//! The TDB paper (OSDI 2000) protects a database on untrusted storage with a
+//! small secret key and a collision-resistant hash in trusted storage. Each
+//! *partition* of the database selects its own cipher and hash function
+//! (§2.2), while the reserved system partition uses a fixed, conservative
+//! pair (the paper uses 3DES + SHA-1, §5.2).
+//!
+//! This crate implements every primitive the system needs, from scratch and
+//! validated against published test vectors, because no third-party crypto
+//! crates are available in the build environment:
+//!
+//! - [`sha1`] and [`sha256`] — FIPS 180 hash functions.
+//! - [`des`] — DES and 3DES (EDE3) block ciphers, FIPS 46-3.
+//! - [`aes`] — AES-128/-256, FIPS 197 (the "other, more secure, algorithms
+//!   that run faster than DES" the paper alludes to in §9.2.1).
+//! - [`cbc`] — CBC mode with PKCS#7 padding over any [`BlockCipher`].
+//! - [`hmac`] — HMAC (RFC 2104) over any [`HashKind`], used to *sign* commit
+//!   chunks and backups ("the signature need not be publicly verifiable, so
+//!   it may be based on symmetric-key encryption", §4.8.2.2).
+//! - [`crc32`] — the unencrypted backup trailer checksum (§6.2).
+//!
+//! The [`CipherKind`] / [`HashKind`] enums are the dynamic dispatch points
+//! used by partition cryptographic parameters.
+
+pub mod aes;
+pub mod cbc;
+pub mod crc32;
+pub mod des;
+pub mod hmac;
+pub mod sha1;
+pub mod sha256;
+
+use std::fmt;
+
+/// Maximum digest length any supported hash can produce, in bytes.
+pub const MAX_DIGEST_LEN: usize = 32;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A key of the wrong length was supplied for the selected cipher.
+    BadKeyLength {
+        /// Required key length.
+        expected: usize,
+        /// Supplied key length.
+        got: usize,
+    },
+    /// Ciphertext length is not a multiple of the cipher block size.
+    BadCiphertextLength {
+        /// Cipher block size.
+        block: usize,
+        /// Offending ciphertext length.
+        got: usize,
+    },
+    /// CBC padding was malformed on decryption (corrupt or tampered data).
+    BadPadding,
+    /// An initialization vector of the wrong length was supplied.
+    BadIvLength {
+        /// Required IV length (the block size).
+        expected: usize,
+        /// Supplied IV length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::BadKeyLength { expected, got } => {
+                write!(f, "bad key length: expected {expected} bytes, got {got}")
+            }
+            CryptoError::BadCiphertextLength { block, got } => {
+                write!(
+                    f,
+                    "ciphertext length {got} is not a multiple of block size {block}"
+                )
+            }
+            CryptoError::BadPadding => write!(f, "malformed CBC padding"),
+            CryptoError::BadIvLength { expected, got } => {
+                write!(f, "bad IV length: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// A keyed block cipher operating on fixed-size blocks in place.
+///
+/// Implementations hold their expanded key schedule; construction is the
+/// keying step. All TDB bulk encryption goes through [`cbc`] on top of this.
+pub trait BlockCipher: Send + Sync {
+    /// Block size in bytes (8 for DES/3DES, 16 for AES).
+    fn block_size(&self) -> usize;
+    /// Encrypts one block in place. `block.len()` must equal `block_size()`.
+    fn encrypt_block(&self, block: &mut [u8]);
+    /// Decrypts one block in place. `block.len()` must equal `block_size()`.
+    fn decrypt_block(&self, block: &mut [u8]);
+}
+
+/// An incremental hash function.
+pub trait Hasher: Send {
+    /// Absorbs `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+    /// Consumes the state and returns the digest.
+    fn finalize(self: Box<Self>) -> HashValue;
+    /// Digest length in bytes.
+    fn digest_len(&self) -> usize;
+}
+
+/// A fixed-capacity hash digest value.
+///
+/// Stored inline (no allocation) because descriptors in the chunk map hold
+/// one per chunk (§4.3) and the map must stay compact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashValue {
+    len: u8,
+    bytes: [u8; MAX_DIGEST_LEN],
+}
+
+impl HashValue {
+    /// Creates a digest from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds [`MAX_DIGEST_LEN`].
+    pub fn new(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= MAX_DIGEST_LEN, "digest too long");
+        let mut buf = [0u8; MAX_DIGEST_LEN];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        HashValue {
+            len: bytes.len() as u8,
+            bytes: buf,
+        }
+    }
+
+    /// The empty digest (used for unwritten chunks).
+    pub fn zero(len: usize) -> Self {
+        assert!(len <= MAX_DIGEST_LEN);
+        HashValue {
+            len: len as u8,
+            bytes: [0u8; MAX_DIGEST_LEN],
+        }
+    }
+
+    /// Digest bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Digest length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the digest is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Constant-time equality check, for comparing secrets or MACs.
+    pub fn ct_eq(&self, other: &HashValue) -> bool {
+        ct_eq(self.as_bytes(), other.as_bytes())
+    }
+}
+
+impl fmt::Debug for HashValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HashValue(")?;
+        for b in self.as_bytes() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Hash function selector for partition cryptographic parameters (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashKind {
+    /// No validation: the digest is empty and never checked. The paper allows
+    /// partitions with "no need ... to validate other data" (§2.2).
+    Null,
+    /// SHA-1 (the paper's default).
+    Sha1,
+    /// SHA-256 (a stronger modern option).
+    Sha256,
+}
+
+impl HashKind {
+    /// Length in bytes of digests this function produces.
+    pub fn digest_len(self) -> usize {
+        match self {
+            HashKind::Null => 0,
+            HashKind::Sha1 => 20,
+            HashKind::Sha256 => 32,
+        }
+    }
+
+    /// Creates an incremental hasher.
+    pub fn hasher(self) -> Box<dyn Hasher> {
+        match self {
+            HashKind::Null => Box::new(NullHasher),
+            HashKind::Sha1 => Box::new(sha1::Sha1::new()),
+            HashKind::Sha256 => Box::new(sha256::Sha256::new()),
+        }
+    }
+
+    /// One-shot hash of `data`.
+    pub fn hash(self, data: &[u8]) -> HashValue {
+        let mut h = self.hasher();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot hash over several segments without concatenating them.
+    pub fn hash_parts(self, parts: &[&[u8]]) -> HashValue {
+        let mut h = self.hasher();
+        for p in parts {
+            h.update(p);
+        }
+        h.finalize()
+    }
+
+    /// Stable wire tag for serialization.
+    pub fn tag(self) -> u8 {
+        match self {
+            HashKind::Null => 0,
+            HashKind::Sha1 => 1,
+            HashKind::Sha256 => 2,
+        }
+    }
+
+    /// Inverse of [`HashKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(HashKind::Null),
+            1 => Some(HashKind::Sha1),
+            2 => Some(HashKind::Sha256),
+            _ => None,
+        }
+    }
+}
+
+/// The no-op hasher backing [`HashKind::Null`].
+struct NullHasher;
+
+impl Hasher for NullHasher {
+    fn update(&mut self, _data: &[u8]) {}
+    fn finalize(self: Box<Self>) -> HashValue {
+        HashValue::zero(0)
+    }
+    fn digest_len(&self) -> usize {
+        0
+    }
+}
+
+/// Cipher selector for partition cryptographic parameters (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CipherKind {
+    /// No encryption (the paper allows unencrypted partitions). Data is
+    /// stored as-is; the "block size" is 1 and no padding is added.
+    Null,
+    /// Single DES in CBC mode (the paper's fast per-partition choice).
+    Des,
+    /// Triple DES (EDE3) in CBC mode (the paper's system cipher).
+    TripleDes,
+    /// AES-128 in CBC mode.
+    Aes128,
+    /// AES-256 in CBC mode.
+    Aes256,
+}
+
+impl CipherKind {
+    /// Required key length in bytes.
+    pub fn key_len(self) -> usize {
+        match self {
+            CipherKind::Null => 0,
+            CipherKind::Des => 8,
+            CipherKind::TripleDes => 24,
+            CipherKind::Aes128 => 16,
+            CipherKind::Aes256 => 32,
+        }
+    }
+
+    /// Cipher block size in bytes (1 for the null cipher).
+    pub fn block_size(self) -> usize {
+        match self {
+            CipherKind::Null => 1,
+            CipherKind::Des | CipherKind::TripleDes => 8,
+            CipherKind::Aes128 | CipherKind::Aes256 => 16,
+        }
+    }
+
+    /// Constructs a keyed block cipher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadKeyLength`] if `key` has the wrong length.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the null cipher accepts only an empty key.
+    pub fn new_cipher(self, key: &[u8]) -> Result<Box<dyn BlockCipher>, CryptoError> {
+        let expected = self.key_len();
+        if key.len() != expected {
+            return Err(CryptoError::BadKeyLength {
+                expected,
+                got: key.len(),
+            });
+        }
+        Ok(match self {
+            CipherKind::Null => Box::new(NullCipher),
+            CipherKind::Des => Box::new(des::Des::new(key.try_into().expect("len checked"))),
+            CipherKind::TripleDes => {
+                Box::new(des::TripleDes::new(key.try_into().expect("len checked")))
+            }
+            CipherKind::Aes128 => Box::new(aes::Aes::new_128(key.try_into().expect("len checked"))),
+            CipherKind::Aes256 => Box::new(aes::Aes::new_256(key.try_into().expect("len checked"))),
+        })
+    }
+
+    /// Stable wire tag for serialization.
+    pub fn tag(self) -> u8 {
+        match self {
+            CipherKind::Null => 0,
+            CipherKind::Des => 1,
+            CipherKind::TripleDes => 2,
+            CipherKind::Aes128 => 3,
+            CipherKind::Aes256 => 4,
+        }
+    }
+
+    /// Inverse of [`CipherKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(CipherKind::Null),
+            1 => Some(CipherKind::Des),
+            2 => Some(CipherKind::TripleDes),
+            3 => Some(CipherKind::Aes128),
+            4 => Some(CipherKind::Aes256),
+            _ => None,
+        }
+    }
+}
+
+/// The identity cipher backing [`CipherKind::Null`].
+struct NullCipher;
+
+impl BlockCipher for NullCipher {
+    fn block_size(&self) -> usize {
+        1
+    }
+    fn encrypt_block(&self, _block: &mut [u8]) {}
+    fn decrypt_block(&self, _block: &mut [u8]) {}
+}
+
+/// A secret key whose bytes are zeroed on drop.
+///
+/// Stands in for material that would live in the trusted platform's secret
+/// store (§2.1): it should never reach untrusted storage unencrypted.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    bytes: Vec<u8>,
+}
+
+impl SecretKey {
+    /// Wraps raw key bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        SecretKey { bytes }
+    }
+
+    /// Generates a fresh random key of `len` bytes.
+    pub fn random(len: usize) -> Self {
+        use rand::RngCore;
+        let mut bytes = vec![0u8; len];
+        rand::thread_rng().fill_bytes(&mut bytes);
+        SecretKey { bytes }
+    }
+
+    /// Key material.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Key length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the key is empty (the null cipher's key).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl Drop for SecretKey {
+    fn drop(&mut self) {
+        // Best-effort scrub; `write_volatile` prevents the compiler from
+        // eliding the zeroing of memory it considers dead.
+        for b in self.bytes.iter_mut() {
+            // SAFETY: `b` is a valid, aligned, exclusive reference.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey({} bytes)", self.bytes.len())
+    }
+}
+
+/// Constant-time byte-slice equality.
+///
+/// Returns `false` for mismatched lengths without early exit on content.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_value_roundtrip() {
+        let h = HashValue::new(&[1, 2, 3]);
+        assert_eq!(h.as_bytes(), &[1, 2, 3]);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn hash_value_equality_ignores_slack() {
+        let a = HashValue::new(&[9; 20]);
+        let b = HashValue::new(&[9; 20]);
+        assert_eq!(a, b);
+        assert!(a.ct_eq(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "digest too long")]
+    fn hash_value_rejects_oversize() {
+        let _ = HashValue::new(&[0u8; 33]);
+    }
+
+    #[test]
+    fn null_hash_is_empty() {
+        let h = HashKind::Null.hash(b"anything");
+        assert!(h.is_empty());
+        assert_eq!(HashKind::Null.digest_len(), 0);
+    }
+
+    #[test]
+    fn hash_parts_matches_concatenation() {
+        for kind in [HashKind::Sha1, HashKind::Sha256] {
+            let whole = kind.hash(b"hello world");
+            let parts = kind.hash_parts(&[b"hello", b" ", b"world"]);
+            assert_eq!(whole, parts);
+        }
+    }
+
+    #[test]
+    fn kind_tags_roundtrip() {
+        for k in [HashKind::Null, HashKind::Sha1, HashKind::Sha256] {
+            assert_eq!(HashKind::from_tag(k.tag()), Some(k));
+        }
+        for c in [
+            CipherKind::Null,
+            CipherKind::Des,
+            CipherKind::TripleDes,
+            CipherKind::Aes128,
+            CipherKind::Aes256,
+        ] {
+            assert_eq!(CipherKind::from_tag(c.tag()), Some(c));
+        }
+        assert_eq!(HashKind::from_tag(200), None);
+        assert_eq!(CipherKind::from_tag(200), None);
+    }
+
+    #[test]
+    fn cipher_key_length_enforced() {
+        let err = CipherKind::Des
+            .new_cipher(&[0u8; 7])
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CryptoError::BadKeyLength {
+                expected: 8,
+                got: 7
+            }
+        );
+        assert!(CipherKind::Aes128.new_cipher(&[0u8; 16]).is_ok());
+    }
+
+    #[test]
+    fn null_cipher_is_identity() {
+        let c = CipherKind::Null.new_cipher(&[]).unwrap();
+        let mut block = [42u8];
+        c.encrypt_block(&mut block);
+        assert_eq!(block, [42]);
+        c.decrypt_block(&mut block);
+        assert_eq!(block, [42]);
+    }
+
+    #[test]
+    fn ct_eq_basics() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn secret_key_debug_hides_material() {
+        let k = SecretKey::new(vec![1, 2, 3, 4]);
+        let s = format!("{k:?}");
+        assert!(!s.contains('1'), "debug output leaked key bytes: {s}");
+        assert!(s.contains("4 bytes"));
+    }
+
+    #[test]
+    fn secret_key_random_lengths() {
+        let k = SecretKey::random(24);
+        assert_eq!(k.len(), 24);
+        assert!(!k.is_empty());
+        // Two random keys should differ (overwhelming probability).
+        let k2 = SecretKey::random(24);
+        assert_ne!(k.as_bytes(), k2.as_bytes());
+    }
+}

@@ -1,0 +1,195 @@
+//! The object cache (§7).
+//!
+//! "The object store keeps a cache of frequently-used or dirty objects.
+//! Caching data at this level is beneficial because the data is decrypted,
+//! validated, and unpickled." Only committed objects live here; a
+//! transaction's dirty objects are buffered in the transaction itself until
+//! commit (the paper's no-steal policy, §2.2) and installed here on commit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::pickle::StoredObject;
+use crate::ObjectId;
+
+struct CacheSlot {
+    object: Arc<dyn StoredObject>,
+    /// Approximate bytes (pickled size) for the byte-budget accounting.
+    size: usize,
+    last_used: u64,
+}
+
+/// A byte-bounded LRU cache of decoded objects.
+pub struct ObjectCache {
+    slots: HashMap<ObjectId, CacheSlot>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ObjectCache {
+    /// Creates a cache bounded to roughly `capacity_bytes` of pickled data
+    /// (the paper's experiments bound "the total size of TDB caches" to
+    /// 4 MB, §9.1).
+    pub fn new(capacity_bytes: usize) -> ObjectCache {
+        ObjectCache {
+            slots: HashMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up an object, refreshing its recency.
+    pub fn get(&mut self, id: ObjectId) -> Option<Arc<dyn StoredObject>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.slots.get_mut(&id) {
+            Some(slot) => {
+                slot.last_used = tick;
+                self.hits += 1;
+                Some(Arc::clone(&slot.object))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs (or replaces) an object, evicting LRU entries past the
+    /// byte budget.
+    pub fn put(&mut self, id: ObjectId, object: Arc<dyn StoredObject>, size: usize) {
+        self.tick += 1;
+        if let Some(old) = self.slots.insert(
+            id,
+            CacheSlot {
+                object,
+                size,
+                last_used: self.tick,
+            },
+        ) {
+            self.used_bytes -= old.size;
+        }
+        self.used_bytes += size;
+        while self.used_bytes > self.capacity_bytes && self.slots.len() > 1 {
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            if victim == id {
+                break;
+            }
+            if let Some(slot) = self.slots.remove(&victim) {
+                self.used_bytes -= slot.size;
+            }
+        }
+    }
+
+    /// Drops an object (deleted or its partition restored).
+    pub fn remove(&mut self, id: ObjectId) {
+        if let Some(slot) = self.slots.remove(&id) {
+            self.used_bytes -= slot.size;
+        }
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Cached object count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Approximate cached bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use tdb_core::{ChunkId, PartitionId};
+
+    struct Blob(Vec<u8>);
+    impl StoredObject for Blob {
+        fn type_tag(&self) -> u32 {
+            9
+        }
+        fn pickle(&self) -> Vec<u8> {
+            self.0.clone()
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId(ChunkId::data(PartitionId(1), n))
+    }
+
+    #[test]
+    fn put_get_replace() {
+        let mut c = ObjectCache::new(1000);
+        c.put(oid(1), Arc::new(Blob(vec![1; 100])), 100);
+        assert!(c.get(oid(1)).is_some());
+        assert_eq!(c.used_bytes(), 100);
+        c.put(oid(1), Arc::new(Blob(vec![2; 50])), 50);
+        assert_eq!(c.used_bytes(), 50);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_by_bytes() {
+        let mut c = ObjectCache::new(250);
+        c.put(oid(1), Arc::new(Blob(vec![0; 100])), 100);
+        c.put(oid(2), Arc::new(Blob(vec![0; 100])), 100);
+        let _ = c.get(oid(1)); // 2 becomes LRU.
+        c.put(oid(3), Arc::new(Blob(vec![0; 100])), 100);
+        assert!(c.get(oid(1)).is_some());
+        assert!(c.get(oid(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(oid(3)).is_some());
+        assert!(c.used_bytes() <= 250);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = ObjectCache::new(1000);
+        c.put(oid(1), Arc::new(Blob(vec![0; 10])), 10);
+        c.remove(oid(1));
+        assert!(c.is_empty());
+        c.put(oid(2), Arc::new(Blob(vec![0; 10])), 10);
+        c.clear();
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn hit_miss_stats() {
+        let mut c = ObjectCache::new(1000);
+        c.put(oid(1), Arc::new(Blob(vec![0; 10])), 10);
+        let _ = c.get(oid(1));
+        let _ = c.get(oid(2));
+        assert_eq!(c.stats(), (1, 1));
+    }
+}

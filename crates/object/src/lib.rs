@@ -1,0 +1,584 @@
+#![warn(missing_docs)]
+
+//! # tdb-object — the TDB object store (§7)
+//!
+//! "The *object store* adds safety against errors in application programs.
+//! It provides type-safe and transactional access to a set of objects."
+//!
+//! Layered directly on the chunk store, this crate provides:
+//!
+//! - application-defined pickling with a type registry and run-time type
+//!   checking ([`pickle`]);
+//! - each object stored in its own chunk (the paper's choice: smaller
+//!   commit volume and a simpler cache at the cost of inter-object
+//!   clustering, which the cache makes unimportant);
+//! - a byte-bounded cache of decrypted, validated, unpickled objects
+//!   ([`cache`]);
+//! - transactions with two-phase shared/exclusive locking and
+//!   timeout-based deadlock breaking ([`locks`]), no-steal buffering of
+//!   dirty objects, and atomic group commit through the chunk store.
+
+pub mod cache;
+pub mod errors;
+pub mod locks;
+pub mod pickle;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use tdb_core::metrics::{self, modules};
+use tdb_core::store::{ChunkStore, CommitOp};
+use tdb_core::{ChunkId, PartitionId};
+
+use cache::ObjectCache;
+use errors::{ObjectError, Result};
+use locks::{LockManager, LockMode, TxId};
+use pickle::{downcast, StoredObject, TypeRegistry};
+
+/// A stable object name: the chunk id holding the object's pickle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub ChunkId);
+
+impl ObjectId {
+    /// The partition the object lives in.
+    pub fn partition(&self) -> PartitionId {
+        self.0.partition
+    }
+
+    /// The object's data rank within its partition.
+    pub fn rank(&self) -> u64 {
+        self.0.pos.rank
+    }
+
+    /// Rebuilds an object id from its partition and rank (e.g. after
+    /// storing a reference inside another object).
+    pub fn from_parts(partition: PartitionId, rank: u64) -> ObjectId {
+        ObjectId(ChunkId::data(partition, rank))
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj({})", self.0)
+    }
+}
+
+/// Object store configuration.
+#[derive(Debug, Clone)]
+pub struct ObjectStoreConfig {
+    /// Byte budget for the object cache (the paper ran with 4 MB of total
+    /// cache, §9.1).
+    pub cache_bytes: usize,
+    /// Lock acquisition timeout — the deadlock breaker (§7).
+    pub lock_timeout: Duration,
+    /// Steal buffering (paper §10): when a transaction's in-memory dirty
+    /// objects exceed this many pickled bytes, the oldest are spilled —
+    /// encrypted and validated — to a scratch partition of the chunk store
+    /// and reloaded at commit. `usize::MAX` disables stealing (the paper's
+    /// default no-steal policy).
+    pub steal_threshold_bytes: usize,
+}
+
+impl Default for ObjectStoreConfig {
+    fn default() -> Self {
+        ObjectStoreConfig {
+            cache_bytes: 4 * 1024 * 1024,
+            lock_timeout: Duration::from_millis(500),
+            steal_threshold_bytes: usize::MAX,
+        }
+    }
+}
+
+/// The object store.
+pub struct ObjectStore {
+    chunks: Arc<ChunkStore>,
+    registry: TypeRegistry,
+    cache: Mutex<ObjectCache>,
+    locks: LockManager,
+    next_tx: AtomicU64,
+    steal_threshold: usize,
+    /// Scratch partition for spilled (stolen) dirty objects, created
+    /// lazily and reclaimed on drop.
+    spill: Mutex<Option<PartitionId>>,
+}
+
+impl ObjectStore {
+    /// Wraps a chunk store with the given type registry.
+    pub fn new(
+        chunks: Arc<ChunkStore>,
+        registry: TypeRegistry,
+        config: ObjectStoreConfig,
+    ) -> ObjectStore {
+        ObjectStore {
+            chunks,
+            registry,
+            cache: Mutex::new(ObjectCache::new(config.cache_bytes)),
+            locks: LockManager::new(config.lock_timeout),
+            next_tx: AtomicU64::new(1),
+            steal_threshold: config.steal_threshold_bytes,
+            spill: Mutex::new(None),
+        }
+    }
+
+    /// The scratch partition for spilled dirty objects, created on first
+    /// use with its own key.
+    fn spill_partition(&self) -> Result<PartitionId> {
+        let mut spill = self.spill.lock();
+        if let Some(p) = *spill {
+            return Ok(p);
+        }
+        let p = self.chunks.allocate_partition()?;
+        self.chunks.commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: tdb_core::CryptoParams::generate(
+                tdb_crypto::CipherKind::Aes128,
+                tdb_crypto::HashKind::Sha256,
+            ),
+        }])?;
+        *spill = Some(p);
+        Ok(p)
+    }
+
+    /// The underlying chunk store.
+    pub fn chunks(&self) -> &Arc<ChunkStore> {
+        &self.chunks
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> Tx<'_> {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        Tx {
+            store: self,
+            id: self.next_tx.fetch_add(1, Ordering::Relaxed),
+            writes: Vec::new(),
+            buffered_bytes: 0,
+            finished: false,
+        }
+    }
+
+    /// Runs `f` inside a transaction, committing on `Ok` and aborting on
+    /// `Err`. Lock timeouts are retried up to 3 times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error or commit failures.
+    pub fn run<R>(&self, mut f: impl FnMut(&mut Tx<'_>) -> Result<R>) -> Result<R> {
+        let mut attempts = 0;
+        loop {
+            let mut tx = self.begin();
+            match f(&mut tx) {
+                Ok(value) => {
+                    tx.commit()?;
+                    return Ok(value);
+                }
+                Err(ObjectError::LockTimeout(id)) if attempts < 3 => {
+                    tx.abort();
+                    attempts += 1;
+                    let _ = id;
+                }
+                Err(e) => {
+                    tx.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// (hits, misses) of the object cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().stats()
+    }
+
+    /// Empties the object cache (used after restores and by benchmarks that
+    /// need a cold cache).
+    pub fn invalidate_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Reads an object bypassing transactions (validated, cached). Useful
+    /// for read-only inspection; transactional code should use [`Tx::get`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object is missing, fails validation, or has an
+    /// unregistered type.
+    pub fn get_untracked(&self, id: ObjectId) -> Result<Arc<dyn StoredObject>> {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        self.load(id)
+    }
+
+    fn load(&self, id: ObjectId) -> Result<Arc<dyn StoredObject>> {
+        if let Some(obj) = self.cache.lock().get(id) {
+            return Ok(obj);
+        }
+        let record = match self.chunks.read(id.0) {
+            Ok(r) => r,
+            Err(tdb_core::CoreError::NotAllocated(_)) | Err(tdb_core::CoreError::NotWritten(_)) => {
+                return Err(ObjectError::NotFound(id))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let size = record.len();
+        let obj = self.registry.unpickle(&record)?;
+        self.cache.lock().put(id, Arc::clone(&obj), size);
+        Ok(obj)
+    }
+}
+
+impl Drop for ObjectStore {
+    fn drop(&mut self) {
+        // Best-effort reclamation of the scratch partition. A crash leaks
+        // it for the session; it holds only ciphertext of uncommitted
+        // state and is reclaimed by any later recreation path.
+        if let Some(p) = *self.spill.lock() {
+            let _ = self
+                .chunks
+                .commit(vec![CommitOp::DeallocPartition { id: p }]);
+        }
+    }
+}
+
+impl fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectStore").finish_non_exhaustive()
+    }
+}
+
+/// A buffered write within a transaction.
+enum Write {
+    Put(Arc<dyn StoredObject>),
+    /// A dirty object spilled to the chunk store (steal buffering, §10):
+    /// the pickled record lives encrypted+validated in the scratch
+    /// partition until commit.
+    Spilled {
+        chunk: tdb_core::ChunkId,
+    },
+    Delete,
+}
+
+/// An open transaction: two-phase locked, no-steal buffered.
+pub struct Tx<'a> {
+    store: &'a ObjectStore,
+    id: TxId,
+    /// Ordered buffered writes (last write to an id wins).
+    writes: Vec<(ObjectId, Write)>,
+    /// Pickled bytes currently buffered in memory (drives stealing).
+    buffered_bytes: usize,
+    finished: bool,
+}
+
+impl Tx<'_> {
+    fn check_open(&self) -> Result<()> {
+        if self.finished {
+            Err(ObjectError::TxFinished)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn local(&self, id: ObjectId) -> Option<&Write> {
+        self.writes
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == id)
+            .map(|(_, w)| w)
+    }
+
+    /// Creates a new object in `partition`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition does not exist.
+    pub fn create(
+        &mut self,
+        partition: PartitionId,
+        object: Arc<dyn StoredObject>,
+    ) -> Result<ObjectId> {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        self.check_open()?;
+        let chunk = self.store.chunks.allocate_chunk(partition)?;
+        let id = ObjectId(chunk);
+        self.store.locks.acquire(self.id, id, LockMode::Exclusive)?;
+        self.buffered_bytes += object.pickle().len();
+        self.writes.push((id, Write::Put(object)));
+        self.maybe_steal()?;
+        Ok(id)
+    }
+
+    /// Reads an object with a shared lock, checking its type.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing objects, lock timeout, or type mismatch.
+    pub fn get<T: StoredObject>(&mut self, id: ObjectId) -> Result<Arc<T>> {
+        downcast(self.get_dyn(id)?)
+    }
+
+    /// Reads an object under an **exclusive** lock, for read-modify-write
+    /// sequences. Taking the write lock up front avoids the classic
+    /// shared-to-exclusive upgrade deadlock when two transactions race on
+    /// the same object (both hold shared, both stall upgrading, and only
+    /// the §7 timeout breaks them).
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing objects, lock timeout, or type mismatch.
+    pub fn get_for_update<T: StoredObject>(&mut self, id: ObjectId) -> Result<Arc<T>> {
+        self.check_open()?;
+        self.store.locks.acquire(self.id, id, LockMode::Exclusive)?;
+        downcast(self.get_dyn(id)?)
+    }
+
+    /// Reads an object with a shared lock, dynamically typed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing objects or lock timeout.
+    pub fn get_dyn(&mut self, id: ObjectId) -> Result<Arc<dyn StoredObject>> {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        self.check_open()?;
+        self.store.locks.acquire(self.id, id, LockMode::Shared)?;
+        match self.local(id) {
+            Some(Write::Put(obj)) => Ok(Arc::clone(obj)),
+            Some(Write::Spilled { chunk }) => {
+                let record = self.store.chunks.read(*chunk)?;
+                self.store.registry.unpickle(&record)
+            }
+            Some(Write::Delete) => Err(ObjectError::NotFound(id)),
+            None => self.store.load(id),
+        }
+    }
+
+    /// Replaces an object's state (exclusive lock; buffered until commit —
+    /// the no-steal policy keeps dirty objects out of the persistent store
+    /// until their transaction commits).
+    ///
+    /// # Errors
+    ///
+    /// Fails on lock timeout or if the object does not exist.
+    pub fn put(&mut self, id: ObjectId, object: Arc<dyn StoredObject>) -> Result<()> {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        self.check_open()?;
+        self.store.locks.acquire(self.id, id, LockMode::Exclusive)?;
+        // The object must exist (locally created, or stored).
+        if self.local(id).is_none() {
+            self.store.load(id)?;
+        } else if matches!(self.local(id), Some(Write::Delete)) {
+            return Err(ObjectError::NotFound(id));
+        }
+        self.buffered_bytes += object.pickle().len();
+        self.writes.push((id, Write::Put(object)));
+        self.maybe_steal()?;
+        Ok(())
+    }
+
+    /// Deletes an object (exclusive lock; buffered until commit).
+    ///
+    /// # Errors
+    ///
+    /// Fails on lock timeout or if the object does not exist.
+    pub fn delete(&mut self, id: ObjectId) -> Result<()> {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        self.check_open()?;
+        self.store.locks.acquire(self.id, id, LockMode::Exclusive)?;
+        if self.local(id).is_none() {
+            self.store.load(id)?;
+        } else if matches!(self.local(id), Some(Write::Delete)) {
+            return Err(ObjectError::NotFound(id));
+        }
+        self.writes.push((id, Write::Delete));
+        Ok(())
+    }
+
+    /// Number of buffered writes.
+    pub fn pending_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Number of writes currently spilled to the chunk store.
+    pub fn spilled_writes(&self) -> usize {
+        self.writes
+            .iter()
+            .filter(|(_, w)| matches!(w, Write::Spilled { .. }))
+            .count()
+    }
+
+    /// Steal buffering (§10): when the in-memory dirty volume exceeds the
+    /// threshold, spill buffered puts — oldest first — to the scratch
+    /// partition, in one chunk-store commit.
+    fn maybe_steal(&mut self) -> Result<()> {
+        if self.buffered_bytes <= self.store.steal_threshold {
+            return Ok(());
+        }
+        let spill_partition = self.store.spill_partition()?;
+        // Spill the *latest* write of each id, oldest ids first, until the
+        // in-memory volume halves (earlier superseded writes of the same id
+        // are dead weight and simply dropped from accounting).
+        let target = self.store.steal_threshold / 2;
+        let mut ops = Vec::new();
+        let mut planned: Vec<(usize, tdb_core::ChunkId, usize)> = Vec::new();
+        let ids_in_order: Vec<ObjectId> = {
+            let mut seen = Vec::new();
+            for (id, _) in &self.writes {
+                if !seen.contains(id) {
+                    seen.push(*id);
+                }
+            }
+            seen
+        };
+        let mut remaining = self.buffered_bytes;
+        for id in ids_in_order {
+            if remaining <= target {
+                break;
+            }
+            let last_index = self
+                .writes
+                .iter()
+                .rposition(|(i, _)| *i == id)
+                .expect("id came from writes");
+            if let Write::Put(obj) = &self.writes[last_index].1 {
+                let record = pickle::TypeRegistry::pickle(obj.as_ref());
+                let size = record.len();
+                let chunk = self.store.chunks.allocate_chunk(spill_partition)?;
+                ops.push(CommitOp::WriteChunk {
+                    id: chunk,
+                    bytes: record,
+                });
+                planned.push((last_index, chunk, size));
+                remaining = remaining.saturating_sub(size);
+            }
+        }
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.store.chunks.commit(ops)?;
+        for (index, chunk, size) in planned {
+            self.writes[index].1 = Write::Spilled { chunk };
+            self.buffered_bytes = self.buffered_bytes.saturating_sub(size);
+        }
+        Ok(())
+    }
+
+    /// Commits: pickles every dirty object, applies one atomic chunk-store
+    /// commit, installs results in the cache, and releases all locks.
+    ///
+    /// # Errors
+    ///
+    /// On failure the transaction is rolled back (nothing was applied) and
+    /// locks are released.
+    pub fn commit(mut self) -> Result<()> {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        self.check_open()?;
+        self.finished = true;
+
+        // Net effect per object, in first-touch order.
+        let mut net: Vec<(ObjectId, &Write)> = Vec::new();
+        for (id, w) in &self.writes {
+            if let Some(slot) = net.iter_mut().find(|(i, _)| i == id) {
+                slot.1 = w;
+            } else {
+                net.push((*id, w));
+            }
+        }
+        if net.is_empty() {
+            self.store.locks.release_all(self.id);
+            return Ok(());
+        }
+
+        let mut ops = Vec::with_capacity(net.len());
+        let mut spilled_records: Vec<(ObjectId, Vec<u8>)> = Vec::new();
+        for (id, w) in &net {
+            match w {
+                Write::Put(obj) => ops.push(CommitOp::WriteChunk {
+                    id: id.0,
+                    bytes: TypeRegistry::pickle(obj.as_ref()),
+                }),
+                Write::Spilled { chunk } => {
+                    // Reload the stolen record and fold it into the same
+                    // atomic commit; the scratch chunk is reclaimed with it.
+                    let record = self.store.chunks.read(*chunk)?;
+                    ops.push(CommitOp::WriteChunk {
+                        id: id.0,
+                        bytes: record.clone(),
+                    });
+                    ops.push(CommitOp::DeallocChunk { id: *chunk });
+                    spilled_records.push((*id, record));
+                }
+                Write::Delete => {
+                    // Deleting an object created in this same transaction
+                    // would dealloc an unwritten chunk; that is legal.
+                    ops.push(CommitOp::DeallocChunk { id: id.0 });
+                }
+            }
+        }
+        // Superseded spills (an id spilled, then overwritten in memory)
+        // also need their scratch chunks reclaimed.
+        for (id, w) in &self.writes {
+            if let Write::Spilled { chunk } = w {
+                let is_net = net
+                    .iter()
+                    .any(|(i, nw)| i == id && std::ptr::eq(*nw as *const Write, w as *const Write));
+                if !is_net {
+                    ops.push(CommitOp::DeallocChunk { id: *chunk });
+                }
+            }
+        }
+        let result = self.store.chunks.commit(ops);
+        if result.is_ok() {
+            let mut cache = self.store.cache.lock();
+            for (id, w) in &net {
+                match w {
+                    Write::Put(obj) => {
+                        let size = obj.pickle().len() + 4;
+                        cache.put(*id, Arc::clone(obj), size);
+                    }
+                    Write::Spilled { .. } => {
+                        if let Some((_, record)) = spilled_records.iter().find(|(i, _)| i == id) {
+                            if let Ok(obj) = self.store.registry.unpickle(record) {
+                                cache.put(*id, obj, record.len());
+                            }
+                        }
+                    }
+                    Write::Delete => cache.remove(*id),
+                }
+            }
+        }
+        self.store.locks.release_all(self.id);
+        result.map_err(Into::into)
+    }
+
+    /// Aborts: drops buffered writes (reclaiming any spilled scratch
+    /// chunks) and releases all locks.
+    pub fn abort(mut self) {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        self.finished = true;
+        let reclaim: Vec<CommitOp> = self
+            .writes
+            .iter()
+            .filter_map(|(_, w)| match w {
+                Write::Spilled { chunk } => Some(CommitOp::DeallocChunk { id: *chunk }),
+                _ => None,
+            })
+            .collect();
+        if !reclaim.is_empty() {
+            // Best effort: a failure here leaks scratch chunks, which the
+            // cleaner treats as any other garbage once the partition drops.
+            let _ = self.store.chunks.commit(reclaim);
+        }
+        self.writes.clear();
+        self.store.locks.release_all(self.id);
+    }
+}
+
+impl Drop for Tx<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // An abandoned transaction aborts implicitly.
+            self.store.locks.release_all(self.id);
+        }
+    }
+}

@@ -1,0 +1,698 @@
+//! Integration tests for the object store: typed transactional access,
+//! no-steal buffering, atomicity, isolation, and cache behaviour.
+
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdb_core::store::{ChunkStore, ChunkStoreConfig, CommitOp, TrustedBackend, ValidationMode};
+use tdb_core::{CryptoParams, PartitionId};
+use tdb_crypto::{CipherKind, HashKind, SecretKey};
+use tdb_object::errors::ObjectError;
+use tdb_object::pickle::{StoredObject, TypeRegistry};
+use tdb_object::{ObjectId, ObjectStore, ObjectStoreConfig};
+use tdb_storage::{CounterOverTrusted, MemStore, MemTrustedStore, SharedUntrusted};
+
+// A tiny application schema: accounts and licenses.
+
+#[derive(Debug, PartialEq)]
+struct Account {
+    owner: String,
+    balance: i64,
+}
+
+impl StoredObject for Account {
+    fn type_tag(&self) -> u32 {
+        1
+    }
+    fn pickle(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.owner.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.owner.as_bytes());
+        out.extend_from_slice(&self.balance.to_le_bytes());
+        out
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn unpickle_account(body: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
+    let n = u32::from_le_bytes(
+        body.get(..4)
+            .ok_or_else(|| ObjectError::BadPickle("account".into()))?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    let owner = String::from_utf8(body[4..4 + n].to_vec())
+        .map_err(|_| ObjectError::BadPickle("owner".into()))?;
+    let balance = i64::from_le_bytes(body[4 + n..4 + n + 8].try_into().unwrap());
+    Ok(Arc::new(Account { owner, balance }))
+}
+
+#[derive(Debug, PartialEq)]
+struct License {
+    good: String,
+    uses_left: u32,
+}
+
+impl StoredObject for License {
+    fn type_tag(&self) -> u32 {
+        2
+    }
+    fn pickle(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.good.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.good.as_bytes());
+        out.extend_from_slice(&self.uses_left.to_le_bytes());
+        out
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn unpickle_license(body: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
+    let n = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+    let good = String::from_utf8(body[4..4 + n].to_vec())
+        .map_err(|_| ObjectError::BadPickle("good".into()))?;
+    let uses_left = u32::from_le_bytes(body[4 + n..4 + n + 4].try_into().unwrap());
+    Ok(Arc::new(License { good, uses_left }))
+}
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    reg.register(1, unpickle_account);
+    reg.register(2, unpickle_license);
+    reg
+}
+
+struct Fixture {
+    store: Arc<ObjectStore>,
+    partition: PartitionId,
+}
+
+fn fixture() -> Fixture {
+    let chunks = Arc::new(
+        ChunkStore::create(
+            Arc::new(MemStore::new()) as SharedUntrusted,
+            TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(Arc::new(
+                MemTrustedStore::new(64),
+            )))),
+            SecretKey::random(24),
+            ChunkStoreConfig {
+                fanout: 8,
+                segment_size: 16384,
+                validation: ValidationMode::Counter {
+                    delta_ut: 5,
+                    delta_tu: 0,
+                },
+                ..ChunkStoreConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let partition = chunks.allocate_partition().unwrap();
+    chunks
+        .commit(vec![CommitOp::CreatePartition {
+            id: partition,
+            params: CryptoParams::generate(CipherKind::Des, HashKind::Sha1),
+        }])
+        .unwrap();
+    let store = Arc::new(ObjectStore::new(
+        chunks,
+        registry(),
+        ObjectStoreConfig {
+            cache_bytes: 64 * 1024,
+            lock_timeout: Duration::from_millis(100),
+            ..ObjectStoreConfig::default()
+        },
+    ));
+    Fixture { store, partition }
+}
+
+#[test]
+fn create_get_typed() {
+    let fx = fixture();
+    let mut tx = fx.store.begin();
+    let id = tx
+        .create(
+            fx.partition,
+            Arc::new(Account {
+                owner: "alice".into(),
+                balance: 100,
+            }),
+        )
+        .unwrap();
+    tx.commit().unwrap();
+
+    let mut tx = fx.store.begin();
+    let account = tx.get::<Account>(id).unwrap();
+    assert_eq!(account.owner, "alice");
+    assert_eq!(account.balance, 100);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn type_mismatch_detected() {
+    let fx = fixture();
+    let mut tx = fx.store.begin();
+    let id = tx
+        .create(
+            fx.partition,
+            Arc::new(License {
+                good: "song.mp3".into(),
+                uses_left: 3,
+            }),
+        )
+        .unwrap();
+    tx.commit().unwrap();
+
+    let mut tx = fx.store.begin();
+    let err = tx.get::<Account>(id).unwrap_err();
+    assert!(matches!(
+        err,
+        ObjectError::TypeMismatch { found_tag: 2, .. }
+    ));
+    tx.abort();
+}
+
+#[test]
+fn update_and_delete() {
+    let fx = fixture();
+    let id = {
+        let mut tx = fx.store.begin();
+        let id = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: "bob".into(),
+                    balance: 10,
+                }),
+            )
+            .unwrap();
+        tx.commit().unwrap();
+        id
+    };
+    {
+        let mut tx = fx.store.begin();
+        let account = tx.get::<Account>(id).unwrap();
+        tx.put(
+            id,
+            Arc::new(Account {
+                owner: account.owner.clone(),
+                balance: account.balance - 7,
+            }),
+        )
+        .unwrap();
+        tx.commit().unwrap();
+    }
+    {
+        let mut tx = fx.store.begin();
+        assert_eq!(tx.get::<Account>(id).unwrap().balance, 3);
+        tx.delete(id).unwrap();
+        tx.commit().unwrap();
+    }
+    let mut tx = fx.store.begin();
+    assert!(matches!(
+        tx.get::<Account>(id),
+        Err(ObjectError::NotFound(_))
+    ));
+    tx.abort();
+}
+
+#[test]
+fn abort_discards_buffered_writes() {
+    let fx = fixture();
+    let id = {
+        let mut tx = fx.store.begin();
+        let id = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: "carol".into(),
+                    balance: 50,
+                }),
+            )
+            .unwrap();
+        tx.commit().unwrap();
+        id
+    };
+    {
+        let mut tx = fx.store.begin();
+        tx.put(
+            id,
+            Arc::new(Account {
+                owner: "carol".into(),
+                balance: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(tx.pending_writes(), 1);
+        tx.abort();
+    }
+    let mut tx = fx.store.begin();
+    assert_eq!(
+        tx.get::<Account>(id).unwrap().balance,
+        50,
+        "abort rolled back"
+    );
+    tx.abort();
+}
+
+#[test]
+fn transaction_sees_own_writes() {
+    let fx = fixture();
+    let mut tx = fx.store.begin();
+    let id = tx
+        .create(
+            fx.partition,
+            Arc::new(Account {
+                owner: "dave".into(),
+                balance: 1,
+            }),
+        )
+        .unwrap();
+    // Uncommitted create is visible inside the transaction.
+    assert_eq!(tx.get::<Account>(id).unwrap().balance, 1);
+    tx.put(
+        id,
+        Arc::new(Account {
+            owner: "dave".into(),
+            balance: 2,
+        }),
+    )
+    .unwrap();
+    assert_eq!(tx.get::<Account>(id).unwrap().balance, 2);
+    tx.delete(id).unwrap();
+    assert!(matches!(
+        tx.get::<Account>(id),
+        Err(ObjectError::NotFound(_))
+    ));
+    tx.commit().unwrap();
+}
+
+#[test]
+fn multi_object_commit_is_atomic_across_reopen() {
+    // Transfer between two accounts, then verify both sides via a fresh
+    // object store over the same chunks.
+    let fx = fixture();
+    let (a, b) = {
+        let mut tx = fx.store.begin();
+        let a = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: "a".into(),
+                    balance: 100,
+                }),
+            )
+            .unwrap();
+        let b = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: "b".into(),
+                    balance: 0,
+                }),
+            )
+            .unwrap();
+        tx.commit().unwrap();
+        (a, b)
+    };
+    fx.store
+        .run(|tx| {
+            let av = tx.get::<Account>(a)?;
+            let bv = tx.get::<Account>(b)?;
+            tx.put(
+                a,
+                Arc::new(Account {
+                    owner: "a".into(),
+                    balance: av.balance - 30,
+                }),
+            )?;
+            tx.put(
+                b,
+                Arc::new(Account {
+                    owner: "b".into(),
+                    balance: bv.balance + 30,
+                }),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+
+    // A second object store over the same chunk store (cold cache).
+    let fresh = ObjectStore::new(
+        Arc::clone(fx.store.chunks()),
+        registry(),
+        ObjectStoreConfig::default(),
+    );
+    let mut tx = fresh.begin();
+    assert_eq!(tx.get::<Account>(a).unwrap().balance, 70);
+    assert_eq!(tx.get::<Account>(b).unwrap().balance, 30);
+    tx.abort();
+}
+
+#[test]
+fn conflicting_writers_serialize_or_timeout() {
+    let fx = fixture();
+    let id = {
+        let mut tx = fx.store.begin();
+        let id = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: "shared".into(),
+                    balance: 0,
+                }),
+            )
+            .unwrap();
+        tx.commit().unwrap();
+        id
+    };
+    // 8 concurrent increments; timeouts retried by `run`.
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let store = Arc::clone(&fx.store);
+            std::thread::spawn(move || {
+                store.run(|tx| {
+                    let v = tx.get::<Account>(id)?;
+                    tx.put(
+                        id,
+                        Arc::new(Account {
+                            owner: "shared".into(),
+                            balance: v.balance + 1,
+                        }),
+                    )
+                })
+            })
+        })
+        .collect();
+    let mut succeeded = 0;
+    for t in threads {
+        if t.join().unwrap().is_ok() {
+            succeeded += 1;
+        }
+    }
+    let mut tx = fx.store.begin();
+    let v = tx.get::<Account>(id).unwrap();
+    tx.abort();
+    assert_eq!(
+        v.balance as usize, succeeded,
+        "each successful transaction incremented exactly once"
+    );
+    assert!(succeeded >= 1);
+}
+
+#[test]
+fn cache_serves_repeat_reads() {
+    let fx = fixture();
+    let id = {
+        let mut tx = fx.store.begin();
+        let id = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: "hot".into(),
+                    balance: 9,
+                }),
+            )
+            .unwrap();
+        tx.commit().unwrap();
+        id
+    };
+    for _ in 0..10 {
+        let mut tx = fx.store.begin();
+        let _ = tx.get::<Account>(id).unwrap();
+        tx.abort();
+    }
+    let (hits, _misses) = fx.store.cache_stats();
+    assert!(hits >= 9, "repeat reads served from cache, hits={hits}");
+}
+
+#[test]
+fn untracked_read_and_invalidate() {
+    let fx = fixture();
+    let id = {
+        let mut tx = fx.store.begin();
+        let id = tx
+            .create(
+                fx.partition,
+                Arc::new(License {
+                    good: "movie".into(),
+                    uses_left: 1,
+                }),
+            )
+            .unwrap();
+        tx.commit().unwrap();
+        id
+    };
+    let obj = fx.store.get_untracked(id).unwrap();
+    assert_eq!(obj.type_tag(), 2);
+    fx.store.invalidate_cache();
+    let obj = fx.store.get_untracked(id).unwrap();
+    assert_eq!(obj.type_tag(), 2);
+}
+
+#[test]
+fn use_after_finish_rejected() {
+    let fx = fixture();
+    let tx = fx.store.begin();
+    tx.commit().unwrap();
+    // The moved-out commit consumes tx; create a fresh one and abort it,
+    // then check ObjectId helpers stay consistent.
+    let id = ObjectId::from_parts(fx.partition, 5);
+    assert_eq!(id.partition(), fx.partition);
+    assert_eq!(id.rank(), 5);
+}
+
+#[test]
+fn put_on_missing_object_fails() {
+    let fx = fixture();
+    let mut tx = fx.store.begin();
+    let bogus = ObjectId::from_parts(fx.partition, 424242);
+    let err = tx
+        .put(
+            bogus,
+            Arc::new(Account {
+                owner: "ghost".into(),
+                balance: 0,
+            }),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ObjectError::NotFound(_)), "got {err:?}");
+    tx.abort();
+}
+
+// ---------------------------------------------------------------------------
+// Steal buffering (paper §10).
+// ---------------------------------------------------------------------------
+
+fn steal_fixture(threshold: usize) -> Fixture {
+    let fx = fixture();
+    let store = Arc::new(ObjectStore::new(
+        Arc::clone(fx.store.chunks()),
+        registry(),
+        ObjectStoreConfig {
+            cache_bytes: 64 * 1024,
+            lock_timeout: Duration::from_millis(100),
+            steal_threshold_bytes: threshold,
+        },
+    ));
+    Fixture {
+        store,
+        partition: fx.partition,
+    }
+}
+
+#[test]
+fn large_transaction_spills_and_commits() {
+    // A transaction mutating far more than the steal threshold: dirty
+    // objects spill to the chunk store mid-transaction, and the commit
+    // still applies everything atomically.
+    let fx = steal_fixture(4 * 1024);
+    let mut tx = fx.store.begin();
+    let mut ids = Vec::new();
+    for i in 0..40u32 {
+        let id = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: format!("bulk-{i}"),
+                    balance: i64::from(i),
+                }),
+            )
+            .unwrap();
+        ids.push(id);
+        // Pad the pickled size by writing a long owner string.
+        tx.put(
+            id,
+            Arc::new(Account {
+                owner: format!("bulk-{i}-{}", "x".repeat(400)),
+                balance: i64::from(i),
+            }),
+        )
+        .unwrap();
+    }
+    assert!(tx.spilled_writes() > 0, "nothing was stolen");
+    tx.commit().unwrap();
+
+    let mut tx = fx.store.begin();
+    for (i, id) in ids.iter().enumerate() {
+        let account = tx.get::<Account>(*id).unwrap();
+        assert_eq!(account.balance, i as i64);
+        assert!(account.owner.starts_with(&format!("bulk-{i}-")));
+    }
+    tx.abort();
+}
+
+#[test]
+fn spilled_writes_visible_inside_transaction() {
+    let fx = steal_fixture(512);
+    let mut tx = fx.store.begin();
+    let id = tx
+        .create(
+            fx.partition,
+            Arc::new(Account {
+                owner: "spillme".into(),
+                balance: 7,
+            }),
+        )
+        .unwrap();
+    // Force spilling with more writes.
+    for i in 0..10u32 {
+        tx.create(
+            fx.partition,
+            Arc::new(Account {
+                owner: format!("filler-{}-{}", i, "y".repeat(200)),
+                balance: 0,
+            }),
+        )
+        .unwrap();
+    }
+    assert!(tx.spilled_writes() > 0);
+    // Reads see the spilled (uncommitted) value.
+    let account = tx.get::<Account>(id).unwrap();
+    assert_eq!(account.owner, "spillme");
+    assert_eq!(account.balance, 7);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn aborted_spills_leave_no_state() {
+    let fx = steal_fixture(256);
+    let id = {
+        let mut tx = fx.store.begin();
+        let id = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: "stable".into(),
+                    balance: 1,
+                }),
+            )
+            .unwrap();
+        tx.commit().unwrap();
+        id
+    };
+    {
+        let mut tx = fx.store.begin();
+        for i in 0..8u32 {
+            tx.put(
+                id,
+                Arc::new(Account {
+                    owner: format!("doomed-{}-{}", i, "z".repeat(150)),
+                    balance: -1,
+                }),
+            )
+            .unwrap();
+        }
+        assert!(tx.spilled_writes() > 0 || tx.pending_writes() > 0);
+        tx.abort();
+    }
+    let mut tx = fx.store.begin();
+    let account = tx.get::<Account>(id).unwrap();
+    assert_eq!(account.owner, "stable");
+    assert_eq!(account.balance, 1);
+    tx.abort();
+}
+
+#[test]
+fn superseded_and_deleted_spills_are_reclaimed() {
+    // Spill an object, overwrite it (superseding the spill), spill again,
+    // then delete it: all scratch chunks must be reclaimed and the final
+    // state must be the delete.
+    let fx = steal_fixture(300);
+    let id = {
+        let mut tx = fx.store.begin();
+        let id = tx
+            .create(
+                fx.partition,
+                Arc::new(Account {
+                    owner: "victim".into(),
+                    balance: 0,
+                }),
+            )
+            .unwrap();
+        tx.commit().unwrap();
+        id
+    };
+    let mut tx = fx.store.begin();
+    for round in 0..6u32 {
+        tx.put(
+            id,
+            Arc::new(Account {
+                owner: format!("round-{round}-{}", "p".repeat(180)),
+                balance: i64::from(round),
+            }),
+        )
+        .unwrap();
+    }
+    // At least one spill must have been superseded by a later write.
+    assert!(tx.pending_writes() >= 6);
+    tx.delete(id).unwrap();
+    tx.commit().unwrap();
+
+    let mut tx = fx.store.begin();
+    assert!(matches!(
+        tx.get::<Account>(id),
+        Err(ObjectError::NotFound(_))
+    ));
+    tx.abort();
+}
+
+#[test]
+fn spill_roundtrip_through_scratch_preserves_types() {
+    // A spilled object read back inside the transaction must still
+    // type-check and downcast correctly.
+    let fx = steal_fixture(64);
+    let mut tx = fx.store.begin();
+    let license = tx
+        .create(
+            fx.partition,
+            Arc::new(License {
+                good: format!("long-title-{}", "t".repeat(120)),
+                uses_left: 9,
+            }),
+        )
+        .unwrap();
+    let account = tx
+        .create(
+            fx.partition,
+            Arc::new(Account {
+                owner: format!("owner-{}", "o".repeat(120)),
+                balance: 5,
+            }),
+        )
+        .unwrap();
+    assert!(tx.spilled_writes() > 0);
+    // Wrong-type reads of spilled objects still fail cleanly.
+    assert!(matches!(
+        tx.get::<Account>(license),
+        Err(ObjectError::TypeMismatch { .. })
+    ));
+    assert_eq!(tx.get::<License>(license).unwrap().uses_left, 9);
+    assert_eq!(tx.get::<Account>(account).unwrap().balance, 5);
+    tx.commit().unwrap();
+}

@@ -1,0 +1,381 @@
+//! Fault-injection wrappers over the untrusted store.
+//!
+//! TDB's whole point is surviving an adversarial or failing untrusted store:
+//! crashes must be recoverable (§4.8) and any tampering must be *detected*
+//! (§4.1). These wrappers let tests simulate both without real hardware:
+//!
+//! - [`CrashStore`] buffers unflushed writes like a volatile disk cache. A
+//!   simulated crash discards (all or a torn prefix of) the unflushed
+//!   writes, producing the on-disk image a fail-stop power loss would leave.
+//! - [`TamperStore`] passes everything through but exposes byte-level
+//!   mutation hooks, playing the role of the paper's hostile host.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::stats::StoreStats;
+use crate::untrusted::UntrustedStore;
+use crate::{Result, StoreError};
+
+/// One buffered (not yet durable) write.
+#[derive(Clone)]
+struct PendingWrite {
+    offset: u64,
+    data: Vec<u8>,
+}
+
+/// A write-back cache simulation for crash testing.
+///
+/// Writes are applied to the inner store immediately (so reads see them) but
+/// are *also* journaled; [`CrashStore::crash`] reconstructs the image that
+/// would exist had the machine lost power: everything up to the last flush,
+/// plus an arbitrary prefix of the writes after it.
+pub struct CrashStore {
+    inner: Arc<dyn UntrustedStore>,
+    /// Image as of the last flush.
+    flushed_image: Mutex<Vec<u8>>,
+    /// Writes since the last flush, in order.
+    pending: Mutex<Vec<PendingWrite>>,
+    /// When set, all operations fail — the "machine" is down.
+    halted: AtomicBool,
+    /// Total writes observed (used by tests to pick crash points).
+    write_count: AtomicU64,
+}
+
+impl CrashStore {
+    /// Wraps `inner`, capturing its current contents as the flushed image.
+    pub fn new(inner: Arc<dyn UntrustedStore>) -> Result<Self> {
+        let len = inner.len()?;
+        let mut image = vec![0u8; len as usize];
+        if len > 0 {
+            inner.read_at(0, &mut image)?;
+        }
+        Ok(CrashStore {
+            inner,
+            flushed_image: Mutex::new(image),
+            pending: Mutex::new(Vec::new()),
+            halted: AtomicBool::new(false),
+            write_count: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of `write_at` calls so far.
+    pub fn write_count(&self) -> u64 {
+        self.write_count.load(Ordering::Relaxed)
+    }
+
+    /// Simulates a fail-stop crash, keeping only the first
+    /// `surviving_pending` of the unflushed writes (a torn tail). Returns
+    /// the post-crash disk image; the store halts and rejects further use.
+    pub fn crash(&self, surviving_pending: usize) -> Vec<u8> {
+        self.halted.store(true, Ordering::SeqCst);
+        let mut image = self.flushed_image.lock().clone();
+        let pending = self.pending.lock();
+        for w in pending.iter().take(surviving_pending) {
+            let end = w.offset as usize + w.data.len();
+            if end > image.len() {
+                image.resize(end, 0);
+            }
+            image[w.offset as usize..end].copy_from_slice(&w.data);
+        }
+        image
+    }
+
+    /// Simulates a crash where every unflushed write is lost.
+    pub fn crash_lose_all(&self) -> Vec<u8> {
+        self.crash(0)
+    }
+
+    /// Simulates a crash where every pending write survived (the crash
+    /// happened after the device wrote its cache but before an explicit
+    /// flush returned).
+    pub fn crash_keep_all(&self) -> Vec<u8> {
+        self.crash(usize::MAX)
+    }
+
+    /// Number of writes currently pending (not yet flushed).
+    pub fn pending_writes(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    fn check_halted(&self) -> Result<()> {
+        if self.halted.load(Ordering::SeqCst) {
+            Err(StoreError::InjectedFault("store crashed"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl UntrustedStore for CrashStore {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_halted()?;
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_halted()?;
+        self.write_count.fetch_add(1, Ordering::Relaxed);
+        self.pending.lock().push(PendingWrite {
+            offset,
+            data: data.to_vec(),
+        });
+        self.inner.write_at(offset, data)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.check_halted()?;
+        self.inner.flush()?;
+        // Promote the live image to "durable".
+        let len = self.inner.len()?;
+        let mut image = vec![0u8; len as usize];
+        if len > 0 {
+            self.inner.read_at(0, &mut image)?;
+        }
+        *self.flushed_image.lock() = image;
+        self.pending.lock().clear();
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.check_halted()?;
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.check_halted()?;
+        self.inner.set_len(len)
+    }
+
+    fn stats(&self) -> Arc<StoreStats> {
+        self.inner.stats()
+    }
+}
+
+/// A store that starts failing with I/O errors after a programmed number
+/// of writes — the transient-fault injector used to verify that a
+/// mid-commit storage failure poisons the engine instead of corrupting it.
+pub struct ErrorStore {
+    inner: Arc<dyn UntrustedStore>,
+    /// Writes remaining before failures begin (u64::MAX = never).
+    writes_until_failure: AtomicU64,
+    /// When set, failures stop again (for recovery-after-transient tests).
+    healed: AtomicBool,
+}
+
+impl ErrorStore {
+    /// Wraps `inner`; healthy until [`ErrorStore::fail_after_writes`].
+    pub fn new(inner: Arc<dyn UntrustedStore>) -> ErrorStore {
+        ErrorStore {
+            inner,
+            writes_until_failure: AtomicU64::new(u64::MAX),
+            healed: AtomicBool::new(false),
+        }
+    }
+
+    /// Arms the injector: the next `n` writes succeed, then all writes and
+    /// flushes fail until [`ErrorStore::heal`].
+    pub fn fail_after_writes(&self, n: u64) {
+        self.healed.store(false, Ordering::SeqCst);
+        self.writes_until_failure.store(n, Ordering::SeqCst);
+    }
+
+    /// Stops injecting failures.
+    pub fn heal(&self) {
+        self.healed.store(true, Ordering::SeqCst);
+    }
+
+    fn check_write(&self) -> Result<()> {
+        if self.healed.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let remaining = self.writes_until_failure.load(Ordering::SeqCst);
+        if remaining == 0 {
+            return Err(StoreError::InjectedFault("write failure"));
+        }
+        if remaining != u64::MAX {
+            self.writes_until_failure.fetch_sub(1, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
+impl UntrustedStore for ErrorStore {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_write()?;
+        self.inner.write_at(offset, data)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.check_write()?;
+        self.inner.flush()
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn stats(&self) -> Arc<StoreStats> {
+        self.inner.stats()
+    }
+}
+
+/// A pass-through store with explicit tampering hooks, playing the paper's
+/// untrusted host that "has the opportunity to alter its state for
+/// unauthorized benefits" (§1).
+pub struct TamperStore {
+    inner: Arc<dyn UntrustedStore>,
+    tamper_count: AtomicU64,
+}
+
+impl TamperStore {
+    /// Wraps `inner`.
+    pub fn new(inner: Arc<dyn UntrustedStore>) -> Self {
+        TamperStore {
+            inner,
+            tamper_count: AtomicU64::new(0),
+        }
+    }
+
+    /// XORs `mask` over the byte at `offset` (bypassing the trusted program,
+    /// as an attacker with raw device access would).
+    pub fn flip_byte(&self, offset: u64, mask: u8) -> Result<()> {
+        let mut b = [0u8; 1];
+        self.inner.read_at(offset, &mut b)?;
+        b[0] ^= mask;
+        self.inner.write_at(offset, &b)?;
+        self.tamper_count.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Overwrites `len` bytes at `offset` with a copy of the bytes at
+    /// `src_offset` — a splicing/replay primitive.
+    pub fn splice(&self, src_offset: u64, offset: u64, len: usize) -> Result<()> {
+        let mut buf = vec![0u8; len];
+        self.inner.read_at(src_offset, &mut buf)?;
+        self.inner.write_at(offset, &buf)?;
+        self.tamper_count.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads raw bytes without any validation (the attacker's view).
+    pub fn peek(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.inner.read_at(offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Number of tampering actions performed.
+    pub fn tamper_count(&self) -> u64 {
+        self.tamper_count.load(Ordering::Relaxed)
+    }
+}
+
+impl UntrustedStore for TamperStore {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.inner.write_at(offset, data)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn stats(&self) -> Arc<StoreStats> {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::untrusted::MemStore;
+
+    #[test]
+    fn crash_loses_unflushed_writes() {
+        let mem = Arc::new(MemStore::new());
+        let cs = CrashStore::new(mem).unwrap();
+        cs.write_at(0, b"durable").unwrap();
+        cs.flush().unwrap();
+        cs.write_at(0, b"ephemer").unwrap();
+        assert_eq!(cs.pending_writes(), 1);
+
+        // Reads see the latest write before the crash.
+        let mut buf = [0u8; 7];
+        cs.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ephemer");
+
+        let image = cs.crash_lose_all();
+        assert_eq!(&image[..7], b"durable");
+
+        // The store is halted after a crash.
+        assert!(matches!(
+            cs.read_at(0, &mut buf),
+            Err(StoreError::InjectedFault(_))
+        ));
+    }
+
+    #[test]
+    fn torn_crash_keeps_prefix_of_pending() {
+        let mem = Arc::new(MemStore::new());
+        let cs = CrashStore::new(mem).unwrap();
+        cs.write_at(0, b"AAAA").unwrap();
+        cs.flush().unwrap();
+        cs.write_at(0, b"BBBB").unwrap();
+        cs.write_at(4, b"CCCC").unwrap();
+        let image = cs.crash(1);
+        assert_eq!(&image, b"BBBB");
+    }
+
+    #[test]
+    fn crash_keep_all_includes_every_pending_write() {
+        let mem = Arc::new(MemStore::new());
+        let cs = CrashStore::new(mem).unwrap();
+        cs.write_at(0, b"XX").unwrap();
+        cs.write_at(2, b"YY").unwrap();
+        let image = cs.crash_keep_all();
+        assert_eq!(&image, b"XXYY");
+    }
+
+    #[test]
+    fn crash_store_captures_preexisting_content() {
+        let mem = Arc::new(MemStore::new());
+        mem.write_at(0, b"old").unwrap();
+        let cs = CrashStore::new(Arc::clone(&mem) as Arc<dyn UntrustedStore>).unwrap();
+        cs.write_at(0, b"new").unwrap();
+        assert_eq!(cs.crash_lose_all(), b"old");
+    }
+
+    #[test]
+    fn tamper_store_flip_and_splice() {
+        let mem = Arc::new(MemStore::new());
+        let ts = TamperStore::new(mem);
+        ts.write_at(0, &[1, 2, 3, 4, 5, 6]).unwrap();
+        ts.flip_byte(1, 0xF0).unwrap();
+        assert_eq!(ts.peek(0, 6).unwrap(), vec![1, 2 ^ 0xF0, 3, 4, 5, 6]);
+        ts.splice(0, 4, 2).unwrap();
+        assert_eq!(ts.peek(4, 2).unwrap(), vec![1, 2 ^ 0xF0]);
+        assert_eq!(ts.tamper_count(), 2);
+    }
+}

@@ -1,0 +1,486 @@
+//! An on-page B+-tree keyed by byte strings.
+//!
+//! Nodes are decoded from and re-encoded to whole pages; a node splits when
+//! its encoding would overflow the page. Keys are unique (a put replaces
+//! the previous value), as in a conventional embedded KV database.
+
+use crate::pager::{Pager, PAGE_SIZE};
+use crate::{Result, XdbError};
+
+/// Maximum key size.
+pub const MAX_KEY: usize = 512;
+/// Maximum value size.
+pub const MAX_VALUE: usize = 2048;
+/// Split threshold: leave room so any single extra entry still encodes.
+const SPLIT_AT: usize = PAGE_SIZE - (MAX_KEY + MAX_VALUE + 16);
+
+const LEAF: u8 = 1;
+const INTERNAL: u8 = 2;
+
+/// A decoded node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    Leaf {
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    Internal {
+        seps: Vec<Vec<u8>>,
+        children: Vec<u32>,
+    },
+}
+
+impl Node {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; 3];
+        match self {
+            Node::Leaf { entries } => {
+                out[0] = LEAF;
+                out[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (k, v) in entries {
+                    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(v);
+                }
+            }
+            Node::Internal { seps, children } => {
+                out[0] = INTERNAL;
+                out[1..3].copy_from_slice(&(seps.len() as u16).to_le_bytes());
+                for (sep, child) in seps.iter().zip(children.iter()) {
+                    out.extend_from_slice(&(sep.len() as u16).to_le_bytes());
+                    out.extend_from_slice(sep);
+                    out.extend_from_slice(&child.to_le_bytes());
+                }
+                out.extend_from_slice(&children.last().expect("n+1 children").to_le_bytes());
+            }
+        }
+        debug_assert!(out.len() <= PAGE_SIZE, "node overflows page: {}", out.len());
+        out.resize(PAGE_SIZE, 0);
+        out
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            Node::Leaf { entries } => {
+                3 + entries
+                    .iter()
+                    .map(|(k, v)| 4 + k.len() + v.len())
+                    .sum::<usize>()
+            }
+            Node::Internal { seps, children } => {
+                3 + seps.iter().map(|s| 2 + s.len() + 4).sum::<usize>()
+                    + 4 * (children.len() - seps.len())
+            }
+        }
+    }
+
+    fn decode(page: &[u8]) -> Result<Node> {
+        let bad = |what: &str| XdbError::Corrupt(format!("btree node: {what}"));
+        if page.len() < 3 {
+            return Err(bad("short page"));
+        }
+        let n = u16::from_le_bytes(page[1..3].try_into().unwrap()) as usize;
+        let mut off = 3usize;
+        match page[0] {
+            LEAF => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if off + 4 > page.len() {
+                        return Err(bad("truncated leaf entry"));
+                    }
+                    let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+                    let vlen =
+                        u16::from_le_bytes(page[off + 2..off + 4].try_into().unwrap()) as usize;
+                    off += 4;
+                    if off + klen + vlen > page.len() {
+                        return Err(bad("truncated leaf payload"));
+                    }
+                    entries.push((
+                        page[off..off + klen].to_vec(),
+                        page[off + klen..off + klen + vlen].to_vec(),
+                    ));
+                    off += klen + vlen;
+                }
+                Ok(Node::Leaf { entries })
+            }
+            INTERNAL => {
+                let mut seps = Vec::with_capacity(n);
+                let mut children = Vec::with_capacity(n + 1);
+                for _ in 0..n {
+                    if off + 2 > page.len() {
+                        return Err(bad("truncated separator"));
+                    }
+                    let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+                    off += 2;
+                    if off + klen + 4 > page.len() {
+                        return Err(bad("truncated separator payload"));
+                    }
+                    seps.push(page[off..off + klen].to_vec());
+                    off += klen;
+                    children.push(u32::from_le_bytes(page[off..off + 4].try_into().unwrap()));
+                    off += 4;
+                }
+                if off + 4 > page.len() {
+                    return Err(bad("missing last child"));
+                }
+                children.push(u32::from_le_bytes(page[off..off + 4].try_into().unwrap()));
+                Ok(Node::Internal { seps, children })
+            }
+            other => Err(bad(&format!("unknown node type {other}"))),
+        }
+    }
+}
+
+/// B+-tree operations over a pager. The root page lives in the pager meta.
+pub struct BTree;
+
+impl BTree {
+    fn load(pager: &mut Pager, page_no: u32) -> Result<Node> {
+        Node::decode(pager.read(page_no)?)
+    }
+
+    fn save(pager: &mut Pager, page_no: u32, node: &Node) {
+        pager.write(page_no, node.encode());
+    }
+
+    /// Looks a key up.
+    pub fn get(pager: &mut Pager, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page_no = pager.meta.root;
+        if page_no == 0 {
+            return Ok(None);
+        }
+        loop {
+            match Self::load(pager, page_no)? {
+                Node::Leaf { entries } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone()))
+                }
+                Node::Internal { seps, children } => {
+                    page_no = children[child_slot(&seps, key)];
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces; returns the previous value if any.
+    pub fn put(pager: &mut Pager, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        if key.len() > MAX_KEY {
+            return Err(XdbError::TooLarge {
+                what: "key",
+                size: key.len(),
+                max: MAX_KEY,
+            });
+        }
+        if value.len() > MAX_VALUE {
+            return Err(XdbError::TooLarge {
+                what: "value",
+                size: value.len(),
+                max: MAX_VALUE,
+            });
+        }
+        if pager.meta.root == 0 {
+            let root = pager.allocate()?;
+            Self::save(
+                pager,
+                root,
+                &Node::Leaf {
+                    entries: vec![(key.to_vec(), value.to_vec())],
+                },
+            );
+            pager.meta.root = root;
+            return Ok(None);
+        }
+        let root = pager.meta.root;
+        let (old, split) = Self::put_rec(pager, root, key, value)?;
+        if let Some((sep, right)) = split {
+            let new_root = pager.allocate()?;
+            Self::save(
+                pager,
+                new_root,
+                &Node::Internal {
+                    seps: vec![sep],
+                    children: vec![root, right],
+                },
+            );
+            pager.meta.root = new_root;
+        }
+        Ok(old)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn put_rec(
+        pager: &mut Pager,
+        page_no: u32,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(Option<Vec<u8>>, Option<(Vec<u8>, u32)>)> {
+        let mut node = Self::load(pager, page_no)?;
+        let old = match &mut node {
+            Node::Leaf { entries } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut entries[i].1, value.to_vec());
+                        Some(old)
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        None
+                    }
+                }
+            }
+            Node::Internal { seps, children } => {
+                let slot = child_slot(seps, key);
+                let child = children[slot];
+                let (old, split) = Self::put_rec(pager, child, key, value)?;
+                if let Some((sep, right)) = split {
+                    seps.insert(slot, sep);
+                    children.insert(slot + 1, right);
+                }
+                old
+            }
+        };
+        if node.encoded_len() <= SPLIT_AT {
+            Self::save(pager, page_no, &node);
+            return Ok((old, None));
+        }
+        // Split the node.
+        let (sep, right_node) = match &mut node {
+            Node::Leaf { entries } => {
+                let mid = entries.len() / 2;
+                let right = entries.split_off(mid);
+                (right[0].0.clone(), Node::Leaf { entries: right })
+            }
+            Node::Internal { seps, children } => {
+                let mid = seps.len() / 2;
+                let mut right_seps = seps.split_off(mid);
+                let sep = right_seps.remove(0);
+                let right_children = children.split_off(mid + 1);
+                (
+                    sep,
+                    Node::Internal {
+                        seps: right_seps,
+                        children: right_children,
+                    },
+                )
+            }
+        };
+        let right_page = pager.allocate()?;
+        Self::save(pager, right_page, &right_node);
+        Self::save(pager, page_no, &node);
+        Ok((old, Some((sep, right_page))))
+    }
+
+    /// Deletes a key; returns the removed value if present.
+    pub fn delete(pager: &mut Pager, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if pager.meta.root == 0 {
+            return Ok(None);
+        }
+        let root = pager.meta.root;
+        let removed = Self::delete_rec(pager, root, key)?;
+        // Collapse a root chain: an internal root with one child.
+        loop {
+            match Self::load(pager, pager.meta.root)? {
+                Node::Internal { seps, children } if seps.is_empty() => {
+                    let old_root = pager.meta.root;
+                    pager.meta.root = children[0];
+                    pager.free(old_root);
+                }
+                _ => break,
+            }
+        }
+        Ok(removed)
+    }
+
+    fn delete_rec(pager: &mut Pager, page_no: u32, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut node = Self::load(pager, page_no)?;
+        match &mut node {
+            Node::Leaf { entries } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let (_, v) = entries.remove(i);
+                        Self::save(pager, page_no, &node);
+                        Ok(Some(v))
+                    }
+                    Err(_) => Ok(None),
+                }
+            }
+            Node::Internal { seps, children } => {
+                let slot = child_slot(seps, key);
+                let child = children[slot];
+                let removed = Self::delete_rec(pager, child, key)?;
+                if removed.is_some() {
+                    // Prune an empty leaf child.
+                    if let Node::Leaf { entries } = Self::load(pager, child)? {
+                        if entries.is_empty() && children.len() > 1 {
+                            let sep_at = if slot == 0 { 0 } else { slot - 1 };
+                            seps.remove(sep_at);
+                            children.remove(slot);
+                            Self::save(pager, page_no, &node);
+                            pager.free(child);
+                        }
+                    }
+                }
+                Ok(removed)
+            }
+        }
+    }
+
+    /// All `(key, value)` pairs with `lo ≤ key < hi`, in order.
+    pub fn range(
+        pager: &mut Pager,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        if pager.meta.root != 0 {
+            let root = pager.meta.root;
+            Self::range_rec(pager, root, lo, hi, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn range_rec(
+        pager: &mut Pager,
+        page_no: u32,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<()> {
+        match Self::load(pager, page_no)? {
+            Node::Leaf { entries } => {
+                for (k, v) in entries {
+                    if lo.is_some_and(|lo| k.as_slice() < lo) {
+                        continue;
+                    }
+                    if hi.is_some_and(|hi| k.as_slice() >= hi) {
+                        break;
+                    }
+                    out.push((k, v));
+                }
+            }
+            Node::Internal { seps, children } => {
+                for (i, child) in children.iter().enumerate() {
+                    let subtree_min = if i == 0 { None } else { Some(&seps[i - 1]) };
+                    let subtree_max = seps.get(i);
+                    if let (Some(hi), Some(min)) = (hi, subtree_min) {
+                        if min.as_slice() >= hi {
+                            break;
+                        }
+                    }
+                    if let (Some(lo), Some(max)) = (lo, subtree_max) {
+                        if max.as_slice() <= lo {
+                            // Keys in this subtree are < max ≤ lo: skip. A
+                            // subtree may contain keys equal to its own max
+                            // only on the right side, so ≤ is safe here.
+                            continue;
+                        }
+                    }
+                    Self::range_rec(pager, *child, lo, hi, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Index of the child subtree for `key`: keys ≥ separator go right.
+fn child_slot(seps: &[Vec<u8>], key: &[u8]) -> usize {
+    match seps.binary_search_by(|s| s.as_slice().cmp(key)) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdb_storage::{MemStore, SharedUntrusted};
+
+    fn pager() -> Pager {
+        Pager::create(Arc::new(MemStore::new()) as SharedUntrusted, 256).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut p = pager();
+        assert_eq!(BTree::get(&mut p, b"missing").unwrap(), None);
+        assert_eq!(BTree::put(&mut p, b"k1", b"v1").unwrap(), None);
+        assert_eq!(BTree::get(&mut p, b"k1").unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(
+            BTree::put(&mut p, b"k1", b"v2").unwrap(),
+            Some(b"v1".to_vec())
+        );
+        assert_eq!(BTree::get(&mut p, b"k1").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(BTree::delete(&mut p, b"k1").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(BTree::get(&mut p, b"k1").unwrap(), None);
+        assert_eq!(BTree::delete(&mut p, b"k1").unwrap(), None);
+    }
+
+    #[test]
+    fn thousands_of_keys_split_pages() {
+        let mut p = pager();
+        for i in 0..3000u32 {
+            let k = format!("key-{:06}", i * 7 % 3000);
+            BTree::put(&mut p, k.as_bytes(), &[(i % 251) as u8; 64]).unwrap();
+        }
+        for i in (0..3000u32).step_by(97) {
+            let k = format!("key-{:06}", i * 7 % 3000);
+            assert!(BTree::get(&mut p, k.as_bytes()).unwrap().is_some(), "{k}");
+        }
+        let all = BTree::range(&mut p, None, None).unwrap();
+        assert_eq!(all.len(), 3000);
+        // Ordered.
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut p = pager();
+        for i in 0..100u32 {
+            BTree::put(&mut p, format!("k{i:03}").as_bytes(), b"v").unwrap();
+        }
+        let hits = BTree::range(&mut p, Some(b"k010"), Some(b"k020")).unwrap();
+        assert_eq!(hits.len(), 10);
+        assert_eq!(hits[0].0, b"k010");
+        assert_eq!(hits[9].0, b"k019");
+    }
+
+    #[test]
+    fn delete_many_then_reuse() {
+        let mut p = pager();
+        for i in 0..1000u32 {
+            BTree::put(&mut p, format!("k{i:04}").as_bytes(), &[1; 100]).unwrap();
+        }
+        for i in 0..1000u32 {
+            assert!(BTree::delete(&mut p, format!("k{i:04}").as_bytes())
+                .unwrap()
+                .is_some());
+        }
+        assert!(BTree::range(&mut p, None, None).unwrap().is_empty());
+        BTree::put(&mut p, b"fresh", b"start").unwrap();
+        assert_eq!(
+            BTree::get(&mut p, b"fresh").unwrap(),
+            Some(b"start".to_vec())
+        );
+    }
+
+    #[test]
+    fn size_limits_enforced() {
+        let mut p = pager();
+        assert!(matches!(
+            BTree::put(&mut p, &vec![0u8; MAX_KEY + 1], b"v"),
+            Err(XdbError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            BTree::put(&mut p, b"k", &vec![0u8; MAX_VALUE + 1]),
+            Err(XdbError::TooLarge { .. })
+        ));
+        // Max sizes are accepted.
+        BTree::put(&mut p, &vec![7u8; MAX_KEY], &vec![8u8; MAX_VALUE]).unwrap();
+    }
+}

@@ -1,0 +1,349 @@
+//! Fixed-size pages over an untrusted store, with a buffer cache.
+//!
+//! Page 0 is the meta page (magic, page count, free-list head, B-tree root).
+//! Freed pages chain through their first 4 bytes.
+
+use std::collections::HashMap;
+
+use tdb_storage::SharedUntrusted;
+
+use crate::{Result, XdbError};
+
+/// Page size in bytes (a conventional embedded-database default).
+pub const PAGE_SIZE: usize = 4096;
+
+/// The reserved meta page.
+pub const META_PAGE: u32 = 0;
+
+const MAGIC: u32 = 0x5844_4231; // "XDB1"
+
+/// Decoded meta page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meta {
+    /// Total pages allocated (including the meta page).
+    pub n_pages: u32,
+    /// Head of the free-page chain (0 = empty).
+    pub free_head: u32,
+    /// Root page of the B-tree (0 = no tree yet).
+    pub root: u32,
+    /// Commit sequence number.
+    pub commit_seq: u64,
+}
+
+impl Meta {
+    fn encode(&self) -> [u8; PAGE_SIZE] {
+        let mut page = [0u8; PAGE_SIZE];
+        page[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        page[4..8].copy_from_slice(&self.n_pages.to_le_bytes());
+        page[8..12].copy_from_slice(&self.free_head.to_le_bytes());
+        page[12..16].copy_from_slice(&self.root.to_le_bytes());
+        page[16..24].copy_from_slice(&self.commit_seq.to_le_bytes());
+        page
+    }
+
+    fn decode(page: &[u8]) -> Result<Meta> {
+        if page.len() < 24 || u32::from_le_bytes(page[0..4].try_into().unwrap()) != MAGIC {
+            return Err(XdbError::Corrupt("bad meta page".into()));
+        }
+        Ok(Meta {
+            n_pages: u32::from_le_bytes(page[4..8].try_into().unwrap()),
+            free_head: u32::from_le_bytes(page[8..12].try_into().unwrap()),
+            root: u32::from_le_bytes(page[12..16].try_into().unwrap()),
+            commit_seq: u64::from_le_bytes(page[16..24].try_into().unwrap()),
+        })
+    }
+}
+
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// The pager: page I/O plus a write-back buffer cache.
+pub struct Pager {
+    store: SharedUntrusted,
+    cache: HashMap<u32, Frame>,
+    /// Soft cap on cached pages; dirty pages are never evicted.
+    capacity: usize,
+    tick: u64,
+    pub(crate) meta: Meta,
+}
+
+impl Pager {
+    /// Formats a fresh database on `store`.
+    pub fn create(store: SharedUntrusted, capacity: usize) -> Result<Pager> {
+        let meta = Meta {
+            n_pages: 1,
+            free_head: 0,
+            root: 0,
+            commit_seq: 0,
+        };
+        store.write_at(0, &meta.encode())?;
+        store.flush()?;
+        Ok(Pager {
+            store,
+            cache: HashMap::new(),
+            capacity: capacity.max(16),
+            tick: 0,
+            meta,
+        })
+    }
+
+    /// Opens an existing database.
+    pub fn open(store: SharedUntrusted, capacity: usize) -> Result<Pager> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        store.read_at(0, &mut page)?;
+        let meta = Meta::decode(&page)?;
+        Ok(Pager {
+            store,
+            cache: HashMap::new(),
+            capacity: capacity.max(16),
+            tick: 0,
+            meta,
+        })
+    }
+
+    /// Current meta.
+    pub fn meta(&self) -> Meta {
+        self.meta
+    }
+
+    /// Reads a page (through the cache).
+    pub fn read(&mut self, page_no: u32) -> Result<&[u8]> {
+        self.tick += 1;
+        let tick = self.tick;
+        if !self.cache.contains_key(&page_no) {
+            let mut data = vec![0u8; PAGE_SIZE];
+            let offset = u64::from(page_no) * PAGE_SIZE as u64;
+            if offset + (PAGE_SIZE as u64) <= self.store.len()? {
+                self.store.read_at(offset, &mut data)?;
+            }
+            self.evict_if_needed();
+            self.cache.insert(
+                page_no,
+                Frame {
+                    data,
+                    dirty: false,
+                    last_used: tick,
+                },
+            );
+        }
+        let frame = self.cache.get_mut(&page_no).expect("just inserted");
+        frame.last_used = tick;
+        Ok(&frame.data)
+    }
+
+    /// Replaces a page's contents in the cache (made durable by
+    /// [`Pager::flush_dirty`]).
+    pub fn write(&mut self, page_no: u32, data: Vec<u8>) {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        self.tick += 1;
+        let tick = self.tick;
+        self.evict_if_needed();
+        self.cache.insert(
+            page_no,
+            Frame {
+                data,
+                dirty: true,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Allocates a page from the free list or by extending the file.
+    pub fn allocate(&mut self) -> Result<u32> {
+        if self.meta.free_head != 0 {
+            let page_no = self.meta.free_head;
+            let page = self.read(page_no)?;
+            let next = u32::from_le_bytes(page[0..4].try_into().expect("4 bytes"));
+            self.meta.free_head = next;
+            return Ok(page_no);
+        }
+        let page_no = self.meta.n_pages;
+        self.meta.n_pages += 1;
+        self.write(page_no, vec![0u8; PAGE_SIZE]);
+        Ok(page_no)
+    }
+
+    /// Returns a page to the free list.
+    pub fn free(&mut self, page_no: u32) {
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0..4].copy_from_slice(&self.meta.free_head.to_le_bytes());
+        self.write(page_no, page);
+        self.meta.free_head = page_no;
+    }
+
+    /// The dirty pages (number and image), for WAL logging.
+    pub fn dirty_pages(&self) -> Vec<(u32, Vec<u8>)> {
+        let mut out: Vec<(u32, Vec<u8>)> = self
+            .cache
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(n, f)| (*n, f.data.clone()))
+            .collect();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// Writes every dirty page (and the meta page) to the store and marks
+    /// them clean. Durability requires a subsequent [`Pager::flush_store`].
+    pub fn flush_dirty(&mut self) -> Result<()> {
+        let dirty: Vec<u32> = self
+            .cache
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(n, _)| *n)
+            .collect();
+        for page_no in dirty {
+            let frame = self.cache.get_mut(&page_no).expect("listed");
+            let offset = u64::from(page_no) * PAGE_SIZE as u64;
+            self.store.write_at(offset, &frame.data)?;
+            frame.dirty = false;
+        }
+        self.store.write_at(0, &self.meta.encode())?;
+        Ok(())
+    }
+
+    /// Syncs the backing store.
+    pub fn flush_store(&self) -> Result<()> {
+        self.store.flush()?;
+        Ok(())
+    }
+
+    /// Drops clean cached pages (crash-recovery reload).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Applies a full page image directly to the store (WAL redo).
+    pub fn apply_redo(&mut self, page_no: u32, image: &[u8]) -> Result<()> {
+        let offset = u64::from(page_no) * PAGE_SIZE as u64;
+        self.store.write_at(offset, image)?;
+        self.cache.remove(&page_no);
+        if page_no == META_PAGE {
+            self.meta = Meta::decode(image)?;
+        }
+        Ok(())
+    }
+
+    /// Dirty page count (for commit-cost accounting).
+    pub fn dirty_count(&self) -> usize {
+        self.cache.values().filter(|f| f.dirty).count()
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.cache.len() >= self.capacity {
+            let victim = self
+                .cache
+                .iter()
+                .filter(|(_, f)| !f.dirty)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(n, _)| *n);
+            match victim {
+                Some(n) => {
+                    self.cache.remove(&n);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Encoded meta page image (for WAL logging of the meta page).
+    pub fn meta_image(&self) -> Vec<u8> {
+        self.meta.encode().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdb_storage::MemStore;
+
+    fn pager() -> Pager {
+        Pager::create(Arc::new(MemStore::new()) as SharedUntrusted, 64).unwrap()
+    }
+
+    #[test]
+    fn create_open_meta_roundtrip() {
+        let store: SharedUntrusted = Arc::new(MemStore::new());
+        {
+            let mut p = Pager::create(Arc::clone(&store), 64).unwrap();
+            p.meta.root = 7;
+            p.meta.commit_seq = 3;
+            p.flush_dirty().unwrap();
+            p.flush_store().unwrap();
+        }
+        let p = Pager::open(store, 64).unwrap();
+        assert_eq!(p.meta().root, 7);
+        assert_eq!(p.meta().commit_seq, 3);
+    }
+
+    #[test]
+    fn allocate_write_read() {
+        let mut p = pager();
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        assert_ne!(a, b);
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[100] = 0xAB;
+        p.write(a, data);
+        assert_eq!(p.read(a).unwrap()[100], 0xAB);
+        assert_eq!(p.read(b).unwrap()[100], 0);
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let mut p = pager();
+        let a = p.allocate().unwrap();
+        let _b = p.allocate().unwrap();
+        p.free(a);
+        let c = p.allocate().unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn dirty_tracking_and_flush() {
+        let mut p = pager();
+        let a = p.allocate().unwrap();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 1;
+        p.write(a, data);
+        assert!(p.dirty_count() >= 1);
+        let dirty = p.dirty_pages();
+        assert!(dirty.iter().any(|(n, _)| *n == a));
+        p.flush_dirty().unwrap();
+        assert_eq!(p.dirty_count(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_dirty_pages() {
+        let mut p = Pager::create(Arc::new(MemStore::new()) as SharedUntrusted, 16).unwrap();
+        let dirty_page = p.allocate().unwrap();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[5] = 9;
+        p.write(dirty_page, data);
+        // Flood with clean reads.
+        for _i in 0..40u32 {
+            let n = p.allocate().unwrap();
+            p.write(n, vec![0u8; PAGE_SIZE]);
+        }
+        let _ = p.flush_dirty();
+        for i in 1..40u32 {
+            let _ = p.read(i).unwrap();
+        }
+        assert_eq!(p.read(dirty_page).unwrap()[5], 9);
+    }
+
+    #[test]
+    fn apply_redo_updates_meta() {
+        let mut p = pager();
+        let mut meta = p.meta();
+        meta.root = 42;
+        meta.commit_seq = 9;
+        let image = Meta::encode(&meta);
+        p.apply_redo(META_PAGE, &image).unwrap();
+        assert_eq!(p.meta().root, 42);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based testing of XDB against a `BTreeMap` model, with random
+//! checkpoints and crash-recovery reopens interleaved.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tdb_storage::{MemStore, SharedUntrusted};
+use tdb_xdb::{Xdb, XdbConfig, XdbOp};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u16),
+    Delete(u16),
+    Checkpoint,
+    Reopen,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            6 => (any::<u16>(), any::<u16>()).prop_map(|(k, v)| Op::Put(k % 500, v)),
+            3 => any::<u16>().prop_map(|k| Op::Delete(k % 500)),
+            1 => Just(Op::Checkpoint),
+            1 => Just(Op::Reopen),
+        ],
+        1..150,
+    )
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("key-{k:05}").into_bytes()
+}
+
+fn value(v: u16) -> Vec<u8> {
+    vec![(v % 251) as u8; 16 + (v as usize % 200)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn xdb_matches_btreemap_model(script in ops()) {
+        let data: Arc<MemStore> = Arc::new(MemStore::new());
+        let wal: Arc<MemStore> = Arc::new(MemStore::new());
+        let config = XdbConfig { cache_pages: 64, checkpoint_every: 10_000 };
+        let mut db = Xdb::create(
+            Arc::clone(&data) as SharedUntrusted,
+            Arc::clone(&wal) as SharedUntrusted,
+            config.clone(),
+        ).unwrap();
+        let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+
+        for op in script {
+            match op {
+                Op::Put(k, v) => {
+                    db.commit(vec![XdbOp::Put { key: key(k), value: value(v) }]).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    db.commit(vec![XdbOp::Delete { key: key(k) }]).unwrap();
+                    model.remove(&k);
+                }
+                Op::Checkpoint => db.checkpoint().unwrap(),
+                Op::Reopen => {
+                    drop(db);
+                    db = Xdb::open(
+                        Arc::clone(&data) as SharedUntrusted,
+                        Arc::clone(&wal) as SharedUntrusted,
+                        config.clone(),
+                    ).unwrap();
+                }
+            }
+        }
+
+        // Point lookups agree.
+        for (k, v) in &model {
+            prop_assert_eq!(db.get(&key(*k)).unwrap(), Some(value(*v)));
+        }
+        // Full scan agrees in order and content.
+        let scan = db.range(None, None).unwrap();
+        prop_assert_eq!(scan.len(), model.len());
+        for ((got_k, got_v), (k, v)) in scan.iter().zip(model.iter()) {
+            prop_assert_eq!(got_k, &key(*k));
+            prop_assert_eq!(got_v, &value(*v));
+        }
+        // A final crash-reopen preserves everything (WAL replay).
+        drop(db);
+        let db = Xdb::open(
+            Arc::clone(&data) as SharedUntrusted,
+            Arc::clone(&wal) as SharedUntrusted,
+            config,
+        ).unwrap();
+        for (k, v) in model.iter().take(30) {
+            prop_assert_eq!(db.get(&key(*k)).unwrap(), Some(value(*v)));
+        }
+    }
+}

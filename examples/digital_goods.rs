@@ -1,0 +1,316 @@
+//! Digital-goods vending: the paper's motivating scenario (§1) and the
+//! shape of its high-level benchmark (§9.5.1).
+//!
+//! A vendor *binds* contracts (pay-per-use, limited-trial, site-license) to
+//! digital goods; a consumer *releases* (acquires) a good under one of the
+//! contracts, which debits an account and mints a license. Collections with
+//! functional indexes answer "which goods does this vendor sell?", "which
+//! licenses does this consumer hold?", and price-range queries.
+//!
+//! ```sh
+//! cargo run --example digital_goods
+//! ```
+
+use std::any::Any;
+use std::sync::Arc;
+
+use tdb::{IndexKey, IndexKind, StoredObject, TrustedDbBuilder};
+use tdb_crypto::SecretKey;
+
+// ---------------------------------------------------------------------------
+// Schema.
+// ---------------------------------------------------------------------------
+
+const GOOD_TAG: u32 = 10;
+const CONTRACT_TAG: u32 = 11;
+const ACCOUNT_TAG: u32 = 12;
+const LICENSE_TAG: u32 = 13;
+
+#[derive(Debug, Clone)]
+struct Good {
+    sku: String,
+    vendor: String,
+    title: String,
+}
+
+#[derive(Debug, Clone)]
+struct Contract {
+    sku: String,
+    kind: String, // "pay-per-use" | "trial" | "site"
+    price_cents: i64,
+    max_uses: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Account {
+    owner: String,
+    cents: i64,
+}
+
+#[derive(Debug, Clone)]
+struct License {
+    owner: String,
+    sku: String,
+    contract_kind: String,
+    uses_left: u32,
+}
+
+macro_rules! pickle_strings_and_nums {
+    ($t:ty, $tag:expr, [$($s:ident),*], [$($n:ident : $nt:ty),*]) => {
+        impl StoredObject for $t {
+            fn type_tag(&self) -> u32 { $tag }
+            fn pickle(&self) -> Vec<u8> {
+                let mut out = Vec::new();
+                $(
+                    out.extend_from_slice(&(self.$s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(self.$s.as_bytes());
+                )*
+                $( out.extend_from_slice(&self.$n.to_le_bytes()); )*
+                out
+            }
+            fn as_any(&self) -> &dyn Any { self }
+        }
+    };
+}
+
+pickle_strings_and_nums!(Good, GOOD_TAG, [sku, vendor, title], []);
+pickle_strings_and_nums!(Contract, CONTRACT_TAG, [sku, kind], [price_cents: i64, max_uses: u32]);
+pickle_strings_and_nums!(Account, ACCOUNT_TAG, [owner], [cents: i64]);
+pickle_strings_and_nums!(License, LICENSE_TAG, [owner, sku, contract_kind], [uses_left: u32]);
+
+struct Cursor<'a>(&'a [u8], usize);
+impl Cursor<'_> {
+    fn string(&mut self) -> String {
+        let n = u32::from_le_bytes(self.0[self.1..self.1 + 4].try_into().unwrap()) as usize;
+        let s = String::from_utf8(self.0[self.1 + 4..self.1 + 4 + n].to_vec()).unwrap();
+        self.1 += 4 + n;
+        s
+    }
+    fn i64(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.0[self.1..self.1 + 8].try_into().unwrap());
+        self.1 += 8;
+        v
+    }
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.0[self.1..self.1 + 4].try_into().unwrap());
+        self.1 += 4;
+        v
+    }
+}
+
+fn unpickle_good(b: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
+    let mut c = Cursor(b, 0);
+    Ok(Arc::new(Good {
+        sku: c.string(),
+        vendor: c.string(),
+        title: c.string(),
+    }))
+}
+fn unpickle_contract(b: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
+    let mut c = Cursor(b, 0);
+    Ok(Arc::new(Contract {
+        sku: c.string(),
+        kind: c.string(),
+        price_cents: c.i64(),
+        max_uses: c.u32(),
+    }))
+}
+fn unpickle_account(b: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
+    let mut c = Cursor(b, 0);
+    Ok(Arc::new(Account {
+        owner: c.string(),
+        cents: c.i64(),
+    }))
+}
+fn unpickle_license(b: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
+    let mut c = Cursor(b, 0);
+    Ok(Arc::new(License {
+        owner: c.string(),
+        sku: c.string(),
+        contract_kind: c.string(),
+        uses_left: c.u32(),
+    }))
+}
+
+// Functional index key extractors (§8).
+fn good_by_vendor(o: &dyn StoredObject) -> Option<Vec<u8>> {
+    o.as_any()
+        .downcast_ref::<Good>()
+        .map(|g| IndexKey::new().str(&g.vendor).into_bytes())
+}
+fn contract_by_sku(o: &dyn StoredObject) -> Option<Vec<u8>> {
+    o.as_any()
+        .downcast_ref::<Contract>()
+        .map(|c| IndexKey::new().str(&c.sku).into_bytes())
+}
+fn contract_by_price(o: &dyn StoredObject) -> Option<Vec<u8>> {
+    o.as_any()
+        .downcast_ref::<Contract>()
+        .map(|c| IndexKey::new().i64(c.price_cents).into_bytes())
+}
+fn license_by_owner(o: &dyn StoredObject) -> Option<Vec<u8>> {
+    o.as_any()
+        .downcast_ref::<License>()
+        .map(|l| IndexKey::new().str(&l.owner).into_bytes())
+}
+
+fn main() {
+    let db = TrustedDbBuilder::new()
+        .secret(SecretKey::random(24))
+        .register_type(GOOD_TAG, unpickle_good)
+        .register_type(CONTRACT_TAG, unpickle_contract)
+        .register_type(ACCOUNT_TAG, unpickle_account)
+        .register_type(LICENSE_TAG, unpickle_license)
+        .register_extractor("good_by_vendor", good_by_vendor)
+        .register_extractor("contract_by_sku", contract_by_sku)
+        .register_extractor("contract_by_price", contract_by_price)
+        .register_extractor("license_by_owner", license_by_owner)
+        .build_in_memory()
+        .expect("create database");
+    let p = db.partition();
+
+    // Collections with indexes, as in the paper's benchmark setup.
+    let (goods, contracts, accounts, licenses) = db
+        .run(|tx| {
+            let cs = db.collections();
+            let goods = cs.create_collection(tx, p, "goods")?;
+            cs.add_index(tx, goods, "vendor", "good_by_vendor", IndexKind::Unsorted)?;
+            let contracts = cs.create_collection(tx, p, "contracts")?;
+            cs.add_index(tx, contracts, "sku", "contract_by_sku", IndexKind::Sorted)?;
+            cs.add_index(
+                tx,
+                contracts,
+                "price",
+                "contract_by_price",
+                IndexKind::Sorted,
+            )?;
+            let accounts = cs.create_collection(tx, p, "accounts")?;
+            let licenses = cs.create_collection(tx, p, "licenses")?;
+            cs.add_index(tx, licenses, "owner", "license_by_owner", IndexKind::Sorted)?;
+            Ok((goods, contracts, accounts, licenses))
+        })
+        .expect("set up collections");
+
+    // --- Bind: a vendor binds three alternative contracts to a good -------
+    for (i, title) in ["Sonata in G", "Field Recording", "Synthwave Set"]
+        .iter()
+        .enumerate()
+    {
+        let sku = format!("sku-{i:03}");
+        db.run(|tx| {
+            let cs = db.collections();
+            cs.insert(
+                tx,
+                goods,
+                Arc::new(Good {
+                    sku: sku.clone(),
+                    vendor: "harmonic-labs".into(),
+                    title: title.to_string(),
+                }),
+            )?;
+            for (kind, price, uses) in [
+                ("pay-per-use", 50, 1u32),
+                ("trial", 0, 3),
+                ("site", 5_000, u32::MAX),
+            ] {
+                cs.insert(
+                    tx,
+                    contracts,
+                    Arc::new(Contract {
+                        sku: sku.clone(),
+                        kind: kind.into(),
+                        price_cents: price,
+                        max_uses: uses,
+                    }),
+                )?;
+            }
+            Ok(())
+        })
+        .expect("bind");
+        println!("bound 3 contracts to {sku} ({title})");
+    }
+
+    // --- Release: a consumer picks a contract and acquires the good -------
+    let consumer = db
+        .run(|tx| {
+            db.collections().insert(
+                tx,
+                accounts,
+                Arc::new(Account {
+                    owner: "carol".into(),
+                    cents: 500,
+                }),
+            )
+        })
+        .expect("open account");
+
+    let sku = "sku-001";
+    db.run(|tx| {
+        let cs = db.collections();
+        // Find this good's contracts via the sku index, pick pay-per-use.
+        let key = IndexKey::new().str(sku).into_bytes();
+        let options = cs.lookup(tx, contracts, "sku", &key)?;
+        let chosen = options
+            .iter()
+            .map(|id| tx.get::<Contract>(*id))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .find(|c| c.kind == "pay-per-use")
+            .expect("pay-per-use offered");
+        // Debit the account.
+        let account = tx.get::<Account>(consumer)?;
+        assert!(account.cents >= chosen.price_cents, "insufficient funds");
+        tx.put(
+            consumer,
+            Arc::new(Account {
+                owner: account.owner.clone(),
+                cents: account.cents - chosen.price_cents,
+            }),
+        )?;
+        // Mint the license.
+        cs.insert(
+            tx,
+            licenses,
+            Arc::new(License {
+                owner: account.owner.clone(),
+                sku: sku.into(),
+                contract_kind: chosen.kind.clone(),
+                uses_left: chosen.max_uses,
+            }),
+        )?;
+        Ok(())
+    })
+    .expect("release");
+    println!("carol released {sku} under pay-per-use");
+
+    // --- Queries over the trusted state ------------------------------------
+    let (vendor_goods, cheap, carols) = db
+        .run(|tx| {
+            let cs = db.collections();
+            let vkey = IndexKey::new().str("harmonic-labs").into_bytes();
+            let vendor_goods = cs.lookup(tx, goods, "vendor", &vkey)?.len();
+            // Range query on encrypted data — possible because indexes are
+            // built over decrypted objects (§1.2).
+            let lo = IndexKey::new().i64(1).into_bytes();
+            let hi = IndexKey::new().i64(100).into_bytes();
+            let cheap = cs
+                .range(tx, contracts, "price", Some(&lo), Some(&hi))?
+                .len();
+            let okey = IndexKey::new().str("carol").into_bytes();
+            let carols = cs.lookup(tx, licenses, "owner", &okey)?.len();
+            Ok((vendor_goods, cheap, carols))
+        })
+        .expect("queries");
+    println!("harmonic-labs sells {vendor_goods} goods");
+    println!("{cheap} contracts priced in (0, 100) cents");
+    println!("carol holds {carols} license(s)");
+    assert_eq!((vendor_goods, cheap, carols), (3, 3, 1));
+
+    let balance = db
+        .run(|tx| tx.get::<Account>(consumer).map(|a| a.cents))
+        .expect("balance");
+    println!("carol's balance: {balance} cents");
+    assert_eq!(balance, 450);
+    db.close().expect("clean shutdown");
+    println!("ok");
+}

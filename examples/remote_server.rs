@@ -1,0 +1,112 @@
+//! TDB over an untrusted *server* (§1, §10): the database lives on a
+//! network store the client does not trust, with client-side write
+//! batching to cut round trips.
+//!
+//! "TDB may also be used to protect a database stored at an untrusted
+//! server. … This application of TDB may benefit from additional
+//! optimizations for reducing network round-trips to the untrusted server,
+//! such as batching reads and writes."
+//!
+//! ```sh
+//! cargo run --example remote_server
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tdb::{CommitOp, TrustedBackend, TrustedDbBuilder};
+use tdb_crypto::SecretKey;
+use tdb_storage::{
+    BatchingStore, CounterOverTrusted, MemArchive, MemStore, MemTrustedStore, RemoteStore,
+    SharedUntrusted, SimClock, TrustedStore,
+};
+
+fn main() {
+    // The "server": raw storage the client cannot trust. Every request
+    // pays a simulated 3 ms round trip, accounted on a virtual clock.
+    let server_disk = Arc::new(MemStore::new());
+    let network = Arc::new(SimClock::new(false));
+    let build_client = |batched: bool| -> SharedUntrusted {
+        let remote = Arc::new(RemoteStore::new(
+            Arc::clone(&server_disk) as SharedUntrusted,
+            Duration::from_millis(3),
+            Arc::clone(&network),
+        ));
+        if batched {
+            Arc::new(BatchingStore::new(remote))
+        } else {
+            remote
+        }
+    };
+
+    // The client device holds the trusted pieces: the secret key and the
+    // monotonic counter.
+    let secret = SecretKey::random(24);
+    let register = Arc::new(MemTrustedStore::new(64));
+    let backend = || {
+        TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+            Arc::clone(&register) as Arc<dyn TrustedStore>
+        )))
+    };
+
+    let db = TrustedDbBuilder::new()
+        .secret(secret.clone())
+        .create(build_client(true), backend(), Arc::new(MemArchive::new()))
+        .expect("create database on remote server");
+
+    network.reset();
+    let p = db.partition();
+    let mut chunks = Vec::new();
+    for i in 0..25u32 {
+        let c = db.chunks().allocate_chunk(p).expect("allocate");
+        db.chunks()
+            .commit(vec![CommitOp::WriteChunk {
+                id: c,
+                bytes: format!("entitlement record {i}").into_bytes(),
+            }])
+            .expect("write");
+        chunks.push(c);
+    }
+    println!(
+        "25 commits over the network: {:?} of simulated round-trip time (batched writes)",
+        network.elapsed()
+    );
+
+    // Everything reads back validated, through the cache-aware map walk.
+    network.reset();
+    for (i, c) in chunks.iter().enumerate() {
+        let data = db.chunks().read(*c).expect("read");
+        assert_eq!(data, format!("entitlement record {i}").as_bytes());
+    }
+    println!(
+        "25 validated reads: {:?} of simulated round-trip time",
+        network.elapsed()
+    );
+
+    // The server operator tampers with its own disk; the client detects it.
+    db.close().expect("close");
+    drop(db);
+    server_disk.tamper(2048, 0x80);
+    let reopened = TrustedDbBuilder::new().secret(secret).open(
+        build_client(true),
+        backend(),
+        Arc::new(MemArchive::new()),
+    );
+    match reopened {
+        Err(e) => println!("server-side tampering detected on reopen: {e}"),
+        Ok(db) => {
+            // The flipped byte may sit in untouched slack; every read is
+            // still validated.
+            let mut detected = false;
+            for c in &chunks {
+                if db.chunks().read(*c).is_err() {
+                    detected = true;
+                }
+            }
+            println!(
+                "server-side tampering: detected-on-read = {detected} (byte may be in slack space)"
+            );
+        }
+    }
+    println!("ok");
+}

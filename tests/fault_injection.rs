@@ -1,0 +1,171 @@
+//! Transient-fault injection: an untrusted store that starts failing with
+//! I/O errors mid-commit. The engine must fail closed (poisoned, no torn
+//! state served) and recover completely once the device heals.
+
+use std::sync::Arc;
+
+use tdb::{ChunkStore, ChunkStoreConfig, CommitOp, CryptoParams, TrustedBackend};
+use tdb_crypto::SecretKey;
+use tdb_storage::{
+    CounterOverTrusted, ErrorStore, MemStore, MemTrustedStore, SharedUntrusted, TrustedStore,
+};
+
+struct Rig {
+    secret: SecretKey,
+    register: Arc<MemTrustedStore>,
+    injector: Arc<ErrorStore>,
+}
+
+fn rig() -> (Rig, ChunkStore) {
+    let secret = SecretKey::random(24);
+    let register = Arc::new(MemTrustedStore::new(64));
+    let injector = Arc::new(ErrorStore::new(Arc::new(MemStore::new())));
+    let store = ChunkStore::create(
+        Arc::clone(&injector) as SharedUntrusted,
+        TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+            Arc::clone(&register) as Arc<dyn TrustedStore>
+        ))),
+        secret.clone(),
+        ChunkStoreConfig::default(),
+    )
+    .unwrap();
+    (
+        Rig {
+            secret,
+            register,
+            injector,
+        },
+        store,
+    )
+}
+
+impl Rig {
+    fn reopen(&self) -> tdb_core::Result<ChunkStore> {
+        ChunkStore::open(
+            Arc::clone(&self.injector) as SharedUntrusted,
+            TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+                Arc::clone(&self.register) as Arc<dyn TrustedStore>,
+            ))),
+            self.secret.clone(),
+            ChunkStoreConfig::default(),
+        )
+    }
+}
+
+#[test]
+fn mid_commit_write_failure_poisons_then_recovers() {
+    let (rig, store) = rig();
+    let p = store.allocate_partition().unwrap();
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .unwrap();
+    let good = store.allocate_chunk(p).unwrap();
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: good,
+            bytes: b"committed before the fault".to_vec(),
+        }])
+        .unwrap();
+
+    // Fail on every possible write index inside the next commit.
+    for fail_at in 0..6u64 {
+        rig.injector.fail_after_writes(fail_at);
+        let victim = store.allocate_chunk(p).unwrap();
+        let result = store.commit(vec![CommitOp::WriteChunk {
+            id: victim,
+            bytes: vec![0xEE; 700],
+        }]);
+        rig.injector.heal();
+        match result {
+            Ok(()) => {
+                // The commit squeaked through before the failure point.
+                assert_eq!(store.read(victim).unwrap(), vec![0xEE; 700]);
+                continue;
+            }
+            Err(_) => {
+                // The engine is poisoned: every further operation fails
+                // rather than serving possibly-inconsistent buffered state.
+                assert!(store.read(good).is_err());
+                assert!(store
+                    .commit(vec![CommitOp::DeallocChunk { id: good }])
+                    .is_err());
+                // Reopen on the healed device: acknowledged state intact,
+                // the torn commit absent.
+                let store = rig.reopen().expect("recovery after transient fault");
+                assert_eq!(store.read(good).unwrap(), b"committed before the fault");
+                assert!(store.read(victim).is_err());
+                // Fully usable again.
+                let c = store.allocate_chunk(p).unwrap();
+                store
+                    .commit(vec![CommitOp::WriteChunk {
+                        id: c,
+                        bytes: b"post-recovery".to_vec(),
+                    }])
+                    .unwrap();
+                return;
+            }
+        }
+    }
+    panic!("the injector never fired within the tested window");
+}
+
+#[test]
+fn checkpoint_failure_poisons_then_recovers() {
+    let (rig, store) = rig();
+    let p = store.allocate_partition().unwrap();
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .unwrap();
+    let mut ids = Vec::new();
+    for i in 0..10u64 {
+        let id = store.allocate_chunk(p).unwrap();
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id,
+                bytes: vec![i as u8; 300],
+            }])
+            .unwrap();
+        ids.push(id);
+    }
+    rig.injector.fail_after_writes(2);
+    let result = store.checkpoint();
+    rig.injector.heal();
+    if result.is_err() {
+        assert!(
+            store.read(ids[0]).is_err(),
+            "poisoned after failed checkpoint"
+        );
+        let store = rig.reopen().expect("recovery");
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(store.read(*id).unwrap(), vec![i as u8; 300]);
+        }
+        store.checkpoint().expect("checkpoint after heal");
+    }
+}
+
+#[test]
+fn trusted_store_failure_mid_commit() {
+    // A failure updating the *trusted* register mid-commit: the commit is
+    // unacknowledged; recovery may adopt or drop it (both are sound — the
+    // window semantics of §4.8.2.2), but must never corrupt prior state.
+    let secret = SecretKey::random(24);
+    let register = Arc::new(MemTrustedStore::new(2)); // Too small: writes fail!
+    let untrusted = Arc::new(MemStore::new());
+    let result = ChunkStore::create(
+        Arc::clone(&untrusted) as SharedUntrusted,
+        TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+            Arc::clone(&register) as Arc<dyn TrustedStore>
+        ))),
+        secret,
+        ChunkStoreConfig::default(),
+    );
+    // An 8-byte counter cannot fit in a 2-byte register: creation must
+    // fail cleanly rather than produce a store that cannot validate.
+    assert!(result.is_err());
+}
