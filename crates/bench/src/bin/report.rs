@@ -28,12 +28,15 @@ fn main() {
         }
     }
     const KNOWN: [&str; 18] = [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "fig9",
-        "fig10", "fig11", "fig12", "all", "micro",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "fig9", "fig10",
+        "fig11", "fig12", "all", "micro",
     ];
     for name in &selected {
         if !KNOWN.contains(&name.as_str()) {
-            eprintln!("error: unknown experiment '{name}' (try: {})", KNOWN.join(" "));
+            eprintln!(
+                "error: unknown experiment '{name}' (try: {})",
+                KNOWN.join(" ")
+            );
             std::process::exit(2);
         }
     }

@@ -17,7 +17,7 @@ use crate::descriptor::MapChunk;
 use crate::ids::{PartitionId, Position};
 
 /// One cached, decoded map chunk.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CacheEntry {
     /// Decoded slots.
     pub chunk: MapChunk,
@@ -28,7 +28,7 @@ pub struct CacheEntry {
 }
 
 /// The map-chunk cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MapCache {
     entries: HashMap<(PartitionId, Position), CacheEntry>,
     /// Soft capacity in entries; only clean entries are evictable.

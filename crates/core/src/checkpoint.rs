@@ -25,11 +25,16 @@ impl Inner {
     ///
     /// # Errors
     ///
-    /// Propagates storage failures; on failure the store must be reopened.
+    /// On a storage failure the in-memory state rolls back to the
+    /// pre-checkpoint snapshot; the store degrades to read-only if any log
+    /// bytes had been written, stays live otherwise. Integrity violations
+    /// poison (see `Inner::fail_mutation`).
     pub(crate) fn checkpoint(&mut self) -> Result<()> {
+        let snap = self.snapshot();
+        self.wrote_log = false;
         let result = self.checkpoint_impl();
-        if result.is_err() {
-            self.poisoned = true;
+        if let Err(e) = &result {
+            self.fail_mutation(snap, e, "checkpoint");
         }
         result
     }

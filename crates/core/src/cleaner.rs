@@ -35,9 +35,11 @@ impl Inner {
         if targets.is_empty() {
             return Ok(0);
         }
+        let snap = self.snapshot();
+        self.wrote_log = false;
         let result = self.clean_segments(&targets);
-        if result.is_err() {
-            self.poisoned = true;
+        if let Err(e) = &result {
+            self.fail_mutation(snap, e, "cleaning");
         }
         result
     }

@@ -144,6 +144,36 @@ pub enum CoreError {
     RestoreConstraint(String),
     /// The restore policy (a trusted program) denied the restore (§6.3).
     RestoreDenied(String),
+    /// The store is serving validated reads only: a storage failure
+    /// interrupted a mutation after bytes had reached the log, so further
+    /// mutations are rejected until `ChunkStore::try_heal` or a reopen.
+    DegradedMode(String),
+    /// The store detected an integrity violation during a mutation and has
+    /// failed closed; it must be reopened (revalidating from the trusted
+    /// store) before any further use.
+    Poisoned(String),
+}
+
+/// Coarse classification of a failure, used by retry and degradation policy.
+///
+/// The distinction matters because the three classes demand different
+/// responses: transient faults are worth retrying ([`crate::store`] keeps
+/// serving), permanent faults end the operation but leave the protected
+/// state trustworthy, and integrity faults mean the untrusted store no
+/// longer matches the state protected by the tamper-resistant store — the
+/// engine must fail closed (§2.1: "suitable steps are taken when tampering
+/// is detected").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// The operation may succeed if retried: an I/O hiccup or an injected
+    /// transient-window fault. Nothing about the protected state is suspect.
+    Transient,
+    /// Retrying will not help (bad arguments, out of space, structural
+    /// corruption), but validation has not failed: reads remain trustworthy.
+    Permanent,
+    /// Validation failed: the untrusted store does not match the protected
+    /// state. The engine must not serve or accept data on this path.
+    Integrity,
 }
 
 impl fmt::Display for CoreError {
@@ -165,6 +195,10 @@ impl fmt::Display for CoreError {
                 write!(f, "restore constraint violated: {msg}")
             }
             CoreError::RestoreDenied(msg) => write!(f, "restore denied by policy: {msg}"),
+            CoreError::DegradedMode(msg) => {
+                write!(f, "store degraded to read-only: {msg}")
+            }
+            CoreError::Poisoned(msg) => write!(f, "store poisoned: {msg}"),
         }
     }
 }
@@ -195,6 +229,20 @@ impl CoreError {
     /// True when this error indicates detected tampering.
     pub fn is_tamper(&self) -> bool {
         matches!(self, CoreError::TamperDetected(_))
+    }
+
+    /// Classifies this error for retry and degradation policy.
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            CoreError::TamperDetected(_) | CoreError::Poisoned(_) => FaultClass::Integrity,
+            CoreError::Store(e) if e.is_transient() => FaultClass::Transient,
+            _ => FaultClass::Permanent,
+        }
+    }
+
+    /// True when the operation may succeed if simply retried.
+    pub fn is_transient(&self) -> bool {
+        self.fault_class() == FaultClass::Transient
     }
 }
 

@@ -73,10 +73,10 @@ pub mod store;
 pub mod version;
 
 pub use backup::{ApproveAll, BackupSetInfo, BackupSpec, BackupStore, RestorePolicy};
-pub use errors::{CoreError, Result, TamperKind};
+pub use errors::{CoreError, FaultClass, Result, TamperKind};
 pub use ids::{ChunkId, PartitionId, Position};
 pub use params::CryptoParams;
 pub use store::{
-    ChunkStore, ChunkStoreConfig, ChunkStoreStats, CommitOp, DiffChange, DiffEntry, TrustedBackend,
-    ValidationMode,
+    ChunkStore, ChunkStoreConfig, ChunkStoreStats, CommitOp, DiffChange, DiffEntry, StoreHealth,
+    TrustedBackend, ValidationMode,
 };

@@ -24,6 +24,11 @@ use crate::version::{
 /// Fixed byte budget for the superblock at offset 0.
 pub const SUPERBLOCK_SIZE: u64 = 512;
 
+/// Size of one superblock slot. The area holds two alternating slots
+/// (selected by epoch parity) so a torn superblock write leaves the other
+/// slot's record intact.
+pub const SUPERBLOCK_SLOT: u64 = SUPERBLOCK_SIZE / 2;
+
 /// Offset where segment 0 begins.
 pub const SEGMENT_BASE: u64 = SUPERBLOCK_SIZE;
 
@@ -94,7 +99,13 @@ impl Superblock {
         })
     }
 
-    /// Writes the superblock to offset 0 and flushes.
+    /// Writes the superblock into the slot selected by its epoch's parity
+    /// and flushes.
+    ///
+    /// The superblock area holds two slots so a torn superblock write (a
+    /// crash or fault mid-checkpoint) can never destroy the only copy: the
+    /// previous epoch's record lives in the other slot, and
+    /// [`Superblock::read`] picks the highest *valid* epoch.
     ///
     /// # Errors
     ///
@@ -102,17 +113,20 @@ impl Superblock {
     pub fn write(&self, store: &SharedUntrusted) -> Result<()> {
         let _t = metrics::span(modules::UNTRUSTED_WRITE);
         let mut buf = self.encode();
-        buf.resize(SUPERBLOCK_SIZE as usize, 0);
-        store.write_at(0, &buf)?;
+        buf.resize(SUPERBLOCK_SLOT as usize, 0);
+        let slot = self.epoch % 2;
+        store.write_at(slot * SUPERBLOCK_SLOT, &buf)?;
         store.flush()?;
         Ok(())
     }
 
-    /// Reads the superblock from offset 0.
+    /// Reads the superblock: decodes both slots and returns the valid one
+    /// with the highest epoch. (A legacy image that wrote a single record
+    /// at offset 0 decodes as slot 0 with slot 1 invalid.)
     ///
     /// # Errors
     ///
-    /// Returns `Corrupt` when absent or damaged.
+    /// Returns `Corrupt` when absent or both slots are damaged.
     pub fn read(store: &SharedUntrusted) -> Result<Superblock> {
         let _t = metrics::span(modules::UNTRUSTED_READ);
         let len = store.len()?;
@@ -122,7 +136,20 @@ impl Superblock {
         let take = SUPERBLOCK_SIZE.min(len);
         let mut buf = vec![0u8; take as usize];
         store.read_at(0, &mut buf)?;
-        Superblock::decode(&buf)
+        let slot0 = Superblock::decode(&buf);
+        let slot1 = if buf.len() >= SUPERBLOCK_SLOT as usize + 40 {
+            Superblock::decode(&buf[SUPERBLOCK_SLOT as usize..])
+        } else {
+            Err(CoreError::Corrupt(
+                "store has no second superblock slot".into(),
+            ))
+        };
+        match (slot0, slot1) {
+            (Ok(a), Ok(b)) => Ok(if a.epoch >= b.epoch { a } else { b }),
+            (Ok(a), Err(_)) => Ok(a),
+            (Err(_), Ok(b)) => Ok(b),
+            (Err(e), Err(_)) => Err(e),
+        }
     }
 }
 
@@ -183,6 +210,12 @@ impl LogHashes {
     /// True when a set hash is being accumulated.
     pub fn set_open(&self) -> bool {
         self.set.is_some()
+    }
+
+    /// Discards an open set hash without finishing it (rollback of a
+    /// failed mutation; the chain is restored separately from a snapshot).
+    pub fn abort_set(&mut self) {
+        self.set = None;
     }
 }
 
@@ -270,6 +303,22 @@ impl SegmentedLog {
         self.tail_segment = segment;
         self.tail_offset = offset;
         self.residual.insert(segment);
+    }
+
+    /// Captures the cursor (tail segment, tail offset, residual set) so a
+    /// failed mutation can be rolled back.
+    pub fn tail_state(&self) -> (u32, u32, BTreeSet<u32>) {
+        (self.tail_segment, self.tail_offset, self.residual.clone())
+    }
+
+    /// Restores a cursor captured by [`SegmentedLog::tail_state`]. Bytes
+    /// appended past the restored tail become invisible: the next append
+    /// overwrites them, and recovery treats them as a torn tail.
+    pub fn restore_tail_state(&mut self, state: (u32, u32, BTreeSet<u32>)) {
+        let (segment, offset, residual) = state;
+        self.tail_segment = segment;
+        self.tail_offset = offset;
+        self.residual = residual;
     }
 
     /// Largest body a version may carry, given segment geometry.

@@ -43,6 +43,7 @@ pub(crate) fn recover(
     secret: SecretKey,
     config: ChunkStoreConfig,
 ) -> Result<Inner> {
+    metrics::count(crate::metrics::counters::RECOVERY_ATTEMPTS);
     let superblock = Superblock::read(&store)?;
     let candidates =
         if superblock.prev_leader != 0 && superblock.prev_leader != superblock.current_leader {
@@ -87,6 +88,14 @@ fn recover_from(
     superblock: Superblock,
     leader_loc: u64,
 ) -> Result<Inner> {
+    // Kept for restarting recovery at a mid-residual system leader (an
+    // interrupted checkpoint; see the `Named` arm of the replay loop).
+    let reopen = (
+        Arc::clone(&store),
+        trusted.clone(),
+        secret.clone(),
+        config.clone(),
+    );
     let sys_params = CryptoParams {
         cipher: config.system_cipher,
         hash: config.system_hash,
@@ -165,7 +174,8 @@ fn recover_from(
         leader_version: Some((leader_loc, leader_raw.total_len as u32)),
         superblock,
         stats: ChunkStoreStats::default(),
-        poisoned: false,
+        health: crate::store::StoreHealth::Live,
+        wrote_log: false,
         config,
     };
     inner.log.mark_residual(leader_seg);
@@ -337,6 +347,36 @@ fn recover_from(
                 }
             }
             VersionKind::Named | VersionKind::Relocated => {
+                if counter_mode
+                    && raw.header.kind == VersionKind::Named
+                    && raw.header.id == ChunkId::system_leader()
+                {
+                    // A mid-residual system leader: a checkpoint whose
+                    // superblock update never landed, possibly with the
+                    // trusted counter already advanced. Live checkpoints
+                    // restart the commit set at the leader ("as if the
+                    // leader were the only chunk in the commit set",
+                    // §4.8.2.2), so the set accumulated here can never
+                    // match — adopt the checkpoint by restarting recovery
+                    // rooted at this leader, which replays exactly that
+                    // set shape. If the interrupted checkpoint is itself
+                    // torn (no valid commit chunk after the leader), fall
+                    // back to treating it as a discarded torn tail.
+                    match recover_from(
+                        Arc::clone(&reopen.0),
+                        reopen.1.clone(),
+                        reopen.2.clone(),
+                        reopen.3.clone(),
+                        superblock,
+                        location,
+                    ) {
+                        Ok(adopted) => return Ok(adopted),
+                        Err(_) => {
+                            pending.clear();
+                            break 'scan;
+                        }
+                    }
+                }
                 set_hasher.update(bytes);
                 if raw.header.id.pos.height == UNNAMED_HEIGHT {
                     return Err(CoreError::Corrupt(

@@ -22,11 +22,11 @@ use tdb_storage::{MonotonicCounter, SharedUntrusted, TrustedStore};
 use crate::cache::MapCache;
 use crate::codec::{Dec, Enc};
 use crate::descriptor::{ChunkStatus, Descriptor, MapChunk};
-use crate::errors::{CoreError, Result, TamperKind};
+use crate::errors::{CoreError, FaultClass, Result, TamperKind};
 use crate::ids::{capacity, ChunkId, PartitionId, Position};
 use crate::leader::{PartitionLeader, SystemLeader};
 use crate::log::{LogHashes, SegmentedLog, Superblock};
-use crate::metrics::{self, modules};
+use crate::metrics::{self, counters, modules};
 use crate::params::{CryptoParams, PartitionCrypto};
 use crate::version::{
     parse_version, seal_version, CommitRecord, DeallocRecord, RawVersion, VersionHeader,
@@ -180,10 +180,64 @@ pub struct ChunkStoreStats {
     pub chunks_relocated: u64,
     /// Bytes appended to the log.
     pub bytes_appended: u64,
+    /// Times this store entered read-only degraded mode.
+    pub degraded_entries: u64,
+    /// Times this store hard-poisoned on an integrity violation.
+    pub poison_events: u64,
+    /// [`ChunkStore::try_heal`] attempts.
+    pub heal_attempts: u64,
+    /// Successful heals (degraded back to live).
+    pub heals: u64,
+}
+
+/// Externally visible health of the engine.
+///
+/// Failure handling follows the error taxonomy
+/// ([`crate::errors::FaultClass`]): storage failures during a mutation roll
+/// the in-memory state back to the pre-mutation snapshot and, if any bytes
+/// had already reached the log, drop to `Degraded`; only integrity
+/// violations (`TamperDetected` on a mutation path) hard-poison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// Fully operational.
+    Live,
+    /// Read-only: a storage failure interrupted a mutation after bytes had
+    /// reached the log. Validated reads are still served; mutations are
+    /// rejected until [`ChunkStore::try_heal`] succeeds or the store is
+    /// reopened.
+    Degraded {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Failed closed: an integrity violation was detected during a
+    /// mutation. Every operation is rejected; the store must be reopened,
+    /// which revalidates everything against the tamper-resistant store.
+    Poisoned {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl StoreHealth {
+    /// True when fully operational.
+    pub fn is_live(&self) -> bool {
+        matches!(self, StoreHealth::Live)
+    }
+
+    /// True when serving reads only.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, StoreHealth::Degraded { .. })
+    }
+
+    /// True when failed closed.
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, StoreHealth::Poisoned { .. })
+    }
 }
 
 /// Cached per-partition state: decoded leader, runtime crypto, and session
 /// allocation state.
+#[derive(Clone)]
 pub(crate) struct LeaderEntry {
     pub leader: PartitionLeader,
     pub crypto: Arc<PartitionCrypto>,
@@ -241,9 +295,32 @@ pub(crate) struct Inner {
     pub leader_version: Option<(u64, u32)>,
     pub superblock: Superblock,
     pub stats: ChunkStoreStats,
-    /// Set when a mid-commit failure may have left buffered state
-    /// inconsistent; all further operations fail until reopen.
-    pub poisoned: bool,
+    /// Live / degraded / poisoned state machine (see [`StoreHealth`]).
+    pub health: StoreHealth,
+    /// True once the current mutation has appended bytes to the log;
+    /// distinguishes "failed before any durable append" (roll back and stay
+    /// live) from "failed after a partial append" (degrade).
+    pub wrote_log: bool,
+}
+
+/// Everything needed to roll the in-memory engine back to the instant a
+/// mutation began. Device bytes written by the failed mutation lie past the
+/// restored log tail, where the next append overwrites them and recovery
+/// treats them as a torn tail.
+pub(crate) struct EngineSnapshot {
+    map_cache: MapCache,
+    leaders: HashMap<PartitionId, LeaderEntry>,
+    sys_leader: SystemLeader,
+    sys_alloc_next: u64,
+    sys_alloc_free: Vec<u64>,
+    sys_reserved: std::collections::HashSet<u64>,
+    chain: HashValue,
+    tail: (u32, u32, std::collections::BTreeSet<u32>),
+    commit_count: u64,
+    trusted_count: u64,
+    leader_version: Option<(u64, u32)>,
+    superblock: Superblock,
+    stats: ChunkStoreStats,
 }
 
 /// The trusted chunk store.
@@ -317,7 +394,8 @@ impl ChunkStore {
                 prev_leader: 0,
             },
             stats: ChunkStoreStats::default(),
-            poisoned: false,
+            health: StoreHealth::Live,
+            wrote_log: false,
         };
         // The initial checkpoint materializes the empty database: leader,
         // commit chunk / trusted hash, and superblock.
@@ -351,11 +429,11 @@ impl ChunkStore {
     ///
     /// # Errors
     ///
-    /// Fails if the store is poisoned.
+    /// Fails if the store is not live (degraded or poisoned).
     pub fn allocate_partition(&self) -> Result<PartitionId> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_writable()?;
         inner.allocate_partition()
     }
 
@@ -367,7 +445,7 @@ impl ChunkStore {
     pub fn allocate_chunk(&self, partition: PartitionId) -> Result<ChunkId> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_writable()?;
         inner.allocate_chunk(partition)
     }
 
@@ -381,7 +459,7 @@ impl ChunkStore {
     pub fn read(&self, id: ChunkId) -> Result<Vec<u8>> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_readable()?;
         inner.read_chunk(id)
     }
 
@@ -389,12 +467,15 @@ impl ChunkStore {
     ///
     /// # Errors
     ///
-    /// Validation errors leave the store unchanged; I/O failures mid-commit
-    /// poison the store (reopen to recover).
+    /// Validation errors leave the store unchanged and live. A storage
+    /// failure mid-commit rolls the in-memory state back to the pre-commit
+    /// snapshot; if any bytes had already reached the log the store drops
+    /// to read-only degraded mode (see [`ChunkStore::try_heal`]), otherwise
+    /// it stays live. Only integrity violations poison the store.
     pub fn commit(&self, ops: Vec<CommitOp>) -> Result<()> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_writable()?;
         inner.commit(ops)
     }
 
@@ -402,11 +483,12 @@ impl ChunkStore {
     ///
     /// # Errors
     ///
-    /// I/O failures poison the store.
+    /// A storage failure rolls back and degrades or stays live exactly as
+    /// in [`ChunkStore::commit`]; integrity violations poison.
     pub fn checkpoint(&self) -> Result<()> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_writable()?;
         inner.checkpoint()
     }
 
@@ -415,11 +497,13 @@ impl ChunkStore {
     ///
     /// # Errors
     ///
-    /// I/O failures poison the store; revalidation failures signal tamper.
+    /// A storage failure rolls back and degrades or stays live exactly as
+    /// in [`ChunkStore::commit`]; revalidation failures signal tamper and
+    /// poison the store.
     pub fn clean(&self, max_segments: usize) -> Result<usize> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_writable()?;
         inner.clean(max_segments)
     }
 
@@ -432,7 +516,7 @@ impl ChunkStore {
     pub fn diff(&self, old: PartitionId, new: PartitionId) -> Result<Vec<DiffEntry>> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_readable()?;
         inner.diff(old, new)
     }
 
@@ -445,7 +529,7 @@ impl ChunkStore {
     pub fn written_ranks(&self, partition: PartitionId) -> Result<Vec<u64>> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_readable()?;
         inner.written_ranks(partition)
     }
 
@@ -460,7 +544,7 @@ impl ChunkStore {
         partition: PartitionId,
     ) -> Result<(tdb_crypto::CipherKind, tdb_crypto::HashKind)> {
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_readable()?;
         let entry = inner.leader_entry(partition)?;
         Ok((entry.leader.params.cipher, entry.leader.params.hash))
     }
@@ -468,7 +552,7 @@ impl ChunkStore {
     /// Whether `partition` currently exists (is written).
     pub fn partition_exists(&self, partition: PartitionId) -> bool {
         let mut inner = self.inner.lock();
-        if inner.check_ok().is_err() {
+        if inner.check_readable().is_err() {
             return false;
         }
         inner.leader_entry(partition).is_ok()
@@ -477,6 +561,31 @@ impl ChunkStore {
     /// Aggregate statistics.
     pub fn stats(&self) -> ChunkStoreStats {
         self.inner.lock().stats
+    }
+
+    /// Current health: live, degraded (read-only), or poisoned.
+    pub fn health(&self) -> StoreHealth {
+        self.inner.lock().health.clone()
+    }
+
+    /// Attempts to return a degraded store to live service without the
+    /// full reopen-and-revalidate path: the region between the validated
+    /// log tail and the end of the tail segment (where a failed mutation
+    /// may have left torn bytes) is scrubbed to zero and read back. On
+    /// success the store is live again; the in-memory state was already
+    /// rolled back to the last successful mutation when degradation was
+    /// entered.
+    ///
+    /// A no-op on a live store.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store is poisoned (reopen instead) or the device still
+    /// refuses I/O — the store stays degraded and the call can be retried.
+    pub fn try_heal(&self) -> Result<()> {
+        let _t = metrics::span(modules::CHUNK_STORE);
+        let mut inner = self.inner.lock();
+        inner.try_heal()
     }
 
     /// Total bytes the store occupies (superblock + all segments).
@@ -496,10 +605,10 @@ impl ChunkStore {
     ///
     /// # Errors
     ///
-    /// I/O failures poison the store.
+    /// Fails like [`ChunkStore::checkpoint`].
     pub fn close(&self) -> Result<()> {
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_writable()?;
         inner.checkpoint()
     }
 
@@ -507,20 +616,157 @@ impl ChunkStore {
     /// the backup store).
     pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> Result<R>) -> Result<R> {
         let mut inner = self.inner.lock();
-        inner.check_ok()?;
+        inner.check_readable()?;
         f(&mut inner)
     }
 }
 
 impl Inner {
-    pub(crate) fn check_ok(&self) -> Result<()> {
-        if self.poisoned {
-            Err(CoreError::Corrupt(
-                "store poisoned by earlier mid-commit failure; reopen to recover".into(),
-            ))
-        } else {
-            Ok(())
+    /// Gate for mutating operations: only a live store may mutate.
+    pub(crate) fn check_writable(&self) -> Result<()> {
+        match &self.health {
+            StoreHealth::Live => Ok(()),
+            StoreHealth::Degraded { reason } => Err(CoreError::DegradedMode(reason.clone())),
+            StoreHealth::Poisoned { reason } => Err(CoreError::Poisoned(reason.clone())),
         }
+    }
+
+    /// Gate for read-only operations: reads stay available in degraded
+    /// mode (every read is still validated through the map tree), and are
+    /// refused only once integrity is in doubt.
+    pub(crate) fn check_readable(&self) -> Result<()> {
+        match &self.health {
+            StoreHealth::Poisoned { reason } => Err(CoreError::Poisoned(reason.clone())),
+            _ => Ok(()),
+        }
+    }
+
+    /// Captures the in-memory engine state at the start of a mutation.
+    pub(crate) fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            map_cache: self.map_cache.clone(),
+            leaders: self.leaders.clone(),
+            sys_leader: self.sys_leader.clone(),
+            sys_alloc_next: self.sys_alloc_next,
+            sys_alloc_free: self.sys_alloc_free.clone(),
+            sys_reserved: self.sys_reserved.clone(),
+            chain: self.hashes.chain,
+            tail: self.log.tail_state(),
+            commit_count: self.commit_count,
+            trusted_count: self.trusted_count,
+            leader_version: self.leader_version,
+            superblock: self.superblock,
+            stats: self.stats,
+        }
+    }
+
+    /// Rolls the in-memory engine back to `snap`. Log bytes written by the
+    /// failed mutation lie past the restored tail and are never served:
+    /// the next append overwrites them, and recovery parses them as a torn
+    /// tail.
+    pub(crate) fn restore(&mut self, snap: EngineSnapshot) {
+        self.map_cache = snap.map_cache;
+        self.leaders = snap.leaders;
+        self.sys_leader = snap.sys_leader;
+        self.sys_alloc_next = snap.sys_alloc_next;
+        self.sys_alloc_free = snap.sys_alloc_free;
+        self.sys_reserved = snap.sys_reserved;
+        self.hashes.abort_set();
+        self.hashes.chain = snap.chain;
+        self.log.restore_tail_state(snap.tail);
+        self.commit_count = snap.commit_count;
+        self.trusted_count = snap.trusted_count;
+        self.leader_version = snap.leader_version;
+        self.superblock = snap.superblock;
+        self.stats = snap.stats;
+    }
+
+    /// Classifies a failed mutation and moves the health state machine:
+    /// integrity violations poison; storage failures roll back to `snap`
+    /// and degrade only when log bytes were already written.
+    pub(crate) fn fail_mutation(&mut self, snap: EngineSnapshot, e: &CoreError, what: &str) {
+        if e.fault_class() == FaultClass::Integrity {
+            // The in-memory state is rolled back for hygiene, but no
+            // validated path may run again until a reopen revalidates.
+            self.restore(snap);
+            self.enter_poisoned(format!("integrity violation during {what}: {e}"));
+            return;
+        }
+        let wrote = self.wrote_log;
+        self.restore(snap);
+        if wrote {
+            self.enter_degraded(format!(
+                "storage failure during {what} after log bytes were written: {e}"
+            ));
+        }
+    }
+
+    fn enter_degraded(&mut self, reason: String) {
+        if self.health.is_poisoned() {
+            return;
+        }
+        self.stats.degraded_entries += 1;
+        metrics::count(counters::DEGRADED_ENTRIES);
+        self.health = StoreHealth::Degraded { reason };
+    }
+
+    fn enter_poisoned(&mut self, reason: String) {
+        self.stats.poison_events += 1;
+        metrics::count(counters::POISON_EVENTS);
+        self.health = StoreHealth::Poisoned { reason };
+    }
+
+    /// Fast-path repair of a degraded store: instead of a full reopen
+    /// (which replays and revalidates the whole residual log), scrub the
+    /// possibly-torn region between the validated tail and the end of the
+    /// tail segment, verify the device takes writes again, and go live.
+    fn try_heal(&mut self) -> Result<()> {
+        match &self.health {
+            StoreHealth::Live => return Ok(()),
+            StoreHealth::Poisoned { reason } => return Err(CoreError::Poisoned(reason.clone())),
+            StoreHealth::Degraded { .. } => {}
+        }
+        self.stats.heal_attempts += 1;
+        metrics::count(counters::HEAL_ATTEMPTS);
+        // Scrubbing drops the durable-but-unacknowledged log suffix. In
+        // counter mode that is only sound while the trusted counter has not
+        // already counted that suffix: with the counter ahead of the
+        // rolled-back commit count, dropping it would make the next
+        // validation read as a replay (§4.8.2.2). Such a store needs the
+        // full reopen, which *adopts* the suffix by rolling forward.
+        if let TrustedBackend::Counter(c) = &self.trusted {
+            let actual = {
+                let _t = metrics::span(modules::TRUSTED_STORE);
+                c.get()?
+            };
+            if actual > self.commit_count {
+                return Err(CoreError::DegradedMode(format!(
+                    "trusted counter ({actual}) is ahead of the rolled-back \
+                     commit count ({}); reopen to roll the log forward",
+                    self.commit_count
+                )));
+            }
+        }
+        let tail = self.log.tail_location();
+        let seg_start = self.log.segment_offset(self.log.tail_segment());
+        let scrub_len = (u64::from(self.log.segment_size()) - (tail - seg_start)) as usize;
+        if scrub_len > 0 {
+            let store = Arc::clone(self.log.store());
+            let zeros = vec![0u8; scrub_len];
+            store.write_at(tail, &zeros)?;
+            store.flush()?;
+            let mut back = vec![0u8; scrub_len];
+            store.read_at(tail, &mut back)?;
+            if back.iter().any(|b| *b != 0) {
+                return Err(CoreError::Corrupt(
+                    "tail scrub read-back mismatch; device unreliable".into(),
+                ));
+            }
+        }
+        self.health = StoreHealth::Live;
+        self.stats.heals += 1;
+        metrics::count(counters::HEALS);
+        Ok(())
     }
 
     fn fanout(&self) -> u64 {
@@ -804,13 +1050,16 @@ impl Inner {
         if ops.is_empty() {
             return Ok(());
         }
+        // Validation is read-only: a failure here (including a transient
+        // read fault resolving a descriptor) leaves the store untouched
+        // and live.
         self.validate_ops(&ops)?;
+        let snap = self.snapshot();
+        self.wrote_log = false;
         let result = self.apply_and_finish(ops);
-        if result.is_err() {
-            // Buffered map state may be inconsistent with the log.
-            self.poisoned = true;
-        } else {
-            self.maybe_checkpoint()?;
+        match &result {
+            Err(e) => self.fail_mutation(snap, e, "commit"),
+            Ok(()) => self.maybe_checkpoint()?,
         }
         result
     }
@@ -919,6 +1168,9 @@ impl Inner {
             &mut self.hashes,
             sealed,
         )?;
+        // Only set after a *successful* append: a failed first write left
+        // nothing durable, so the mutation can roll back and stay live.
+        self.wrote_log = true;
         self.stats.bytes_appended += sealed.len() as u64;
         Ok(loc)
     }

@@ -1,0 +1,369 @@
+//! API-compatible stand-in for the `criterion` benchmark harness. The
+//! build environment has no network access to a crates registry, so the
+//! workspace vendors the surface its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a simple wall-clock loop: a short warm-up, then
+//! `sample_size` samples of an adaptively sized batch, reporting the
+//! median per-iteration time. `--test` (as passed by `cargo bench --
+//! --test`) runs each routine once and reports nothing, matching
+//! criterion's smoke-test mode.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; the shim always runs one
+/// setup per measured invocation, which is exactly `PerIteration`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declares the throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handle passed to each benchmark closure.
+pub struct Bencher<'a> {
+    config: &'a RunConfig,
+    /// Median nanoseconds per iteration, filled in by `iter*`.
+    report_ns: Option<f64>,
+}
+
+struct RunConfig {
+    sample_size: usize,
+    test_mode: bool,
+    measurement_time: Duration,
+}
+
+impl<'a> Bencher<'a> {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.config.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and batch sizing: grow the batch until it runs long
+        // enough to measure reliably.
+        let mut batch = 1u64;
+        let warmup_floor = Duration::from_micros(200);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if start.elapsed() >= warmup_floor || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.report_ns = Some(median(&mut samples));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.config.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        let deadline = Instant::now() + self.config.measurement_time;
+        // One warm-up invocation, then timed ones (setup excluded).
+        let input = setup();
+        black_box(routine(input));
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.report_ns = Some(median(&mut samples));
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager configured by `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            test_mode: false,
+            measurement_time: Duration::from_secs(3),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, and a positional name
+    /// filter) like real criterion's harness entry point.
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(id.id.clone(), None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let config = RunConfig {
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            measurement_time: self.measurement_time,
+        };
+        let mut bencher = Bencher {
+            config: &config,
+            report_ns: None,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{name}: ok (test mode)");
+            return;
+        }
+        if let Some(ns) = bencher.report_ns {
+            match throughput {
+                Some(Throughput::Bytes(bytes)) | Some(Throughput::BytesDecimal(bytes)) => {
+                    let mib_s = (bytes as f64 / (1024.0 * 1024.0)) / (ns / 1e9);
+                    println!("{name:50} {:>12}/iter  {mib_s:>10.1} MiB/s", human_ns(ns));
+                }
+                Some(Throughput::Elements(n)) => {
+                    let elem_s = n as f64 / (ns / 1e9);
+                    println!("{name:50} {:>12}/iter  {elem_s:>10.0} elem/s", human_ns(ns));
+                }
+                None => println!("{name:50} {:>12}/iter", human_ns(ns)),
+            }
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("counts", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_runs_batched() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(128));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter_batched(|| 1u64, |v| runs += v, BatchSize::PerIteration)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! API-compatible stand-in for the `crossbeam` scoped-thread API, backed
+//! by `std::thread::scope`. The build environment has no network access
+//! to a crates registry, so the workspace vendors the surface it uses:
+//! `crossbeam::scope(|s| { s.spawn(|_| ...); })`.
+//!
+//! One semantic difference from real crossbeam: if a spawned thread
+//! panics and its handle was not joined, `std::thread::scope` propagates
+//! the panic instead of returning `Err`. Callers here always `.unwrap()`
+//! the scope result, so a child panic fails the caller either way.
+
+use std::thread;
+
+/// Result type matching `crossbeam::thread::Scope`'s `spawn`/`join`.
+pub type ThreadResult<T> = thread::Result<T>;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// thread's closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again (like
+    /// crossbeam), so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing from the enclosing stack
+/// frame can be spawned; all unjoined threads are joined before `scope`
+/// returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Mirror of `crossbeam::thread` for callers using the long path.
+pub mod thread_mod {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let got = super::scope(|s| {
+            let h = s.spawn(|_| 41 + 1);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let got = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(got, 7);
+    }
+}

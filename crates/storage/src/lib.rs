@@ -27,14 +27,19 @@
 pub mod archival;
 pub mod faulty;
 pub mod remote;
+pub mod retry;
 pub mod simdisk;
 pub mod stats;
 pub mod trusted;
 pub mod untrusted;
 
 pub use archival::{ArchivalStore, DirArchive, MemArchive};
-pub use faulty::{CrashStore, ErrorStore, TamperStore};
+pub use faulty::{
+    CrashStore, ErrorStore, FaultKind, FaultPlan, FaultyTrustedStore, PlannedFaultStore,
+    TamperStore,
+};
 pub use remote::{BatchingStore, RemoteStore};
+pub use retry::{IoPolicy, NoDelay, RetryClock, RetryObserver, RetryStore, SleepBackoff};
 pub use simdisk::{DiskModel, SimClock, SimDiskStore};
 pub use stats::StoreStats;
 pub use trusted::{
@@ -107,6 +112,27 @@ impl fmt::Display for StoreError {
             ),
             StoreError::NotFound(name) => write!(f, "archival object not found: {name}"),
             StoreError::InjectedFault(what) => write!(f, "injected fault: {what}"),
+        }
+    }
+}
+
+impl StoreError {
+    /// True when the operation may succeed if simply retried.
+    ///
+    /// Transient by convention: interrupted/timed-out I/O, and injected
+    /// faults whose message starts with `"transient"` (the [`faulty`]
+    /// wrappers use that prefix for faults that model passing conditions
+    /// such as a bus glitch or a briefly unreachable remote store).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            StoreError::InjectedFault(what) => what.starts_with("transient"),
+            _ => false,
         }
     }
 }

@@ -62,8 +62,10 @@ pub use tdb_collection::{
     KeyExtractor,
 };
 pub use tdb_core::backup::{BackupDescriptor, BackupSetInfo, BackupSpec, RestorePolicy};
-pub use tdb_core::store::{ChunkStoreConfig, TrustedBackend, ValidationMode};
-pub use tdb_core::{ApproveAll, ChunkId, ChunkStore, CommitOp, CryptoParams, PartitionId};
+pub use tdb_core::store::{ChunkStoreConfig, StoreHealth, TrustedBackend, ValidationMode};
+pub use tdb_core::{
+    ApproveAll, ChunkId, ChunkStore, CommitOp, CryptoParams, FaultClass, PartitionId,
+};
 pub use tdb_object::pickle::{downcast, StoredObject, TypeRegistry, Unpickler};
 pub use tdb_object::{ObjectId, ObjectStore, ObjectStoreConfig, Tx};
 

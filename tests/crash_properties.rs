@@ -8,7 +8,8 @@ use tdb_core::store::{ChunkStore, ChunkStoreConfig, CommitOp, TrustedBackend, Va
 use tdb_core::{ChunkId, CryptoParams};
 use tdb_crypto::SecretKey;
 use tdb_storage::{
-    CounterOverTrusted, CrashStore, MemStore, MemTrustedStore, SharedUntrusted, TrustedStore,
+    CounterOverTrusted, CrashStore, FaultPlan, MemStore, MemTrustedStore, PlannedFaultStore,
+    SharedUntrusted, TrustedStore,
 };
 
 fn config(validation: ValidationMode) -> ChunkStoreConfig {
@@ -289,6 +290,185 @@ fn torn_mid_commit_write_discarded() {
             if let Ok(v) = store.read(c2) {
                 assert_eq!(v, vec![0x77; 600]);
             }
+        }
+    }
+}
+
+/// The intra-write tear sweep: a commit's device writes are interrupted
+/// *inside* write number `complete`, at byte `split`. Built by dropping the
+/// commit's flush (so [`CrashStore`] retains the commit's writes as
+/// pending), then asking [`CrashStore::crash_torn`] for every torn image.
+///
+/// For every such image, recovery must yield the pre-commit state or the
+/// whole post-commit state — never a torn mixture — and the recovered
+/// store must stay fully usable. The commit itself was never acknowledged
+/// (the flush error surfaced), so losing it is sound.
+#[test]
+fn torn_within_single_write_sweep() {
+    // One scenario run yields every torn image: crash_torn halts the store
+    // but leaves the pending journal intact, so each (complete, split)
+    // pair is just another view of the same crash.
+    let platform = Platform::new(ValidationMode::Counter {
+        delta_ut: 5,
+        delta_tu: 0,
+    });
+    let crash = Arc::new(CrashStore::new(Arc::new(MemStore::new()) as SharedUntrusted).unwrap());
+    let pf = Arc::new(PlannedFaultStore::new(
+        Arc::clone(&crash) as SharedUntrusted,
+        FaultPlan::new(),
+    ));
+    let store = ChunkStore::create(
+        Arc::clone(&pf) as SharedUntrusted,
+        platform.backend(),
+        platform.secret.clone(),
+        platform.config.clone(),
+    )
+    .unwrap();
+    let p = store.allocate_partition().unwrap();
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .unwrap();
+    let c1 = store.allocate_chunk(p).unwrap();
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: c1,
+            bytes: b"stable".to_vec(),
+        }])
+        .unwrap();
+    let register_before = platform.register.image();
+
+    // Drop the final commit's flush: the commit fails (unacknowledged) and
+    // its writes stay pending in the crash journal.
+    pf.set_plan(FaultPlan::new().dropped_flush_at(pf.flush_ops()));
+    let c2 = store.allocate_chunk(p).unwrap();
+    let payload = vec![0x5A; 700];
+    let result = store.commit(vec![CommitOp::WriteChunk {
+        id: c2,
+        bytes: payload.clone(),
+    }]);
+    assert!(result.is_err(), "a dropped flush means no acknowledgement");
+    let pending = crash.pending_writes();
+    assert!(
+        pending >= 2,
+        "the commit made at least data + commit writes"
+    );
+
+    let mut images = Vec::new();
+    for complete in 0..pending {
+        // Tear inside pending write `complete` at several byte offsets; the
+        // splits are clamped to each write's length by crash_torn.
+        for split in [0usize, 1, 5, 97, 512] {
+            images.push((complete, split, crash.crash_torn(complete, split)));
+        }
+    }
+    // And the whole-writes-survived boundary case.
+    images.push((pending, 0, crash.crash_keep_all()));
+
+    for (complete, split, image) in images {
+        let ctx = format!("torn at write {complete}, byte {split}");
+        platform.register.restore(register_before.clone());
+        let store = ChunkStore::open(
+            Arc::new(MemStore::from_bytes(image)) as SharedUntrusted,
+            platform.backend(),
+            platform.secret.clone(),
+            platform.config.clone(),
+        )
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+        // Acknowledged state always survives.
+        assert_eq!(store.read(c1).unwrap(), b"stable", "{ctx}");
+        // The interrupted commit is all-or-nothing, never a torn mixture.
+        if let Ok(v) = store.read(c2) {
+            assert_eq!(v, payload, "{ctx}: torn bytes served");
+        }
+        // And the recovered store is fully usable.
+        let c = store.allocate_chunk(p).unwrap();
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: c,
+                bytes: b"post-recovery write".to_vec(),
+            }])
+            .unwrap_or_else(|e| panic!("{ctx}: recovered store rejects commits: {e}"));
+    }
+}
+
+/// Same tear sweep, but the interrupted operation is a checkpoint: its
+/// leader, commit chunk, and superblock writes are the ones torn. The
+/// superblock's two checksummed slots make a torn slot write safe (the
+/// other slot wins), and recovery must always land on a consistent state.
+#[test]
+fn torn_checkpoint_write_sweep() {
+    let platform = Platform::new(ValidationMode::Counter {
+        delta_ut: 5,
+        delta_tu: 0,
+    });
+    let crash = Arc::new(CrashStore::new(Arc::new(MemStore::new()) as SharedUntrusted).unwrap());
+    let pf = Arc::new(PlannedFaultStore::new(
+        Arc::clone(&crash) as SharedUntrusted,
+        FaultPlan::new(),
+    ));
+    let store = ChunkStore::create(
+        Arc::clone(&pf) as SharedUntrusted,
+        platform.backend(),
+        platform.secret.clone(),
+        platform.config.clone(),
+    )
+    .unwrap();
+    let p = store.allocate_partition().unwrap();
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .unwrap();
+    let mut expected = Vec::new();
+    for i in 0..4u8 {
+        let c = store.allocate_chunk(p).unwrap();
+        let bytes = vec![i; 150];
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: c,
+                bytes: bytes.clone(),
+            }])
+            .unwrap();
+        expected.push((c, bytes));
+    }
+    let register_before = platform.register.image();
+
+    // Drop the checkpoint's flush so its writes stay pending. The
+    // checkpoint fails; nothing new was acknowledged by it.
+    pf.set_plan(FaultPlan::new().dropped_flush_at(pf.flush_ops()));
+    assert!(store.checkpoint().is_err());
+    let pending = crash.pending_writes();
+    assert!(
+        pending >= 2,
+        "a checkpoint writes maps, leader, commit chunk"
+    );
+
+    for complete in 0..=pending {
+        for split in [0usize, 3, 64, 300] {
+            let ctx = format!("checkpoint torn at write {complete}, byte {split}");
+            let image = crash.crash_torn(complete, split);
+            platform.register.restore(register_before.clone());
+            let store = ChunkStore::open(
+                Arc::new(MemStore::from_bytes(image)) as SharedUntrusted,
+                platform.backend(),
+                platform.secret.clone(),
+                platform.config.clone(),
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+            for (c, bytes) in &expected {
+                assert_eq!(&store.read(*c).unwrap(), bytes, "{ctx}");
+            }
+            let c = store.allocate_chunk(p).unwrap();
+            store
+                .commit(vec![CommitOp::WriteChunk {
+                    id: c,
+                    bytes: b"post-recovery write".to_vec(),
+                }])
+                .unwrap_or_else(|e| panic!("{ctx}: recovered store rejects commits: {e}"));
         }
     }
 }

@@ -1,14 +1,54 @@
-//! Transient-fault injection: an untrusted store that starts failing with
-//! I/O errors mid-commit. The engine must fail closed (poisoned, no torn
-//! state served) and recover completely once the device heals.
+//! Transient-fault torture: injected read/write/flush faults across
+//! commit, checkpoint, and cleaning cycles.
+//!
+//! The properties under test (ISSUE: transient-fault tolerance):
+//!
+//! - A storage failure *before* any durable log append rolls the mutation
+//!   back and leaves the store live.
+//! - A failure *after* bytes reached the log degrades the store to
+//!   read-only: acknowledged state is still served, mutations are rejected
+//!   with [`CoreError::DegradedMode`], and [`ChunkStore::try_heal`]
+//!   restores a live store without a full reopen.
+//! - Only integrity violations hard-poison; plain I/O faults never do.
+//! - Recovery from any faulted image yields a prefix of the committed
+//!   history: acknowledged commits survive, torn state is never served.
+//! - A commit whose trusted-counter update failed is never acknowledged
+//!   (§4.6), though recovery may adopt it (§4.8.2.2).
 
 use std::sync::Arc;
 
-use tdb::{ChunkStore, ChunkStoreConfig, CommitOp, CryptoParams, TrustedBackend};
+use tdb::{
+    ChunkId, ChunkStore, ChunkStoreConfig, CommitOp, CryptoParams, PartitionId, StoreHealth,
+    TrustedBackend, ValidationMode,
+};
+use tdb_core::metrics::{self, counters};
+use tdb_core::CoreError;
 use tdb_crypto::SecretKey;
 use tdb_storage::{
-    CounterOverTrusted, ErrorStore, MemStore, MemTrustedStore, SharedUntrusted, TrustedStore,
+    CounterOverTrusted, ErrorStore, FaultKind, FaultPlan, FaultyTrustedStore, IoPolicy, MemStore,
+    MemTrustedStore, PlannedFaultStore, RetryStore, SharedUntrusted, TrustedStore, UntrustedStore,
 };
+
+fn small_config(validation: ValidationMode) -> ChunkStoreConfig {
+    ChunkStoreConfig {
+        fanout: 4,
+        segment_size: 4096,
+        checkpoint_threshold: 6, // Frequent auto-checkpoints: exercise them.
+        validation,
+        ..ChunkStoreConfig::default()
+    }
+}
+
+fn counter_mode() -> ValidationMode {
+    ValidationMode::Counter {
+        delta_ut: 5,
+        delta_tu: 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ErrorStore rig: unplanned "device starts failing" scenarios.
+// ---------------------------------------------------------------------------
 
 struct Rig {
     secret: SecretKey,
@@ -26,7 +66,7 @@ fn rig() -> (Rig, ChunkStore) {
             Arc::clone(&register) as Arc<dyn TrustedStore>
         ))),
         secret.clone(),
-        ChunkStoreConfig::default(),
+        small_config(counter_mode()),
     )
     .unwrap();
     (
@@ -47,14 +87,12 @@ impl Rig {
                 Arc::clone(&self.register) as Arc<dyn TrustedStore>,
             ))),
             self.secret.clone(),
-            ChunkStoreConfig::default(),
+            small_config(counter_mode()),
         )
     }
 }
 
-#[test]
-fn mid_commit_write_failure_poisons_then_recovers() {
-    let (rig, store) = rig();
+fn setup_partition(store: &ChunkStore) -> PartitionId {
     let p = store.allocate_partition().unwrap();
     store
         .commit(vec![CommitOp::CreatePartition {
@@ -62,6 +100,13 @@ fn mid_commit_write_failure_poisons_then_recovers() {
             params: CryptoParams::paper_default(),
         }])
         .unwrap();
+    p
+}
+
+#[test]
+fn mid_commit_write_failure_degrades_not_poisons() {
+    let (rig, store) = rig();
+    let p = setup_partition(&store);
     let good = store.allocate_chunk(p).unwrap();
     store
         .commit(vec![CommitOp::WriteChunk {
@@ -70,58 +115,153 @@ fn mid_commit_write_failure_poisons_then_recovers() {
         }])
         .unwrap();
 
-    // Fail on every possible write index inside the next commit.
-    for fail_at in 0..6u64 {
+    let mut degraded_seen = false;
+    let mut live_rollback_seen = false;
+    // Fail on every possible write index inside a commit; after each
+    // iteration the store must be fully live again *without a reopen*.
+    for fail_at in 0..8u64 {
         rig.injector.fail_after_writes(fail_at);
         let victim = store.allocate_chunk(p).unwrap();
         let result = store.commit(vec![CommitOp::WriteChunk {
             id: victim,
             bytes: vec![0xEE; 700],
         }]);
-        rig.injector.heal();
-        match result {
-            Ok(()) => {
-                // The commit squeaked through before the failure point.
-                assert_eq!(store.read(victim).unwrap(), vec![0xEE; 700]);
-                continue;
-            }
-            Err(_) => {
-                // The engine is poisoned: every further operation fails
-                // rather than serving possibly-inconsistent buffered state.
-                assert!(store.read(good).is_err());
-                assert!(store
-                    .commit(vec![CommitOp::DeallocChunk { id: good }])
-                    .is_err());
-                // Reopen on the healed device: acknowledged state intact,
-                // the torn commit absent.
-                let store = rig.reopen().expect("recovery after transient fault");
-                assert_eq!(store.read(good).unwrap(), b"committed before the fault");
-                assert!(store.read(victim).is_err());
-                // Fully usable again.
-                let c = store.allocate_chunk(p).unwrap();
-                store
-                    .commit(vec![CommitOp::WriteChunk {
-                        id: c,
-                        bytes: b"post-recovery".to_vec(),
-                    }])
-                    .unwrap();
-                return;
-            }
+        if result.is_ok() {
+            // The commit squeaked through before the failure point.
+            rig.injector.heal();
+            assert_eq!(store.read(victim).unwrap(), vec![0xEE; 700]);
+            continue;
         }
+        assert!(
+            !store.health().is_poisoned(),
+            "fail_at {fail_at}: a plain I/O fault must never poison"
+        );
+        // Acknowledged state is served even before the device heals: the
+        // injector only fails writes, and the store is at worst read-only.
+        assert_eq!(store.read(good).unwrap(), b"committed before the fault");
+        match store.health() {
+            StoreHealth::Live => {
+                // Nothing durable was written: clean rollback. The store
+                // accepts the same commit once the device heals.
+                live_rollback_seen = true;
+                rig.injector.heal();
+            }
+            StoreHealth::Degraded { .. } => {
+                degraded_seen = true;
+                // Mutations are rejected with the dedicated error.
+                let err = store
+                    .commit(vec![CommitOp::DeallocChunk { id: good }])
+                    .unwrap_err();
+                assert!(
+                    matches!(err, CoreError::DegradedMode(_)),
+                    "fail_at {fail_at}: expected DegradedMode, got {err}"
+                );
+                // Healing needs a working device.
+                assert!(store.try_heal().is_err());
+                assert!(store.health().is_degraded());
+                rig.injector.heal();
+                store
+                    .try_heal()
+                    .unwrap_or_else(|e| panic!("fail_at {fail_at}: heal on a working device: {e}"));
+            }
+            StoreHealth::Poisoned { .. } => unreachable!(),
+        }
+        assert!(store.health().is_live());
+        // Fully usable again, in place.
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: victim,
+                bytes: vec![0xEE; 700],
+            }])
+            .unwrap();
+        assert_eq!(store.read(victim).unwrap(), vec![0xEE; 700]);
+        assert_eq!(store.read(good).unwrap(), b"committed before the fault");
     }
-    panic!("the injector never fired within the tested window");
+    assert!(degraded_seen, "the sweep never produced a degraded store");
+    assert!(
+        live_rollback_seen,
+        "the sweep never produced a pre-durability rollback"
+    );
+
+    let stats = store.stats();
+    assert!(stats.degraded_entries >= 1);
+    assert!(stats.heals >= 1);
+    assert_eq!(stats.poison_events, 0);
+
+    // And the on-disk image stayed recoverable throughout.
+    let reopened = rig.reopen().expect("recovery after the sweep");
+    assert_eq!(reopened.read(good).unwrap(), b"committed before the fault");
 }
 
 #[test]
-fn checkpoint_failure_poisons_then_recovers() {
+fn read_failure_leaves_store_live() {
     let (rig, store) = rig();
-    let p = store.allocate_partition().unwrap();
+    let p = setup_partition(&store);
+    let good = store.allocate_chunk(p).unwrap();
     store
-        .commit(vec![CommitOp::CreatePartition {
-            id: p,
-            params: CryptoParams::paper_default(),
+        .commit(vec![CommitOp::WriteChunk {
+            id: good,
+            bytes: b"readable".to_vec(),
         }])
         .unwrap();
+
+    rig.injector.fail_after_reads(0);
+    assert!(store.read(good).is_err(), "injected read fault surfaces");
+    // A failed read mutates nothing: the store is still live, not even
+    // degraded.
+    assert!(store.health().is_live());
+    assert_eq!(store.stats().degraded_entries, 0);
+
+    rig.injector.heal();
+    assert_eq!(store.read(good).unwrap(), b"readable");
+    let c = store.allocate_chunk(p).unwrap();
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: c,
+            bytes: b"after the read fault".to_vec(),
+        }])
+        .unwrap();
+}
+
+#[test]
+fn commit_with_read_faults_never_poisons() {
+    let (rig, store) = rig();
+    let p = setup_partition(&store);
+    let good = store.allocate_chunk(p).unwrap();
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: good,
+            bytes: b"baseline".to_vec(),
+        }])
+        .unwrap();
+
+    for fail_at in 0..6u64 {
+        rig.injector.fail_after_reads(fail_at);
+        let victim = store.allocate_chunk(p).unwrap();
+        let _ = store.commit(vec![CommitOp::WriteChunk {
+            id: victim,
+            bytes: vec![0x44; 400],
+        }]);
+        rig.injector.heal();
+        assert!(!store.health().is_poisoned(), "fail_at {fail_at}");
+        if store.health().is_degraded() {
+            store.try_heal().unwrap();
+        }
+        assert_eq!(store.read(good).unwrap(), b"baseline");
+        // Still writable after the episode.
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: victim,
+                bytes: vec![0x44; 400],
+            }])
+            .unwrap();
+    }
+}
+
+#[test]
+fn checkpoint_failure_degrades_reads_still_served() {
+    let (rig, store) = rig();
+    let p = setup_partition(&store);
     let mut ids = Vec::new();
     for i in 0..10u64 {
         let id = store.allocate_chunk(p).unwrap();
@@ -135,25 +275,42 @@ fn checkpoint_failure_poisons_then_recovers() {
     }
     rig.injector.fail_after_writes(2);
     let result = store.checkpoint();
+    assert!(
+        result.is_err(),
+        "the armed injector must bite the checkpoint"
+    );
+    assert!(store.health().is_degraded());
+
+    // The headline behavior: every acknowledged chunk is still served from
+    // the degraded store, no reopen required.
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(store.read(*id).unwrap(), vec![i as u8; 300]);
+    }
+    let err = store
+        .commit(vec![CommitOp::DeallocChunk { id: ids[0] }])
+        .unwrap_err();
+    assert!(matches!(err, CoreError::DegradedMode(_)));
+
+    // Heal in place, then the checkpoint goes through.
     rig.injector.heal();
-    if result.is_err() {
-        assert!(
-            store.read(ids[0]).is_err(),
-            "poisoned after failed checkpoint"
-        );
-        let store = rig.reopen().expect("recovery");
-        for (i, id) in ids.iter().enumerate() {
-            assert_eq!(store.read(*id).unwrap(), vec![i as u8; 300]);
-        }
-        store.checkpoint().expect("checkpoint after heal");
+    store.try_heal().expect("heal on a working device");
+    assert!(store.health().is_live());
+    store.checkpoint().expect("checkpoint after heal");
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(store.read(*id).unwrap(), vec![i as u8; 300]);
+    }
+
+    // The device image also recovers through the normal reopen path.
+    let reopened = rig.reopen().expect("recovery");
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(reopened.read(*id).unwrap(), vec![i as u8; 300]);
     }
 }
 
 #[test]
-fn trusted_store_failure_mid_commit() {
-    // A failure updating the *trusted* register mid-commit: the commit is
-    // unacknowledged; recovery may adopt or drop it (both are sound — the
-    // window semantics of §4.8.2.2), but must never corrupt prior state.
+fn trusted_store_failure_at_creation() {
+    // An 8-byte counter cannot fit in a 2-byte register: creation must
+    // fail cleanly rather than produce a store that cannot validate.
     let secret = SecretKey::random(24);
     let register = Arc::new(MemTrustedStore::new(2)); // Too small: writes fail!
     let untrusted = Arc::new(MemStore::new());
@@ -165,7 +322,646 @@ fn trusted_store_failure_mid_commit() {
         secret,
         ChunkStoreConfig::default(),
     );
-    // An 8-byte counter cannot fit in a 2-byte register: creation must
-    // fail cleanly rather than produce a store that cannot validate.
     assert!(result.is_err());
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTrustedStore: counter-update failures mid-commit (§4.6, §4.8.2.2).
+// ---------------------------------------------------------------------------
+
+struct CounterRig {
+    mem: Arc<MemStore>,
+    faulty_trusted: Arc<FaultyTrustedStore>,
+    secret: SecretKey,
+    config: ChunkStoreConfig,
+}
+
+impl CounterRig {
+    fn backend(&self) -> TrustedBackend {
+        TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+            Arc::clone(&self.faulty_trusted) as Arc<dyn TrustedStore>,
+        )))
+    }
+}
+
+/// A store whose trusted counter is about to fail: Δut = 0 forces a counter
+/// flush on every commit. Returns the rig, the store, a partition, and a
+/// baseline chunk committed while everything was healthy.
+fn counter_rig() -> (CounterRig, ChunkStore, PartitionId, ChunkId) {
+    let rig = CounterRig {
+        mem: Arc::new(MemStore::new()),
+        faulty_trusted: Arc::new(FaultyTrustedStore::new(
+            Arc::new(MemTrustedStore::new(64)) as Arc<dyn TrustedStore>
+        )),
+        secret: SecretKey::random(24),
+        config: ChunkStoreConfig {
+            fanout: 4,
+            segment_size: 4096,
+            checkpoint_threshold: 100, // No auto-checkpoints in this rig.
+            validation: ValidationMode::Counter {
+                delta_ut: 0,
+                delta_tu: 0,
+            },
+            ..ChunkStoreConfig::default()
+        },
+    };
+    let store = ChunkStore::create(
+        Arc::clone(&rig.mem) as SharedUntrusted,
+        rig.backend(),
+        rig.secret.clone(),
+        rig.config.clone(),
+    )
+    .unwrap();
+    let p = setup_partition(&store);
+    let baseline = store.allocate_chunk(p).unwrap();
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: baseline,
+            bytes: b"pre-fault baseline".to_vec(),
+        }])
+        .unwrap();
+    (rig, store, p, baseline)
+}
+
+#[test]
+fn counter_write_failure_never_acknowledges_commit_heal_drops() {
+    let (rig, store, p, baseline) = counter_rig();
+    rig.faulty_trusted.fail_after_writes(0);
+    let victim = store.allocate_chunk(p).unwrap();
+    let result = store.commit(vec![CommitOp::WriteChunk {
+        id: victim,
+        bytes: vec![0xC0; 500],
+    }]);
+    // The §4.6 property: the engine must never acknowledge a commit whose
+    // counter bump failed.
+    assert!(result.is_err(), "unflushed counter means unacknowledged");
+    assert!(
+        rig.faulty_trusted.failures() >= 1,
+        "the fault actually fired"
+    );
+    assert!(store.health().is_degraded());
+    assert_eq!(store.stats().degraded_entries, 1);
+    assert_eq!(store.read(baseline).unwrap(), b"pre-fault baseline");
+    assert!(matches!(
+        store
+            .commit(vec![CommitOp::DeallocChunk { id: baseline }])
+            .unwrap_err(),
+        CoreError::DegradedMode(_)
+    ));
+
+    // In-place heal: the counter never counted the torn commit, so the
+    // scrub's drop resolution is sound. The store goes live at the
+    // pre-commit state and the same commit succeeds on retry.
+    rig.faulty_trusted.heal();
+    store
+        .try_heal()
+        .expect("heal after the trusted store recovers");
+    assert!(store.health().is_live());
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: victim,
+            bytes: vec![0xC0; 500],
+        }])
+        .unwrap();
+    assert_eq!(store.read(victim).unwrap(), vec![0xC0; 500]);
+    assert_eq!(store.read(baseline).unwrap(), b"pre-fault baseline");
+}
+
+#[test]
+fn counter_write_failure_reopen_adopts_durable_commit() {
+    let (rig, store, p, baseline) = counter_rig();
+    rig.faulty_trusted.fail_after_writes(0);
+    let victim = store.allocate_chunk(p).unwrap();
+    let result = store.commit(vec![CommitOp::WriteChunk {
+        id: victim,
+        bytes: vec![0xC1; 500],
+    }]);
+    assert!(result.is_err());
+    assert!(store.health().is_degraded());
+    drop(store);
+
+    // The commit set and its signed commit chunk are durable in the log;
+    // only the counter flush was lost. Recovery's (Δut, Δtu) window covers
+    // exactly this crash, so the reopen adopts the commit — sound, because
+    // it was durable; just never acknowledged.
+    rig.faulty_trusted.heal();
+    let reopened = ChunkStore::open(
+        Arc::clone(&rig.mem) as SharedUntrusted,
+        rig.backend(),
+        rig.secret.clone(),
+        rig.config.clone(),
+    )
+    .expect("recovery adopts the durable commit");
+    assert_eq!(reopened.read(baseline).unwrap(), b"pre-fault baseline");
+    assert_eq!(reopened.read(victim).unwrap(), vec![0xC1; 500]);
+    // And the adopted state is fully writable.
+    let c = reopened.allocate_chunk(p).unwrap();
+    reopened
+        .commit(vec![CommitOp::WriteChunk {
+            id: c,
+            bytes: b"post-recovery".to_vec(),
+        }])
+        .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics and stats wiring.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fault_counters_zero_on_clean_path() {
+    let (_rig, store) = rig();
+    let p = setup_partition(&store);
+    for i in 0..8u64 {
+        let c = store.allocate_chunk(p).unwrap();
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: c,
+                bytes: vec![i as u8; 200],
+            }])
+            .unwrap();
+    }
+    store.checkpoint().unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.degraded_entries, 0);
+    assert_eq!(stats.poison_events, 0);
+    assert_eq!(stats.heal_attempts, 0);
+    assert_eq!(stats.heals, 0);
+}
+
+#[test]
+fn fault_counters_count_degrade_heal_and_recovery() {
+    let (rig, store) = rig();
+    let p = setup_partition(&store);
+    let c = store.allocate_chunk(p).unwrap();
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: c,
+            bytes: b"x".to_vec(),
+        }])
+        .unwrap();
+    rig.injector.fail_after_writes(1);
+    assert!(store.checkpoint().is_err());
+    assert!(store.health().is_degraded());
+    rig.injector.heal();
+    store.try_heal().unwrap();
+
+    let stats = store.stats();
+    assert_eq!(stats.degraded_entries, 1);
+    assert!(stats.heal_attempts >= 1);
+    assert_eq!(stats.heals, 1);
+    assert_eq!(stats.poison_events, 0);
+
+    let _ = rig.reopen().unwrap();
+
+    // The global metrics counters aggregate across all stores in the
+    // process (other tests run concurrently), so assert loosely: each
+    // event we just caused is visible.
+    let snap = metrics::snapshot();
+    assert!(snap.counter(counters::DEGRADED_ENTRIES) >= 1);
+    assert!(snap.counter(counters::HEAL_ATTEMPTS) >= 1);
+    assert!(snap.counter(counters::HEALS) >= 1);
+    assert!(snap.counter(counters::RECOVERY_ATTEMPTS) >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// RetryStore: transient windows hidden by the retry policy.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_window_hidden_by_retries() {
+    let mem = Arc::new(MemStore::new());
+    let pf = Arc::new(PlannedFaultStore::new(
+        Arc::clone(&mem) as SharedUntrusted,
+        FaultPlan::new(),
+    ));
+    let retry = Arc::new(
+        RetryStore::new(
+            Arc::clone(&pf) as SharedUntrusted,
+            IoPolicy::retries(3), // Deterministic: NoDelay clock by default.
+        )
+        .with_observer(metrics::retry_observer()),
+    );
+    let register = Arc::new(MemTrustedStore::new(64));
+    let store = ChunkStore::create(
+        Arc::clone(&retry) as SharedUntrusted,
+        TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+            Arc::clone(&register) as Arc<dyn TrustedStore>
+        ))),
+        SecretKey::random(24),
+        small_config(counter_mode()),
+    )
+    .unwrap();
+    let p = setup_partition(&store);
+
+    // A transient window two ops wide, a few ops ahead: the retry budget
+    // (3) outlasts it, so the engine never sees the fault.
+    let start = pf.total_ops() + 5;
+    pf.set_plan(FaultPlan::new().transient_window(start, 2));
+    let mut ids = Vec::new();
+    for i in 0..6u64 {
+        let c = store.allocate_chunk(p).unwrap();
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: c,
+                bytes: vec![i as u8; 250],
+            }])
+            .unwrap_or_else(|e| panic!("retries must hide the window: {e}"));
+        ids.push(c);
+    }
+    assert!(store.health().is_live());
+    assert_eq!(store.stats().degraded_entries, 0);
+    assert!(pf.injected_faults() >= 2, "the window actually fired");
+    // The retry loop recorded its work in the store stats and the global
+    // metrics counter (via the observer).
+    assert!(retry.stats().snapshot().retries >= 2);
+    assert!(metrics::snapshot().counter(counters::RETRIES) >= 2);
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(store.read(*id).unwrap(), vec![i as u8; 250]);
+    }
+}
+
+#[test]
+fn transient_window_wider_than_retry_budget_degrades_then_heals() {
+    let mem = Arc::new(MemStore::new());
+    let pf = Arc::new(PlannedFaultStore::new(
+        Arc::clone(&mem) as SharedUntrusted,
+        FaultPlan::new(),
+    ));
+    let retry = Arc::new(RetryStore::new(
+        Arc::clone(&pf) as SharedUntrusted,
+        IoPolicy::retries(2),
+    ));
+    let register = Arc::new(MemTrustedStore::new(64));
+    let store = ChunkStore::create(
+        Arc::clone(&retry) as SharedUntrusted,
+        TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+            Arc::clone(&register) as Arc<dyn TrustedStore>
+        ))),
+        SecretKey::random(24),
+        small_config(counter_mode()),
+    )
+    .unwrap();
+    let p = setup_partition(&store);
+    let good = store.allocate_chunk(p).unwrap();
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: good,
+            bytes: b"stable".to_vec(),
+        }])
+        .unwrap();
+
+    // A window far wider than the retry budget: the fault surfaces.
+    let start = pf.total_ops();
+    pf.set_plan(FaultPlan::new().transient_window(start, 50));
+    let victim = store.allocate_chunk(p).unwrap();
+    let result = store.commit(vec![CommitOp::WriteChunk {
+        id: victim,
+        bytes: vec![0x55; 300],
+    }]);
+    assert!(result.is_err());
+    assert!(!store.health().is_poisoned());
+
+    // Window exhausted (the failed attempt burned through it) or cleared:
+    // heal and carry on.
+    pf.set_plan(FaultPlan::new());
+    if store.health().is_degraded() {
+        store.try_heal().unwrap();
+    }
+    assert!(store.health().is_live());
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: victim,
+            bytes: vec![0x55; 300],
+        }])
+        .unwrap();
+    assert_eq!(store.read(good).unwrap(), b"stable");
+    assert_eq!(store.read(victim).unwrap(), vec![0x55; 300]);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point torture: seeded FaultPlan sweeps over a scripted workload.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Step {
+    /// Allocate a fresh chunk and commit `tag`-patterned content.
+    Write(u8),
+    /// Overwrite the `i`-th acknowledged chunk.
+    Over(usize, u8),
+    Checkpoint,
+    Clean,
+}
+
+/// A deterministic workload mixing commits, overwrites, explicit
+/// checkpoints, and cleaning (auto-checkpoints fire too: threshold 6).
+fn script() -> Vec<Step> {
+    let mut v = Vec::new();
+    for i in 1..=6u8 {
+        v.push(Step::Write(i));
+    }
+    v.push(Step::Checkpoint);
+    for i in 7..=10u8 {
+        v.push(Step::Write(i));
+    }
+    v.push(Step::Over(2, 0xA1));
+    v.push(Step::Clean);
+    for i in 11..=12u8 {
+        v.push(Step::Write(i));
+    }
+    v.push(Step::Over(0, 0xB2));
+    v.push(Step::Checkpoint);
+    v
+}
+
+fn content(tag: u8) -> Vec<u8> {
+    vec![tag; 80 + (tag as usize % 5) * 60]
+}
+
+/// Runs the script, recording acknowledged `(chunk, bytes)` pairs. Stops at
+/// the first failure, returning the write the failing step attempted (if it
+/// was a content-changing step) and the error.
+#[allow(clippy::type_complexity)]
+fn run_script(
+    store: &ChunkStore,
+    p: PartitionId,
+    acked: &mut Vec<(ChunkId, Vec<u8>)>,
+) -> (Option<(ChunkId, Vec<u8>)>, tdb_core::Result<()>) {
+    for step in script() {
+        match step {
+            Step::Write(tag) => {
+                let c = match store.allocate_chunk(p) {
+                    Ok(c) => c,
+                    Err(e) => return (None, Err(e)),
+                };
+                let bytes = content(tag);
+                if let Err(e) = store.commit(vec![CommitOp::WriteChunk {
+                    id: c,
+                    bytes: bytes.clone(),
+                }]) {
+                    return (Some((c, bytes)), Err(e));
+                }
+                acked.push((c, bytes));
+            }
+            Step::Over(i, tag) => {
+                if i >= acked.len() {
+                    continue;
+                }
+                let c = acked[i].0;
+                let bytes = content(tag);
+                if let Err(e) = store.commit(vec![CommitOp::WriteChunk {
+                    id: c,
+                    bytes: bytes.clone(),
+                }]) {
+                    return (Some((c, bytes)), Err(e));
+                }
+                acked[i].1 = bytes;
+            }
+            Step::Checkpoint => {
+                if let Err(e) = store.checkpoint() {
+                    return (None, Err(e));
+                }
+            }
+            Step::Clean => {
+                if let Err(e) = store.clean(2) {
+                    return (None, Err(e));
+                }
+            }
+        }
+    }
+    (None, Ok(()))
+}
+
+struct TortureRig {
+    mem: Arc<MemStore>,
+    register: Arc<MemTrustedStore>,
+    pf: Arc<PlannedFaultStore>,
+    secret: SecretKey,
+    config: ChunkStoreConfig,
+}
+
+impl TortureRig {
+    fn backend(&self) -> TrustedBackend {
+        match self.config.validation {
+            ValidationMode::Counter { .. } => TrustedBackend::Counter(Arc::new(
+                CounterOverTrusted::new(Arc::clone(&self.register) as Arc<dyn TrustedStore>),
+            )),
+            ValidationMode::DirectHash => {
+                TrustedBackend::Register(Arc::clone(&self.register) as Arc<dyn TrustedStore>)
+            }
+        }
+    }
+}
+
+fn torture_rig(validation: ValidationMode) -> (TortureRig, ChunkStore, PartitionId) {
+    let rig = TortureRig {
+        mem: Arc::new(MemStore::new()),
+        register: Arc::new(MemTrustedStore::new(64)),
+        pf: Arc::new(PlannedFaultStore::new(
+            Arc::new(MemStore::new()) as SharedUntrusted,
+            FaultPlan::new(),
+        )),
+        secret: SecretKey::random(24),
+        config: small_config(validation),
+    };
+    // Rebuild the planned store over the rig's shared MemStore so the test
+    // can reopen from the raw image later.
+    let pf = Arc::new(PlannedFaultStore::new(
+        Arc::clone(&rig.mem) as SharedUntrusted,
+        FaultPlan::new(),
+    ));
+    let rig = TortureRig { pf, ..rig };
+    let store = ChunkStore::create(
+        Arc::clone(&rig.pf) as SharedUntrusted,
+        rig.backend(),
+        rig.secret.clone(),
+        rig.config.clone(),
+    )
+    .unwrap();
+    let p = setup_partition(&store);
+    (rig, store, p)
+}
+
+/// Verifies a recovered (or healed) store against the model: every
+/// acknowledged chunk has its acknowledged content; the chunk of the
+/// interrupted step (if any) holds either its pre-fault content, the
+/// attempted content, or — for a brand-new chunk — is absent. Torn state
+/// is never served.
+fn verify_model(
+    store: &ChunkStore,
+    acked: &[(ChunkId, Vec<u8>)],
+    attempted: &Option<(ChunkId, Vec<u8>)>,
+    ctx: &str,
+) {
+    for (c, bytes) in acked {
+        if attempted.as_ref().is_some_and(|(a, _)| a == c) {
+            continue;
+        }
+        let got = store
+            .read(*c)
+            .unwrap_or_else(|e| panic!("{ctx}: acknowledged chunk lost: {e}"));
+        assert_eq!(&got, bytes, "{ctx}: acknowledged content changed");
+    }
+    if let Some((c, bytes)) = attempted {
+        let old = acked.iter().find(|(a, _)| a == c).map(|(_, b)| b);
+        match store.read(*c) {
+            // Adopted (the interrupted commit was durable) or rolled back:
+            // both are consistent states; a torn mixture is neither.
+            Ok(got) => assert!(
+                Some(&got) == old || &got == bytes,
+                "{ctx}: interrupted chunk serves torn state"
+            ),
+            Err(_) => assert!(
+                old.is_none(),
+                "{ctx}: previously acknowledged chunk lost to the fault"
+            ),
+        }
+    }
+}
+
+/// The crash-point sweep: arm exactly one fault at every `stride`-th write
+/// index of the scripted workload (kind seeded), then assert the degraded
+/// store serves acknowledged state, heals in place when the protocol
+/// allows, and that recovery from the faulted image is a prefix of the
+/// committed history.
+fn write_fault_sweep(validation: ValidationMode, seeds: &[u64], stride: usize) {
+    // Dry run: count the workload's writes.
+    let (dry, store, p) = torture_rig(validation);
+    let base = dry.pf.write_ops();
+    let mut acked = Vec::new();
+    let (att, res) = run_script(&store, p, &mut acked);
+    res.expect("dry run is fault-free");
+    assert!(att.is_none());
+    let total_writes = dry.pf.write_ops() - base;
+    assert!(total_writes > 20, "workload too small to be interesting");
+    drop(store);
+
+    for &seed in seeds {
+        let mut bit = 0u64;
+        for i in (0..total_writes).step_by(stride) {
+            let (rig, store, p) = torture_rig(validation);
+            let base = rig.pf.write_ops();
+            let kind = match (i + seed) % 2 {
+                0 => FaultKind::WriteError,
+                _ => FaultKind::TornWrite {
+                    keep: ((i * 7 + seed * 13) % 96) as u32,
+                },
+            };
+            rig.pf.set_plan(FaultPlan::new().at(base + i, kind));
+            let mut acked = Vec::new();
+            let (attempted, result) = run_script(&store, p, &mut acked);
+            let ctx = format!("seed {seed}, write index {i}");
+            assert!(
+                !store.health().is_poisoned(),
+                "{ctx}: plain I/O fault poisoned the store"
+            );
+            if result.is_ok() {
+                continue; // Scheduled past the last write the script made.
+            }
+            bit += 1;
+
+            // Degraded (or rolled-back) store still serves the model.
+            verify_model(&store, &acked, &attempted, &ctx);
+
+            // Heal in place when the validation protocol allows it. When
+            // the trusted counter already counted the interrupted commit,
+            // try_heal refuses and the reopen below must adopt instead.
+            rig.pf.set_plan(FaultPlan::new());
+            if store.try_heal().is_ok() {
+                assert!(store.health().is_live());
+                verify_model(&store, &acked, &attempted, &format!("{ctx} (healed)"));
+                let c = store.allocate_chunk(p).unwrap();
+                let bytes = b"post-heal".to_vec();
+                store
+                    .commit(vec![CommitOp::WriteChunk {
+                        id: c,
+                        bytes: bytes.clone(),
+                    }])
+                    .unwrap_or_else(|e| panic!("{ctx}: healed store rejects commits: {e}"));
+                acked.push((c, bytes));
+            }
+            drop(store);
+
+            // Recovery from the faulted image: a prefix of committed
+            // history, fully usable afterwards.
+            let reopened = ChunkStore::open(
+                Arc::new(MemStore::from_bytes(rig.mem.image())) as SharedUntrusted,
+                rig.backend(),
+                rig.secret.clone(),
+                rig.config.clone(),
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+            verify_model(&reopened, &acked, &attempted, &format!("{ctx} (reopened)"));
+            let c = reopened.allocate_chunk(p).unwrap();
+            reopened
+                .commit(vec![CommitOp::WriteChunk {
+                    id: c,
+                    bytes: b"post-recovery".to_vec(),
+                }])
+                .unwrap_or_else(|e| panic!("{ctx}: recovered store rejects commits: {e}"));
+        }
+        assert!(bit > 0, "seed {seed}: no fault in the sweep ever fired");
+    }
+}
+
+#[test]
+fn write_fault_sweep_counter_mode() {
+    write_fault_sweep(counter_mode(), &[1], 3);
+}
+
+#[test]
+fn write_fault_sweep_direct_mode() {
+    write_fault_sweep(ValidationMode::DirectHash, &[2], 5);
+}
+
+#[test]
+#[ignore = "exhaustive fault sweep; run in the CI fault-torture step"]
+fn write_fault_sweep_counter_mode_exhaustive() {
+    write_fault_sweep(counter_mode(), &[1, 2, 3], 1);
+}
+
+#[test]
+#[ignore = "exhaustive fault sweep; run in the CI fault-torture step"]
+fn write_fault_sweep_direct_mode_exhaustive() {
+    write_fault_sweep(ValidationMode::DirectHash, &[1, 2, 3], 1);
+}
+
+/// Seeded pseudo-random plans (mixed read/write/torn/transient faults):
+/// whatever fires, the store never poisons, never serves torn state, and
+/// the image always recovers to the acknowledged model.
+fn seeded_plan_torture(seeds: &[u64]) {
+    for &seed in seeds {
+        let (rig, store, p) = torture_rig(counter_mode());
+        let horizon = rig.pf.total_ops() + 250;
+        rig.pf.set_plan(FaultPlan::seeded(seed, horizon, 6));
+        let mut acked = Vec::new();
+        let (attempted, _result) = run_script(&store, p, &mut acked);
+        let ctx = format!("seeded plan {seed}");
+        assert!(!store.health().is_poisoned(), "{ctx}: poisoned");
+
+        rig.pf.set_plan(FaultPlan::new());
+        if store.try_heal().is_ok() {
+            verify_model(&store, &acked, &attempted, &format!("{ctx} (healed)"));
+        }
+        drop(store);
+        let reopened = ChunkStore::open(
+            Arc::new(MemStore::from_bytes(rig.mem.image())) as SharedUntrusted,
+            rig.backend(),
+            rig.secret.clone(),
+            rig.config.clone(),
+        )
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+        verify_model(&reopened, &acked, &attempted, &format!("{ctx} (reopened)"));
+    }
+}
+
+#[test]
+fn seeded_plan_torture_three_seeds() {
+    seeded_plan_torture(&[1, 2, 3]);
+}
+
+#[test]
+#[ignore = "exhaustive fault sweep; run in the CI fault-torture step"]
+fn seeded_plan_torture_many_seeds() {
+    seeded_plan_torture(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
 }
