@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tdb::{BackupSpec, ChunkId, CommitOp, CryptoParams};
+use tdb::{BackupSpec, ChunkId, ChunkStore, ChunkStoreConfig, CommitOp, CryptoParams};
 use tdb_core::backup::BackupStore;
 use tdb_core::metrics::{self, modules};
 use tdb_crypto::cbc::Cbc;
@@ -637,4 +637,131 @@ pub fn e12_breakdown(runs: usize) {
             mean * 100.0 / total_mean
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// E13: concurrent read scaling (sharded read path vs. single lock).
+// ---------------------------------------------------------------------------
+
+const E13_CHUNKS: u64 = 64;
+const E13_CHUNK_BYTES: usize = 1024;
+const E13_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Builds a store with `read_shards` shards, a partition, and
+/// `E13_CHUNKS` committed chunks, checkpointed so reads hit stable state.
+fn e13_store(read_shards: usize) -> (Arc<ChunkStore>, Vec<ChunkId>) {
+    let platform = Platform::new(IoMode::Raw);
+    let config = ChunkStoreConfig {
+        read_shards,
+        read_cache_chunks: 2 * E13_CHUNKS as usize,
+        ..paper_config()
+    };
+    let (store, p) = chunk_store_with_partition(&platform, config);
+    for _ in 0..E13_CHUNKS {
+        store.allocate_chunk(p).expect("allocate");
+    }
+    let ops = (0..E13_CHUNKS)
+        .map(|rank| CommitOp::WriteChunk {
+            id: ChunkId::data(p, rank),
+            bytes: bytes(rank, E13_CHUNK_BYTES),
+        })
+        .collect();
+    store.commit(ops).expect("commit");
+    store.checkpoint().expect("checkpoint");
+    let ids = (0..E13_CHUNKS).map(|rank| ChunkId::data(p, rank)).collect();
+    (store, ids)
+}
+
+/// Aggregate read throughput (reads/s) with `threads` readers looping
+/// round-robin over `ids` for `window`.
+fn e13_throughput(store: &ChunkStore, ids: &[ChunkId], threads: usize, window: Duration) -> f64 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    // Warm up: every chunk read once (populates the validated-body cache
+    // where one exists, and faults nothing in the single-lock baseline).
+    for id in ids {
+        store.read(*id).expect("warm-up read");
+    }
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (stop, total) = (&stop, &total);
+            s.spawn(move || {
+                let mut i = t * ids.len() / threads;
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    store.read(ids[i % ids.len()]).expect("read");
+                    i += 1;
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed();
+    total.load(std::sync::atomic::Ordering::Relaxed) as f64 / elapsed.as_secs_f64()
+}
+
+/// Measures aggregate read throughput at 1/2/4/8 reader threads for the
+/// single-lock baseline (`read_shards = 0`) and the sharded read path,
+/// printing the scaling table and recording it in
+/// `BENCH_concurrent_read.json`.
+pub fn e13_concurrent_read() {
+    println!("== E13: concurrent read scaling (sharded read path) ==");
+    println!(
+        "workload: {} chunks x {} B, round-robin readers, in-memory store",
+        E13_CHUNKS, E13_CHUNK_BYTES
+    );
+    let window = Duration::from_millis(300);
+    let mut results: Vec<(&str, usize, Vec<f64>)> =
+        vec![("single-lock", 0, Vec::new()), ("sharded", 16, Vec::new())];
+    for (name, shards, rates) in &mut results {
+        let (store, ids) = e13_store(*shards);
+        for threads in E13_THREADS {
+            rates.push(e13_throughput(&store, &ids, threads, window));
+        }
+        let stats = store.stats();
+        println!(
+            "  {:12} reads/s at 1/2/4/8 threads: {:>9.0} {:>9.0} {:>9.0} {:>9.0}  \
+             (fast hits {}, fallbacks {})",
+            name,
+            rates[0],
+            rates[1],
+            rates[2],
+            rates[3],
+            stats.read_fast_hits,
+            stats.read_fallbacks
+        );
+        store.close().expect("close");
+    }
+    let base = &results[0].2;
+    let sharded = &results[1].2;
+    let speedup = sharded[3] / base[3];
+    println!("  sharded/single-lock aggregate at 8 threads: {speedup:.2}x");
+    let row = |rates: &[f64]| {
+        E13_THREADS
+            .iter()
+            .zip(rates)
+            .map(|(t, r)| format!("\"{t}\": {r:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"concurrent_read\",\n  \"chunks\": {},\n  \
+         \"chunk_bytes\": {},\n  \"window_ms\": {},\n  \
+         \"reads_per_sec\": {{\n    \"single_lock\": {{ {} }},\n    \
+         \"sharded_16\": {{ {} }}\n  }},\n  \"speedup_8_threads\": {:.2}\n}}\n",
+        E13_CHUNKS,
+        E13_CHUNK_BYTES,
+        window.as_millis(),
+        row(base),
+        row(sharded),
+        speedup
+    );
+    let path = "BENCH_concurrent_read.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
 }

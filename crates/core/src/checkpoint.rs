@@ -12,10 +12,12 @@
 //! before it is the checkpointed log, the leader and everything after is
 //! the residual log.
 
+use crate::descriptor::Descriptor;
 use crate::errors::Result;
 use crate::ids::{ChunkId, PartitionId, Position};
 use crate::log::Superblock;
-use crate::metrics::{self, modules};
+use crate::metrics::{self, counters, modules};
+use crate::pipeline::{self, SealJob};
 use crate::store::{Inner, ValidationMode, COMMIT_CHUNK_ROOM};
 use crate::version::{seal_version, sealed_version_len, CommitRecord, VersionHeader, VersionKind};
 
@@ -173,10 +175,66 @@ impl Inner {
             // per collection pass without re-scanning.
             keys.sort_by_key(|(p, pos)| (pos.height, *p, pos.rank));
             let level = keys[0].1.height;
-            for (p, pos) in keys.into_iter().take_while(|(_, pos)| pos.height == level) {
-                self.write_map_chunk(p, pos)?;
-            }
+            let level_keys: Vec<(PartitionId, Position)> = keys
+                .into_iter()
+                .take_while(|(_, pos)| pos.height == level)
+                .collect();
+            self.write_map_level(&level_keys)?;
         }
+    }
+
+    /// Writes one height level of dirty map chunks. Chunks at the same
+    /// height are independent (they dirty only their ancestors), so their
+    /// hash+seal work fans across the crypto pipeline; the log appends
+    /// stay sequential, in key order.
+    fn write_map_level(&mut self, keys: &[(PartitionId, Position)]) -> Result<()> {
+        let workers = pipeline::resolve_workers(self.config.crypto_workers);
+        if workers < 2 || keys.len() < 2 {
+            for (p, pos) in keys {
+                self.write_map_chunk(*p, *pos)?;
+            }
+            return Ok(());
+        }
+        // Resolve cryptos and encode bodies sequentially (both may touch
+        // engine caches), then seal the whole level in parallel.
+        let mut cryptos = Vec::with_capacity(keys.len());
+        let mut bodies = Vec::with_capacity(keys.len());
+        for (p, pos) in keys {
+            let crypto = self.crypto_for(*p)?;
+            let body = self
+                .map_cache
+                .get(*p, *pos)
+                .expect("dirty chunk must be cached")
+                .encode(crypto.hash_kind().digest_len());
+            cryptos.push(crypto);
+            bodies.push(body);
+        }
+        let jobs: Vec<SealJob<'_>> = keys
+            .iter()
+            .zip(&cryptos)
+            .zip(&bodies)
+            .map(|(((p, pos), crypto), body)| {
+                (
+                    ChunkId::new(*p, *pos),
+                    std::sync::Arc::clone(crypto),
+                    body.as_slice(),
+                )
+            })
+            .collect();
+        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
+        self.stats.parallel_crypto_batches += 1;
+        self.stats.parallel_crypto_chunks += sealed.len() as u64;
+        metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
+        metrics::add(counters::PARALLEL_CRYPTO_CHUNKS, sealed.len() as u64);
+        for ((p, pos), pre) in keys.iter().zip(sealed) {
+            let id = ChunkId::new(*p, *pos);
+            let location = self.append(&pre.sealed)?;
+            let desc =
+                Descriptor::written(location, pre.sealed.len() as u32, pre.body_len, pre.hash);
+            self.set_descriptor(id, desc)?;
+            self.map_cache.mark_clean(*p, *pos);
+        }
+        Ok(())
     }
 
     fn write_map_chunk(&mut self, p: PartitionId, pos: Position) -> Result<()> {

@@ -68,6 +68,8 @@ pub mod leader;
 pub mod log;
 pub mod metrics;
 pub mod params;
+mod pipeline;
+mod readpath;
 mod recovery;
 pub mod store;
 pub mod version;

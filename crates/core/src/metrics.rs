@@ -69,15 +69,24 @@ pub mod counters {
     pub const HEALS: &str = "heals";
     /// Recovery (reopen) attempts.
     pub const RECOVERY_ATTEMPTS: &str = "recovery attempts";
+    /// Fast reads that found their shard write-locked and had to wait.
+    pub const READ_SHARD_CONTENTION: &str = "read-shard contention";
+    /// Commit/checkpoint batches sealed by the parallel crypto pipeline.
+    pub const PARALLEL_CRYPTO_BATCHES: &str = "parallel-crypto batches";
+    /// Chunks sealed by the parallel crypto pipeline.
+    pub const PARALLEL_CRYPTO_CHUNKS: &str = "parallel-crypto chunks";
 
     /// All counter names, for reporting.
-    pub const ALL: [&str; 6] = [
+    pub const ALL: [&str; 9] = [
         RETRIES,
         DEGRADED_ENTRIES,
         POISON_EVENTS,
         HEAL_ATTEMPTS,
         HEALS,
         RECOVERY_ATTEMPTS,
+        READ_SHARD_CONTENTION,
+        PARALLEL_CRYPTO_BATCHES,
+        PARALLEL_CRYPTO_CHUNKS,
     ];
 }
 

@@ -28,6 +28,8 @@ use crate::leader::{PartitionLeader, SystemLeader};
 use crate::log::{LogHashes, SegmentedLog, Superblock};
 use crate::metrics::{self, counters, modules};
 use crate::params::{CryptoParams, PartitionCrypto};
+use crate::pipeline::{self, Presealed, SealJob};
+use crate::readpath::ReadPath;
 use crate::version::{
     parse_version, seal_version, CommitRecord, DeallocRecord, RawVersion, VersionHeader,
     VersionKind,
@@ -88,6 +90,16 @@ pub struct ChunkStoreConfig {
     pub system_cipher: tdb_crypto::CipherKind,
     /// System-partition hash.
     pub system_hash: tdb_crypto::HashKind,
+    /// Shards of the concurrent read path (rounded up to a power of two).
+    /// `0` disables the sharded fast path entirely, restoring the paper's
+    /// single-lock read model (the benchmark baseline).
+    pub read_shards: usize,
+    /// Total validated plaintext bodies cached across all read shards.
+    pub read_cache_chunks: usize,
+    /// Worker threads for the parallel crypto pipeline (commit and
+    /// checkpoint hash+seal fan-out). `0` means auto (available
+    /// parallelism, capped at 8); `1` forces the sequential fallback.
+    pub crypto_workers: usize,
 }
 
 impl Default for ChunkStoreConfig {
@@ -105,6 +117,9 @@ impl Default for ChunkStoreConfig {
             max_segments: 0,
             system_cipher: tdb_crypto::CipherKind::TripleDes,
             system_hash: tdb_crypto::HashKind::Sha1,
+            read_shards: 16,
+            read_cache_chunks: 1024,
+            crypto_workers: 0,
         }
     }
 }
@@ -188,6 +203,16 @@ pub struct ChunkStoreStats {
     pub heal_attempts: u64,
     /// Successful heals (degraded back to live).
     pub heals: u64,
+    /// Reads served by the sharded fast path without the engine lock.
+    pub read_fast_hits: u64,
+    /// Reads served by the engine-locked fallback path.
+    pub read_fallbacks: u64,
+    /// Fast reads that found their shard write-locked and had to block.
+    pub read_shard_contention: u64,
+    /// Commit/checkpoint batches whose hash+seal work ran in parallel.
+    pub parallel_crypto_batches: u64,
+    /// Chunks sealed by those parallel batches.
+    pub parallel_crypto_chunks: u64,
 }
 
 /// Externally visible health of the engine.
@@ -325,10 +350,13 @@ pub(crate) struct EngineSnapshot {
 
 /// The trusted chunk store.
 ///
-/// All operations are serialized behind one lock, per the paper's simple
-/// mutual-exclusion concurrency model.
+/// Mutations are serialized behind one lock, per the paper's simple
+/// mutual-exclusion concurrency model. Reads additionally take a sharded
+/// fast path ([`crate::readpath`]) that serves validated chunks without
+/// the engine lock; any miss or anomaly falls back to the locked path.
 pub struct ChunkStore {
     inner: Mutex<Inner>,
+    reads: ReadPath,
 }
 
 impl std::fmt::Debug for ChunkStore {
@@ -400,9 +428,22 @@ impl ChunkStore {
         // The initial checkpoint materializes the empty database: leader,
         // commit chunk / trusted hash, and superblock.
         inner.checkpoint()?;
-        Ok(ChunkStore {
+        Ok(ChunkStore::assemble(inner))
+    }
+
+    /// Wraps a fully built engine with its concurrent read path.
+    fn assemble(inner: Inner) -> ChunkStore {
+        let reads = ReadPath::new(
+            Arc::clone(inner.log.store()),
+            Arc::clone(&inner.system),
+            inner.config.read_shards,
+            inner.config.read_cache_chunks,
+        );
+        reads.set_health(&inner.health);
+        ChunkStore {
             inner: Mutex::new(inner),
-        })
+            reads,
+        }
     }
 
     /// Opens an existing store, running crash recovery (§4.8) and
@@ -419,9 +460,7 @@ impl ChunkStore {
         config: ChunkStoreConfig,
     ) -> Result<ChunkStore> {
         let inner = crate::recovery::recover(store, trusted, secret, config)?;
-        Ok(ChunkStore {
-            inner: Mutex::new(inner),
-        })
+        Ok(ChunkStore::assemble(inner))
     }
 
     /// Returns an unallocated partition id (§5.1 `Allocate`). The
@@ -458,9 +497,22 @@ impl ChunkStore {
     /// validation fails.
     pub fn read(&self, id: ChunkId) -> Result<Vec<u8>> {
         let _t = metrics::span(modules::CHUNK_STORE);
+        // Fast path: shard caches only, no engine lock. Any miss or
+        // anomaly (including benign races with the cleaner) falls through
+        // to the authoritative locked path below.
+        if let Some(body) = self.reads.try_fast(id) {
+            return Ok(body);
+        }
         let mut inner = self.inner.lock();
         inner.check_readable()?;
-        inner.read_chunk(id)
+        let body = inner.read_chunk(id)?;
+        self.reads.note_fallback();
+        // Publish for future fast reads while the engine lock is still
+        // held, so the published descriptor is current at this instant.
+        if let (Ok(desc), Ok(crypto)) = (inner.get_descriptor(id), inner.crypto_for(id.partition)) {
+            self.reads.publish(id, desc, &crypto, Some(&body));
+        }
+        Ok(body)
     }
 
     /// Atomically applies a group of operations (§4.1 `Commit`).
@@ -474,9 +526,45 @@ impl ChunkStore {
     /// it stays live. Only integrity violations poison the store.
     pub fn commit(&self, ops: Vec<CommitOp>) -> Result<()> {
         let _t = metrics::span(modules::CHUNK_STORE);
+        // Collect the chunk ids this commit can change *before* the ops
+        // are consumed; partition deallocations can invalidate arbitrary
+        // shard entries (ids may be reused), so they clear everything.
+        let mut touched: Vec<ChunkId> = Vec::new();
+        let mut clear_all = false;
+        for op in &ops {
+            match op {
+                CommitOp::WriteChunk { id, .. } | CommitOp::DeallocChunk { id } => {
+                    touched.push(*id);
+                }
+                CommitOp::DeallocPartition { .. } => clear_all = true,
+                CommitOp::CreatePartition { .. } | CommitOp::CopyPartition { .. } => {}
+            }
+        }
         let mut inner = self.inner.lock();
         inner.check_writable()?;
-        inner.commit(ops)
+        let result = inner.commit(ops);
+        // Scrub shard state while still holding the engine lock, on every
+        // outcome: a commit can be durably applied even when the call
+        // returns an error (e.g. the follow-on checkpoint failed), so the
+        // only safe rule is "touched ids never survive a commit attempt".
+        if clear_all {
+            self.reads.clear_all();
+        } else {
+            for id in &touched {
+                self.reads.invalidate(*id);
+            }
+        }
+        if result.is_ok() {
+            for id in &touched {
+                if let (Ok(desc), Ok(crypto)) =
+                    (inner.get_descriptor(*id), inner.crypto_for(id.partition))
+                {
+                    self.reads.publish(*id, desc, &crypto, None);
+                }
+            }
+        }
+        self.reads.set_health(&inner.health);
+        result
     }
 
     /// Forces a checkpoint (§4.7), consolidating buffered chunk-map updates.
@@ -489,7 +577,11 @@ impl ChunkStore {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
         inner.check_writable()?;
-        inner.checkpoint()
+        // A checkpoint rewrites map chunks and leaders but never changes a
+        // data chunk's state, so published shard entries stay valid.
+        let result = inner.checkpoint();
+        self.reads.set_health(&inner.health);
+        result
     }
 
     /// Runs the log cleaner over up to `max_segments` segments (§4.9.5),
@@ -504,7 +596,12 @@ impl ChunkStore {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
         inner.check_writable()?;
-        inner.clean(max_segments)
+        let result = inner.clean(max_segments);
+        // Cleaning may relocate versions and reuse reclaimed segments, so
+        // published descriptors (which carry log locations) are stale.
+        self.reads.clear_shards();
+        self.reads.set_health(&inner.health);
+        result
     }
 
     /// Chunk positions whose state differs between two partitions (§5.1
@@ -560,12 +657,26 @@ impl ChunkStore {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> ChunkStoreStats {
-        self.inner.lock().stats
+        let mut stats = self.inner.lock().stats;
+        let (hits, fallbacks, contention) = self.reads.counters();
+        stats.read_fast_hits = hits;
+        stats.read_fallbacks = fallbacks;
+        stats.read_shard_contention = contention;
+        stats
     }
 
     /// Current health: live, degraded (read-only), or poisoned.
     pub fn health(&self) -> StoreHealth {
         self.inner.lock().health.clone()
+    }
+
+    /// Drops every cached descriptor and validated body from the read
+    /// shards (partition crypto handles are kept). Until the shards
+    /// re-warm, reads fall back to the locked, storage-backed path. For
+    /// tests and benchmarks that need every read to touch untrusted
+    /// storage, and for callers shedding memory.
+    pub fn drop_read_cache(&self) {
+        self.reads.clear_shards();
     }
 
     /// Attempts to return a degraded store to live service without the
@@ -585,7 +696,9 @@ impl ChunkStore {
     pub fn try_heal(&self) -> Result<()> {
         let _t = metrics::span(modules::CHUNK_STORE);
         let mut inner = self.inner.lock();
-        inner.try_heal()
+        let result = inner.try_heal();
+        self.reads.set_health(&inner.health);
+        result
     }
 
     /// Total bytes the store occupies (superblock + all segments).
@@ -609,7 +722,9 @@ impl ChunkStore {
     pub fn close(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         inner.check_writable()?;
-        inner.checkpoint()
+        let result = inner.checkpoint();
+        self.reads.set_health(&inner.health);
+        result
     }
 
     /// Runs `f` with the engine lock held (crate-internal escape hatch for
@@ -1130,14 +1245,73 @@ impl Inner {
         if matches!(self.config.validation, ValidationMode::Counter { .. }) {
             self.hashes.begin_set();
         }
+        // Hash+seal every WriteChunk body up front, fanning the crypto
+        // across workers; the appends below then serialize only the
+        // already-ciphered buffers (in op order, so the hash chain is
+        // unchanged). Purely read-only: a failure here rolls back clean.
+        let mut presealed = self.preseal_writes(&ops)?;
         let mut dealloc_ids: Vec<ChunkId> = Vec::new();
-        for op in ops {
-            self.apply_op(op, &mut dealloc_ids)?;
+        for (i, op) in ops.into_iter().enumerate() {
+            let pre = presealed.get_mut(i).and_then(Option::take);
+            self.apply_op(op, pre, &mut dealloc_ids)?;
         }
         if !dealloc_ids.is_empty() {
             self.append_dealloc_chunk(&dealloc_ids)?;
         }
         self.finish_commit()
+    }
+
+    /// Precomputes `(hash, sealed bytes)` for every `WriteChunk` in the
+    /// set via the parallel crypto pipeline. Returns per-op slots; ops
+    /// without preseal work (or batches too small to parallelize) get
+    /// `None` and are sealed inline by [`Inner::apply_op`].
+    fn preseal_writes(&mut self, ops: &[CommitOp]) -> Result<Vec<Option<Presealed>>> {
+        let mut out: Vec<Option<Presealed>> = ops.iter().map(|_| None).collect();
+        let workers = pipeline::resolve_workers(self.config.crypto_workers);
+        if workers < 2 {
+            return Ok(out);
+        }
+        // Resolve each write's partition crypto sequentially (this may
+        // load leaders through the engine's caches). Partitions created
+        // earlier in the same set derive their crypto from the op params.
+        let mut created: HashMap<PartitionId, Arc<PartitionCrypto>> = HashMap::new();
+        let mut jobs: Vec<SealJob<'_>> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                CommitOp::CreatePartition { id, params } => {
+                    created.insert(*id, Arc::new(params.runtime()?));
+                }
+                CommitOp::CopyPartition { dst, src } => {
+                    let crypto = match created.get(src) {
+                        Some(c) => Arc::clone(c),
+                        None => self.crypto_for(*src)?,
+                    };
+                    created.insert(*dst, crypto);
+                }
+                CommitOp::WriteChunk { id, bytes } => {
+                    let crypto = match created.get(&id.partition) {
+                        Some(c) => Arc::clone(c),
+                        None => self.crypto_for(id.partition)?,
+                    };
+                    jobs.push((*id, crypto, bytes.as_slice()));
+                    slots.push(i);
+                }
+                CommitOp::DeallocChunk { .. } | CommitOp::DeallocPartition { .. } => {}
+            }
+        }
+        if jobs.len() < 2 {
+            return Ok(out);
+        }
+        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
+        self.stats.parallel_crypto_batches += 1;
+        self.stats.parallel_crypto_chunks += sealed.len() as u64;
+        metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
+        metrics::add(counters::PARALLEL_CRYPTO_CHUNKS, sealed.len() as u64);
+        for (slot, pre) in slots.into_iter().zip(sealed) {
+            out[slot] = Some(pre);
+        }
+        Ok(out)
     }
 
     /// Appends a sealed named version and installs its descriptor.
@@ -1175,11 +1349,24 @@ impl Inner {
         Ok(loc)
     }
 
-    fn apply_op(&mut self, op: CommitOp, dealloc_ids: &mut Vec<ChunkId>) -> Result<()> {
+    fn apply_op(
+        &mut self,
+        op: CommitOp,
+        pre: Option<Presealed>,
+        dealloc_ids: &mut Vec<ChunkId>,
+    ) -> Result<()> {
         match op {
             CommitOp::WriteChunk { id, bytes } => {
                 self.ensure_capacity(id.partition, id.pos.rank)?;
-                let desc = self.write_named(VersionKind::Named, id, &bytes)?;
+                let desc = match pre {
+                    // Pipeline already hashed + sealed this body; only the
+                    // append is left on the serial path.
+                    Some(p) => {
+                        let location = self.append(&p.sealed)?;
+                        Descriptor::written(location, p.sealed.len() as u32, p.body_len, p.hash)
+                    }
+                    None => self.write_named(VersionKind::Named, id, &bytes)?,
+                };
                 self.set_descriptor(id, desc)?;
                 let entry = self.leader_entry(id.partition)?;
                 entry.leader.next_rank = entry.leader.next_rank.max(id.pos.rank + 1);

@@ -475,6 +475,9 @@ fn flipped_chunk_byte_detected_on_read() {
     // Segments start right after the 512-byte superblock.
     for offset in (512..len).step_by(37) {
         fx.untrusted.tamper(offset, 0x40);
+        // Flush the validated-read cache so this read really hits the
+        // tampered storage rather than a previously validated body.
+        store.drop_read_cache();
         match store.read(c) {
             Err(e) if e.is_tamper() => detected = true,
             Err(_) => detected = true,

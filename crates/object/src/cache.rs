@@ -7,7 +7,10 @@
 //! commit (the paper's no-steal policy, §2.2) and installed here on commit.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::pickle::StoredObject;
 use crate::ObjectId;
@@ -126,6 +129,81 @@ impl ObjectCache {
     }
 }
 
+/// A sharded wrapper over [`ObjectCache`]: the byte budget splits evenly
+/// across `shards` independently locked caches, so concurrent readers of
+/// distinct objects don't serialize on one cache lock. One shard degrades
+/// to the old single-lock behavior.
+pub struct ShardedObjectCache {
+    shards: Vec<Mutex<ObjectCache>>,
+    mask: usize,
+}
+
+impl ShardedObjectCache {
+    /// Splits `capacity_bytes` across `shards` (rounded up to a power of
+    /// two, min 1) LRU caches.
+    pub fn new(capacity_bytes: usize, shards: usize) -> ShardedObjectCache {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = (capacity_bytes / n).max(1);
+        ShardedObjectCache {
+            shards: (0..n)
+                .map(|_| Mutex::new(ObjectCache::new(per_shard)))
+                .collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, id: ObjectId) -> &Mutex<ObjectCache> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        id.0.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Looks up an object, refreshing its recency in its shard.
+    pub fn get(&self, id: ObjectId) -> Option<Arc<dyn StoredObject>> {
+        self.shard(id).lock().get(id)
+    }
+
+    /// Installs (or replaces) an object; eviction is per-shard.
+    pub fn put(&self, id: ObjectId, object: Arc<dyn StoredObject>, size: usize) {
+        self.shard(id).lock().put(id, object, size);
+    }
+
+    /// Drops an object.
+    pub fn remove(&self, id: ObjectId) {
+        self.shard(id).lock().remove(id);
+    }
+
+    /// Empties every shard.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Total cached object count.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total approximate cached bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used_bytes()).sum()
+    }
+
+    /// Aggregated (hits, misses) across shards.
+    pub fn stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = s.lock().stats();
+            (h + sh, m + sm)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +269,42 @@ mod tests {
         let _ = c.get(oid(1));
         let _ = c.get(oid(2));
         assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn sharded_cache_routes_and_aggregates() {
+        let c = ShardedObjectCache::new(64 * 1024, 8);
+        for n in 0..32 {
+            c.put(oid(n), Arc::new(Blob(vec![0; 10])), 10);
+        }
+        assert_eq!(c.len(), 32);
+        assert_eq!(c.used_bytes(), 320);
+        for n in 0..32 {
+            assert!(c.get(oid(n)).is_some(), "object {n} routed consistently");
+        }
+        let _ = c.get(oid(1000));
+        assert_eq!(c.stats(), (32, 1));
+        c.remove(oid(0));
+        assert_eq!(c.len(), 31);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_is_concurrently_usable() {
+        let c = Arc::new(ShardedObjectCache::new(1024 * 1024, 8));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for n in 0..128 {
+                        let id = oid(t * 1000 + n);
+                        c.put(id, Arc::new(Blob(vec![0; 16])), 16);
+                        assert!(c.get(id).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 4 * 128);
     }
 }

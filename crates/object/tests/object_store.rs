@@ -498,6 +498,7 @@ fn steal_fixture(threshold: usize) -> Fixture {
             cache_bytes: 64 * 1024,
             lock_timeout: Duration::from_millis(100),
             steal_threshold_bytes: threshold,
+            ..ObjectStoreConfig::default()
         },
     ));
     Fixture {

@@ -123,6 +123,26 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                inner: e.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                inner: e.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
@@ -249,6 +269,24 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_try_paths() {
+        let l = RwLock::new(5);
+        {
+            let r = l.try_read().expect("uncontended try_read");
+            assert_eq!(*r, 5);
+            // A second reader coexists; a writer does not.
+            assert!(l.try_read().is_some());
+            assert!(l.try_write().is_none());
+        }
+        {
+            let mut w = l.try_write().expect("uncontended try_write");
+            *w = 6;
+            assert!(l.try_read().is_none());
+        }
+        assert_eq!(*l.read(), 6);
     }
 
     #[test]

@@ -232,12 +232,8 @@ impl ErrorStore {
         if self.healed.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let remaining = self.writes_until_failure.load(Ordering::SeqCst);
-        if remaining == 0 {
+        if countdown(&self.writes_until_failure) {
             return Err(StoreError::InjectedFault("write failure"));
-        }
-        if remaining != u64::MAX {
-            self.writes_until_failure.fetch_sub(1, Ordering::SeqCst);
         }
         Ok(())
     }
@@ -246,15 +242,25 @@ impl ErrorStore {
         if self.healed.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let remaining = self.reads_until_failure.load(Ordering::SeqCst);
-        if remaining == 0 {
+        if countdown(&self.reads_until_failure) {
             return Err(StoreError::InjectedFault("read failure"));
-        }
-        if remaining != u64::MAX {
-            self.reads_until_failure.fetch_sub(1, Ordering::SeqCst);
         }
         Ok(())
     }
+}
+
+/// Atomically steps a fault countdown; returns `true` when the counter
+/// has expired and the operation must fail. `u64::MAX` means "never
+/// fail". A single `fetch_update` (rather than load-check-decrement)
+/// keeps the countdown exact when many threads hit the store at once —
+/// two threads seeing `1` must not both decrement and wrap past zero.
+fn countdown(counter: &AtomicU64) -> bool {
+    counter
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| match n {
+            0 | u64::MAX => None,
+            n => Some(n - 1),
+        })
+        .is_err_and(|n| n == 0)
 }
 
 impl UntrustedStore for ErrorStore {
@@ -690,15 +696,9 @@ impl TrustedStore for FaultyTrustedStore {
     }
 
     fn write(&self, data: &[u8]) -> Result<()> {
-        if !self.healed.load(Ordering::SeqCst) {
-            let remaining = self.writes_until_failure.load(Ordering::SeqCst);
-            if remaining == 0 {
-                self.failures.fetch_add(1, Ordering::SeqCst);
-                return Err(StoreError::InjectedFault("trusted store write failure"));
-            }
-            if remaining != u64::MAX {
-                self.writes_until_failure.fetch_sub(1, Ordering::SeqCst);
-            }
+        if !self.healed.load(Ordering::SeqCst) && countdown(&self.writes_until_failure) {
+            self.failures.fetch_add(1, Ordering::SeqCst);
+            return Err(StoreError::InjectedFault("trusted store write failure"));
         }
         self.inner.write(data)
     }
@@ -874,6 +874,47 @@ mod tests {
         ft.heal();
         ft.write(b"two").unwrap();
         assert_eq!(ft.read().unwrap(), b"two");
+    }
+
+    #[test]
+    fn fault_injectors_are_sync() {
+        // The concurrency stress suites share one injector across reader
+        // and mutator threads; these bounds are load-bearing, not vacuous.
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<ErrorStore>();
+        assert_sync::<PlannedFaultStore>();
+        assert_sync::<FaultyTrustedStore>();
+        assert_sync::<FaultPlan>();
+    }
+
+    #[test]
+    fn error_store_countdown_is_exact_under_contention() {
+        // With the load-check-decrement race, two threads both observing
+        // `remaining == 1` would double-decrement and wrap the counter to
+        // u64::MAX ("never fail"); the armed fault would silently vanish.
+        // Hammer the countdown from many threads and demand exactly
+        // `armed` successes before the permanent failure state.
+        let mem = Arc::new(MemStore::new());
+        let es = Arc::new(ErrorStore::new(mem));
+        let armed = 64u64;
+        es.fail_after_writes(armed);
+        let successes = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let es = Arc::clone(&es);
+                let successes = Arc::clone(&successes);
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        if es.write_at(i * 8, b"payload!").is_ok() {
+                            successes.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(successes.load(Ordering::SeqCst), armed);
+        // Still failing: the counter pinned at zero rather than wrapping.
+        assert!(es.write_at(0, b"x").is_err());
     }
 
     #[test]

@@ -192,6 +192,21 @@ impl TrustedDbBuilder {
         self
     }
 
+    /// Sets the number of concurrent read shards in the chunk store
+    /// (`0` disables the fast read path; see
+    /// [`ChunkStoreConfig::read_shards`]).
+    pub fn read_shards(mut self, shards: usize) -> Self {
+        self.chunk_config.read_shards = shards;
+        self
+    }
+
+    /// Sets the parallel crypto pipeline's worker count (`0` = auto,
+    /// `1` = sequential; see [`ChunkStoreConfig::crypto_workers`]).
+    pub fn crypto_workers(mut self, workers: usize) -> Self {
+        self.chunk_config.crypto_workers = workers;
+        self
+    }
+
     /// Overrides the default partition's cryptographic parameters.
     pub fn partition_params(mut self, params: CryptoParams) -> Self {
         self.partition_params = Some(params);

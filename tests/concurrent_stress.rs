@@ -1,0 +1,342 @@
+//! Concurrent read/mutate stress over a shared [`ChunkStore`] (ISSUE 2).
+//!
+//! N reader threads hammer the sharded fast-read path while one mutator
+//! commits new versions, checkpoints, and cleans. The protocol proves
+//! that every successful read returns a *fully committed* pre- or
+//! post-state body, never torn or partially validated data:
+//!
+//! - Each chunk body is self-describing: `body(rank, version)` embeds
+//!   both values and a length/fill derived from them, so any mix of two
+//!   versions (or a torn buffer) fails the equality check.
+//! - Per rank the mutator maintains two atomics: `pending[rank]` is
+//!   bumped *before* the commit is issued, `committed[rank]` *after* it
+//!   is acknowledged. A reader brackets its read with
+//!   `lo = committed[rank]` (before) and `hi = pending[rank]` (after);
+//!   the version decoded from the body must satisfy `lo <= v <= hi`.
+//!   A stale cache hit would violate the lower bound, a torn or
+//!   speculative read the body equality, a time-travel read the upper
+//!   bound.
+//!
+//! The suites run at reader counts {1, 2, 4, 8}, with the crypto
+//! pipeline sequential and parallel, and once more with a seeded
+//! [`FaultPlan`] injecting transient storage faults (reads may then fail
+//! with I/O or degraded-mode errors — but a read that *succeeds* must
+//! still satisfy the same bounds). Heavier torture variants are
+//! `#[ignore]`d for the CI `--include-ignored` pass.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tdb::{
+    ChunkId, ChunkStore, ChunkStoreConfig, CommitOp, CryptoParams, PartitionId, TrustedBackend,
+    ValidationMode,
+};
+use tdb_crypto::SecretKey;
+use tdb_storage::{
+    CounterOverTrusted, FaultPlan, MemStore, MemTrustedStore, PlannedFaultStore, SharedUntrusted,
+    TrustedStore, UntrustedStore,
+};
+
+const RANKS: u64 = 8;
+
+fn config(crypto_workers: usize) -> ChunkStoreConfig {
+    ChunkStoreConfig {
+        fanout: 4,
+        segment_size: 1 << 16,
+        checkpoint_threshold: 24,
+        validation: ValidationMode::Counter {
+            delta_ut: 5,
+            delta_tu: 0,
+        },
+        read_shards: 16,
+        read_cache_chunks: 64,
+        crypto_workers,
+        ..ChunkStoreConfig::default()
+    }
+}
+
+/// The self-describing body for `(rank, version)`: decodable header plus
+/// a version-dependent fill and length, so two versions never agree on
+/// any prefix longer than the header.
+fn body(rank: u64, version: u64) -> Vec<u8> {
+    let len = 64 + ((rank * 131 + version * 17) % 512) as usize;
+    let mut out = Vec::with_capacity(16 + len);
+    out.extend_from_slice(&rank.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
+    let fill = (rank as u8).wrapping_mul(31).wrapping_add(version as u8);
+    out.resize(16 + len, fill);
+    out
+}
+
+/// Decodes a body's version and checks full integrity against `rank`.
+/// Panics on any torn or mixed buffer.
+fn decode(rank: u64, got: &[u8]) -> u64 {
+    assert!(got.len() >= 16, "body too short: {} bytes", got.len());
+    let r = u64::from_le_bytes(got[..8].try_into().unwrap());
+    let v = u64::from_le_bytes(got[8..16].try_into().unwrap());
+    assert_eq!(r, rank, "body belongs to another rank");
+    assert_eq!(
+        got,
+        body(rank, v),
+        "torn or mixed body for rank {rank} version {v}"
+    );
+    v
+}
+
+struct Harness {
+    store: Arc<ChunkStore>,
+    partition: PartitionId,
+    /// Last version whose commit was *issued*, per rank.
+    pending: Vec<AtomicU64>,
+    /// Last version whose commit was *acknowledged*, per rank.
+    committed: Vec<AtomicU64>,
+    done: AtomicBool,
+}
+
+fn build(untrusted: SharedUntrusted, crypto_workers: usize) -> Harness {
+    let register = Arc::new(MemTrustedStore::new(64));
+    let backend = TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+        register as Arc<dyn TrustedStore>,
+    )));
+    let store = ChunkStore::create(
+        untrusted,
+        backend,
+        SecretKey::random(24),
+        config(crypto_workers),
+    )
+    .unwrap();
+    let partition = store.allocate_partition().unwrap();
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: partition,
+            params: CryptoParams::paper_default(),
+        }])
+        .unwrap();
+    // Write version 1 of every rank so readers never see NotWritten in
+    // the fault-free runs.
+    for rank in 0..RANKS {
+        let id = store.allocate_chunk(partition).unwrap();
+        assert_eq!(id.pos.rank, rank);
+    }
+    store
+        .commit(
+            (0..RANKS)
+                .map(|rank| CommitOp::WriteChunk {
+                    id: ChunkId::data(partition, rank),
+                    bytes: body(rank, 1),
+                })
+                .collect(),
+        )
+        .unwrap();
+    Harness {
+        store: Arc::new(store),
+        partition,
+        pending: (0..RANKS).map(|_| AtomicU64::new(1)).collect(),
+        committed: (0..RANKS).map(|_| AtomicU64::new(1)).collect(),
+        done: AtomicBool::new(false),
+    }
+}
+
+/// One reader: loops over all ranks until the mutator finishes, checking
+/// the commit-bound protocol on every successful read. Returns
+/// (reads, errors).
+fn reader(h: &Harness, seed: u64, faults_allowed: bool) -> (u64, u64) {
+    let mut reads = 0u64;
+    let mut errors = 0u64;
+    let mut rank = seed % RANKS;
+    while !h.done.load(Ordering::Acquire) {
+        let lo = h.committed[rank as usize].load(Ordering::SeqCst);
+        match h.store.read(ChunkId::data(h.partition, rank)) {
+            Ok(got) => {
+                let hi = h.pending[rank as usize].load(Ordering::SeqCst);
+                let v = decode(rank, &got);
+                assert!(
+                    lo <= v && v <= hi,
+                    "rank {rank}: read version {v} outside committed bounds [{lo}, {hi}]"
+                );
+                reads += 1;
+            }
+            Err(e) => {
+                assert!(faults_allowed, "read failed with no faults injected: {e}");
+                errors += 1;
+            }
+        }
+        rank = (rank + 1) % RANKS;
+    }
+    (reads, errors)
+}
+
+/// The mutator: `iters` rounds of multi-chunk commits with occasional
+/// checkpoints and cleans. Under faults, failed mutations are tolerated
+/// (the pending counter stays as the upper bound — a failed commit may
+/// still have durably applied) and healing is attempted.
+fn mutator(h: &Harness, iters: u64, faults_allowed: bool) {
+    for i in 0..iters {
+        // A batch of 2-3 chunks wide enough to engage the pipeline.
+        let width = 2 + (i % 2) as usize;
+        let mut ops = Vec::with_capacity(width);
+        let mut versions = Vec::with_capacity(width);
+        for k in 0..width as u64 {
+            let rank = (i + k * 3) % RANKS;
+            let v = h.pending[rank as usize].fetch_add(1, Ordering::SeqCst) + 1;
+            versions.push((rank, v));
+            ops.push(CommitOp::WriteChunk {
+                id: ChunkId::data(h.partition, rank),
+                bytes: body(rank, v),
+            });
+        }
+        match h.store.commit(ops) {
+            Ok(()) => {
+                for (rank, v) in versions {
+                    h.committed[rank as usize].fetch_max(v, Ordering::SeqCst);
+                }
+            }
+            Err(e) => {
+                assert!(faults_allowed, "commit failed with no faults injected: {e}");
+                // The commit may or may not have applied durably; the
+                // pending bump already covers the "applied" case. Try to
+                // get back to live for the next round.
+                let _ = h.store.try_heal();
+            }
+        }
+        if i % 16 == 9 {
+            let r = h.store.checkpoint();
+            assert!(faults_allowed || r.is_ok(), "checkpoint failed: {r:?}");
+        }
+        if i % 32 == 21 {
+            let r = h.store.clean(2);
+            assert!(faults_allowed || r.is_ok(), "clean failed: {r:?}");
+        }
+    }
+    h.done.store(true, Ordering::Release);
+}
+
+fn run_stress(readers: usize, iters: u64, crypto_workers: usize) {
+    let untrusted = Arc::new(MemStore::new()) as SharedUntrusted;
+    let h = build(untrusted, crypto_workers);
+    let total_reads: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..readers)
+            .map(|t| {
+                let h = &h;
+                s.spawn(move || reader(h, t as u64, false))
+            })
+            .collect();
+        mutator(&h, iters, false);
+        handles.into_iter().map(|j| j.join().unwrap().0).sum()
+    });
+    assert!(total_reads > 0, "readers never observed a chunk");
+    let stats = h.store.stats();
+    // The fast path must actually be exercised (not all falling back).
+    assert!(stats.read_fast_hits > 0, "no fast-path hits: {stats:?}");
+    if crypto_workers >= 2 {
+        assert!(
+            stats.parallel_crypto_batches > 0,
+            "pipeline never engaged: {stats:?}"
+        );
+    }
+    // Post-run: the final committed state reads back exactly.
+    for rank in 0..RANKS {
+        let v = h.committed[rank as usize].load(Ordering::SeqCst);
+        let hi = h.pending[rank as usize].load(Ordering::SeqCst);
+        let got = h.store.read(ChunkId::data(h.partition, rank)).unwrap();
+        let got_v = decode(rank, &got);
+        assert!(v <= got_v && got_v <= hi);
+    }
+    h.store.close().unwrap();
+}
+
+fn run_faulted(readers: usize, iters: u64, seed: u64) {
+    let mem = Arc::new(MemStore::new());
+    let pf = Arc::new(PlannedFaultStore::new(
+        Arc::clone(&mem) as Arc<dyn UntrustedStore>,
+        FaultPlan::new(),
+    ));
+    let h = build(Arc::clone(&pf) as SharedUntrusted, 4);
+    // Arm the plan only after setup so the store starts consistent; the
+    // horizon covers the whole concurrent phase.
+    pf.set_plan(FaultPlan::seeded(seed, 4000, 24));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..readers)
+            .map(|t| {
+                let h = &h;
+                s.spawn(move || reader(h, t as u64, true))
+            })
+            .collect();
+        mutator(&h, iters, true);
+        for j in handles {
+            j.join().unwrap();
+        }
+    });
+    // Disarm and heal; unless the store poisoned (only integrity faults
+    // do that, and the plan injects none), it must serve committed state.
+    pf.set_plan(FaultPlan::new());
+    let _ = h.store.try_heal();
+    h.store.drop_read_cache();
+    for rank in 0..RANKS {
+        let lo = h.committed[rank as usize].load(Ordering::SeqCst);
+        let hi = h.pending[rank as usize].load(Ordering::SeqCst);
+        let got = h.store.read(ChunkId::data(h.partition, rank)).unwrap();
+        let v = decode(rank, &got);
+        assert!(
+            lo <= v && v <= hi,
+            "rank {rank}: post-fault version {v} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+// -- Fault-free stress at 1/2/4/8 readers ----------------------------------
+
+#[test]
+fn stress_one_reader_sequential_crypto() {
+    run_stress(1, 160, 1);
+}
+
+#[test]
+fn stress_two_readers() {
+    run_stress(2, 160, 4);
+}
+
+#[test]
+fn stress_four_readers() {
+    run_stress(4, 160, 4);
+}
+
+#[test]
+fn stress_eight_readers() {
+    run_stress(8, 160, 4);
+}
+
+// -- Seeded transient faults under concurrency -----------------------------
+
+#[test]
+fn faulted_stress_two_readers() {
+    run_faulted(2, 120, 0xC0FFEE);
+}
+
+#[test]
+fn faulted_stress_four_readers() {
+    run_faulted(4, 120, 0xDECAF);
+}
+
+#[test]
+fn faulted_stress_eight_readers() {
+    run_faulted(8, 120, 0xBADC0DE);
+}
+
+// -- Torture variants for the CI --include-ignored pass --------------------
+
+#[test]
+#[ignore = "torture: long fault-free stress"]
+fn torture_stress() {
+    for readers in [2, 4, 8] {
+        run_stress(readers, 1200, 4);
+    }
+}
+
+#[test]
+#[ignore = "torture: seeded fault sweep"]
+fn torture_faulted_sweep() {
+    for seed in 0..8u64 {
+        run_faulted(4, 300, 0x5EED_0000 + seed);
+    }
+}
