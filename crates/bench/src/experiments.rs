@@ -765,3 +765,177 @@ pub fn e13_concurrent_read() {
     std::fs::write(path, json).expect("write benchmark artifact");
     println!("  wrote {path}");
 }
+
+// ---------------------------------------------------------------------------
+// E14: group-commit write throughput (batched vs one flush per commit).
+// ---------------------------------------------------------------------------
+
+const E14_THREADS: [usize; 4] = [1, 2, 4, 8];
+const E14_CHUNK_BYTES: usize = 512;
+
+/// A fast but flush-dominated disk: commits still pay positioning per
+/// write and a large flush cost (the shape group commit attacks), but the
+/// benchmark finishes in seconds rather than reproducing 1999 latencies.
+fn e14_disk() -> tdb_storage::DiskModel {
+    tdb_storage::DiskModel {
+        seek: Duration::from_micros(100),
+        rotational: Duration::from_micros(50),
+        bandwidth: 200 * 1024 * 1024,
+        flush: Duration::from_millis(2),
+        flush_doubling_threshold: None,
+    }
+}
+
+/// Builds a store over the simulated disk with group commit on or off,
+/// plus `E14_THREADS.len()` chunks (one per committer thread). Returns the
+/// store, the disk's I/O stats handle, and the chunk ids.
+fn e14_store(group_commit: bool) -> (Arc<ChunkStore>, Arc<tdb_storage::StoreStats>, Vec<ChunkId>) {
+    use tdb_storage::{
+        CounterOverTrusted, MemStore, MemTrustedStore, SharedUntrusted, SimClock, SimDiskStore,
+        TrustedStore,
+    };
+    let disk: SharedUntrusted = Arc::new(SimDiskStore::new(
+        Arc::new(MemStore::new()) as SharedUntrusted,
+        e14_disk(),
+        Arc::new(SimClock::new(true)),
+    ));
+    let stats = disk.stats();
+    let backend = tdb::TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(Arc::new(
+        MemTrustedStore::new(64),
+    )
+        as Arc<dyn TrustedStore>)));
+    let config = ChunkStoreConfig {
+        group_commit,
+        ..paper_config()
+    };
+    let store = Arc::new(
+        ChunkStore::create(disk, backend, tdb_crypto::SecretKey::random(24), config)
+            .expect("create chunk store"),
+    );
+    let p = store.allocate_partition().expect("allocate partition");
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .expect("create partition");
+    let max_threads = *E14_THREADS.iter().max().expect("non-empty");
+    let mut ids = Vec::with_capacity(max_threads);
+    for _ in 0..max_threads {
+        ids.push(store.allocate_chunk(p).expect("allocate chunk"));
+    }
+    (store, stats, ids)
+}
+
+/// Aggregate commit throughput (commits/s) with `threads` committers each
+/// rewriting their own chunk for `window`, plus the untrusted-store write
+/// and flush counts per commit over the run.
+fn e14_throughput(
+    store: &ChunkStore,
+    stats: &tdb_storage::StoreStats,
+    ids: &[ChunkId],
+    threads: usize,
+    window: Duration,
+) -> (f64, f64, f64) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let before = stats.snapshot();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (t, &id) in ids.iter().enumerate().take(threads) {
+            let (stop, total) = (&stop, &total);
+            s.spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    store
+                        .commit(vec![CommitOp::WriteChunk {
+                            id,
+                            bytes: bytes(t as u64, E14_CHUNK_BYTES),
+                        }])
+                        .expect("commit");
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed();
+    let commits = total.load(std::sync::atomic::Ordering::Relaxed).max(1);
+    let io = stats.snapshot().since(&before);
+    (
+        commits as f64 / elapsed.as_secs_f64(),
+        io.writes as f64 / commits as f64,
+        io.flushes as f64 / commits as f64,
+    )
+}
+
+/// Measures aggregate commit throughput at 1/2/4/8 committer threads with
+/// group commit off (the paper's one-flush-per-commit write path) and on
+/// (batched, presealed, coalesced), printing the scaling table plus
+/// untrusted-store writes/flushes per commit and recording everything in
+/// `BENCH_commit_throughput.json`.
+pub fn e14_commit_throughput() {
+    println!("== E14: group-commit write throughput ==");
+    println!(
+        "workload: per-thread single-chunk commits of {E14_CHUNK_BYTES} B, \
+         flush-dominated simulated disk"
+    );
+    /// (commits/s, untrusted writes per commit, flushes per commit).
+    type Rates = (f64, f64, f64);
+    let window = Duration::from_millis(300);
+    let mut results: Vec<(&str, bool, Vec<Rates>)> = vec![
+        ("per-commit flush", false, Vec::new()),
+        ("group commit", true, Vec::new()),
+    ];
+    for (name, group_commit, rows) in &mut results {
+        let (store, stats, ids) = e14_store(*group_commit);
+        for threads in E14_THREADS {
+            rows.push(e14_throughput(&store, &stats, &ids, threads, window));
+        }
+        let s = store.stats();
+        println!(
+            "  {:16} commits/s at 1/2/4/8 threads: {:>7.0} {:>7.0} {:>7.0} {:>7.0}  \
+             (batches {}, batched commits {})",
+            name, rows[0].0, rows[1].0, rows[2].0, rows[3].0, s.commit_batches, s.batched_commits
+        );
+        println!(
+            "  {:16} per-commit I/O at 8 threads: {:.2} writes, {:.2} flushes",
+            "", rows[3].1, rows[3].2
+        );
+        store.close().expect("close");
+    }
+    let base = &results[0].2;
+    let grouped = &results[1].2;
+    let speedup = grouped[3].0 / base[3].0;
+    println!("  group-commit/per-commit-flush aggregate at 8 threads: {speedup:.2}x");
+    let row = |rows: &[(f64, f64, f64)]| {
+        E14_THREADS
+            .iter()
+            .zip(rows)
+            .map(|(t, r)| format!("\"{t}\": {:.0}", r.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let io = |r: &(f64, f64, f64)| format!("{{ \"writes\": {:.2}, \"flushes\": {:.2} }}", r.1, r.2);
+    let json = format!(
+        "{{\n  \"experiment\": \"commit_throughput\",\n  \"chunk_bytes\": {},\n  \
+         \"window_ms\": {},\n  \
+         \"commits_per_sec\": {{\n    \"per_commit_flush\": {{ {} }},\n    \
+         \"group_commit\": {{ {} }}\n  }},\n  \
+         \"io_per_commit_8_threads\": {{\n    \"per_commit_flush\": {},\n    \
+         \"group_commit\": {}\n  }},\n  \"speedup_8_threads\": {:.2}\n}}\n",
+        E14_CHUNK_BYTES,
+        window.as_millis(),
+        row(base),
+        row(grouped),
+        io(&base[3]),
+        io(&grouped[3]),
+        speedup
+    );
+    let path = "BENCH_commit_throughput.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}

@@ -1,0 +1,182 @@
+//! Group commit: batching concurrent committers behind one flush.
+//!
+//! The paper's engine serializes everything behind one mutex and pays one
+//! device flush per commit — "a commit operation waits until the commit
+//! set is written to the untrusted store reliably" (§4.8.2.1). With many
+//! committer threads that flush dominates. This module amortizes it the
+//! classic group-commit way while keeping the paper's durability rule
+//! per *batch*:
+//!
+//! - Committers enqueue their op set and park on a condition variable.
+//! - The first committer to find no leader active becomes the **leader**:
+//!   it drains up to `commit_batch_max` queued commits, takes the engine
+//!   lock once, and runs [`crate::store::Inner::commit_batch`] — every
+//!   member is presealed through the parallel crypto pipeline, its appends
+//!   coalesce into segment-sized runs (one `write_at` per run instead of
+//!   one per version), and a single flush ends the batch.
+//! - The leader publishes each member's own `Result`, *then* wakes the
+//!   waiters. A waiter therefore never observes success before its bytes
+//!   are durable (durability-before-ack), and a failing member is rejected
+//!   without poisoning its batch-mates (per-commit atomicity).
+//!
+//! The queue is intentionally dumb: ordering is arrival order, fairness
+//! comes from draining the front, and a leader whose own entry missed the
+//! drained window (more than `commit_batch_max` older entries) simply
+//! loops and leads again.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::errors::Result;
+use crate::ids::ChunkId;
+use crate::store::{ChunkStore, CommitOp};
+
+/// One enqueued commit, shared between its waiter and the batch leader.
+struct PendingCommit {
+    /// The op set; taken (once) by the leader that drains this entry.
+    ops: Mutex<Option<Vec<CommitOp>>>,
+    /// Chunk ids this commit can change, collected before `ops` is
+    /// consumed so the leader can scrub read-path shards per member.
+    touched: Vec<ChunkId>,
+    /// True when the commit deallocates a partition (ids may be reused,
+    /// so every shard entry must go).
+    clear_all: bool,
+    /// The member's outcome, set by the leader before it wakes waiters.
+    result: Mutex<Option<Result<()>>>,
+}
+
+/// Shared queue state: pending commits plus the single-leader latch.
+struct BatchQueue {
+    queue: VecDeque<Arc<PendingCommit>>,
+    leader_active: bool,
+}
+
+/// The group-commit coordinator owned by a [`ChunkStore`].
+pub(crate) struct CommitBatcher {
+    shared: Mutex<BatchQueue>,
+    wakeup: Condvar,
+    /// Most members a leader drains into one batch.
+    max: usize,
+}
+
+impl CommitBatcher {
+    pub(crate) fn new(max: usize) -> CommitBatcher {
+        CommitBatcher {
+            shared: Mutex::new(BatchQueue {
+                queue: VecDeque::new(),
+                leader_active: false,
+            }),
+            wakeup: Condvar::new(),
+            max: max.max(1),
+        }
+    }
+}
+
+impl ChunkStore {
+    /// Group-commit entry point: enqueue, lead or wait, return this
+    /// commit's own result once its batch reached durability.
+    pub(crate) fn commit_batched(&self, ops: Vec<CommitOp>) -> Result<()> {
+        let batcher = self.batcher.as_ref().expect("routed only when built");
+        let mut touched: Vec<ChunkId> = Vec::new();
+        let mut clear_all = false;
+        for op in &ops {
+            match op {
+                CommitOp::WriteChunk { id, .. } | CommitOp::DeallocChunk { id } => {
+                    touched.push(*id);
+                }
+                CommitOp::DeallocPartition { .. } => clear_all = true,
+                CommitOp::CreatePartition { .. } | CommitOp::CopyPartition { .. } => {}
+            }
+        }
+        let entry = Arc::new(PendingCommit {
+            ops: Mutex::new(Some(ops)),
+            touched,
+            clear_all,
+            result: Mutex::new(None),
+        });
+        let mut shared = batcher.shared.lock();
+        shared.queue.push_back(Arc::clone(&entry));
+        let mut yielded = false;
+        loop {
+            // The leader publishes results before clearing the latch and
+            // notifying, so this check is the ack point.
+            if let Some(result) = entry.result.lock().take() {
+                return result;
+            }
+            if shared.leader_active {
+                batcher.wakeup.wait(&mut shared);
+                continue;
+            }
+            // Commit delay, once, at its cheapest: a would-be leader of a
+            // batch of one yields the core a single time so committers
+            // unparked by the previous batch can enqueue behind it. One
+            // scheduler quantum against a device flush is a good trade;
+            // a lone committer pays it once and never again.
+            if shared.queue.len() == 1 && !yielded {
+                yielded = true;
+                drop(shared);
+                std::thread::yield_now();
+                shared = batcher.shared.lock();
+                continue;
+            }
+            shared.leader_active = true;
+            let take = shared.queue.len().min(batcher.max);
+            let members: Vec<Arc<PendingCommit>> = shared.queue.drain(..take).collect();
+            drop(shared);
+            self.run_batch(&members);
+            shared = batcher.shared.lock();
+            shared.leader_active = false;
+            batcher.wakeup.notify_all();
+            // Our own entry was usually in `members`; if more than `max`
+            // older commits were queued it was not, and the loop leads (or
+            // waits) again until its result appears.
+        }
+    }
+
+    /// Leader body: one engine-lock hold for the whole batch, then
+    /// per-member read-path scrubbing, publication, and result delivery.
+    fn run_batch(&self, members: &[Arc<PendingCommit>]) {
+        let mut inner = self.inner.lock();
+        if inner.check_writable().is_err() {
+            // Refuse the whole batch with fresh per-member errors; no
+            // member state was touched.
+            for m in members {
+                let err = inner.check_writable().expect_err("checked unhealthy");
+                *m.result.lock() = Some(Err(err));
+            }
+            self.reads.set_health(&inner.health);
+            return;
+        }
+        let sets: Vec<Vec<CommitOp>> = members
+            .iter()
+            .map(|m| m.ops.lock().take().expect("ops taken once, by the leader"))
+            .collect();
+        let results = inner.commit_batch(sets);
+        debug_assert_eq!(results.len(), members.len());
+        for (m, result) in members.iter().zip(results) {
+            // Scrub shard state on every outcome — a member can be durably
+            // applied even when its result is an error (e.g. its follow-on
+            // checkpoint failed), so touched ids never survive the attempt.
+            if m.clear_all {
+                self.reads.clear_all();
+            } else {
+                for id in &m.touched {
+                    self.reads.invalidate(*id);
+                }
+            }
+            if result.is_ok() {
+                for id in &m.touched {
+                    if let (Ok(desc), Ok(crypto)) =
+                        (inner.get_descriptor(*id), inner.crypto_for(id.partition))
+                    {
+                        self.reads.publish(*id, desc, &crypto, None);
+                    }
+                }
+            }
+            *m.result.lock() = Some(result);
+        }
+        self.reads.set_health(&inner.health);
+    }
+}

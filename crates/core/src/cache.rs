@@ -11,7 +11,7 @@
 //! checkpoint writes it out; a map chunk with no persistent version *must*
 //! therefore be in the cache.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::descriptor::MapChunk;
 use crate::ids::{PartitionId, Position};
@@ -31,6 +31,11 @@ pub struct CacheEntry {
 #[derive(Debug, Clone)]
 pub struct MapCache {
     entries: HashMap<(PartitionId, Position), CacheEntry>,
+    /// Index of dirty entries, ordered (partition, height, rank) — the
+    /// bottom-up checkpoint order. Kept in lockstep with the `dirty` flags
+    /// in `entries` so checkpoint triggering and level iteration are O(1)
+    /// / O(dirty) instead of full-cache scans.
+    dirty: BTreeSet<(PartitionId, Position)>,
     /// Soft capacity in entries; only clean entries are evictable.
     capacity: usize,
     tick: u64,
@@ -41,6 +46,7 @@ impl MapCache {
     pub fn new(capacity: usize) -> MapCache {
         MapCache {
             entries: HashMap::new(),
+            dirty: BTreeSet::new(),
             capacity: capacity.max(8),
             tick: 0,
         }
@@ -77,11 +83,11 @@ impl MapCache {
         pos: Position,
     ) -> Option<&mut MapChunk> {
         let tick = self.bump();
-        self.entries.get_mut(&(partition, pos)).map(|e| {
-            e.last_used = tick;
-            e.dirty = true;
-            &mut e.chunk
-        })
+        let entry = self.entries.get_mut(&(partition, pos))?;
+        entry.last_used = tick;
+        entry.dirty = true;
+        self.dirty.insert((partition, pos));
+        Some(&mut entry.chunk)
     }
 
     /// Inserts a map chunk (replacing any previous entry), then evicts clean
@@ -96,6 +102,11 @@ impl MapCache {
                 last_used: tick,
             },
         );
+        if dirty {
+            self.dirty.insert((partition, pos));
+        } else {
+            self.dirty.remove(&(partition, pos));
+        }
         self.evict_if_needed(Some((partition, pos)));
     }
 
@@ -103,12 +114,14 @@ impl MapCache {
     pub fn mark_clean(&mut self, partition: PartitionId, pos: Position) {
         if let Some(e) = self.entries.get_mut(&(partition, pos)) {
             e.dirty = false;
+            self.dirty.remove(&(partition, pos));
         }
     }
 
     /// Removes every entry belonging to `partition` (partition deallocated).
     pub fn purge_partition(&mut self, partition: PartitionId) {
         self.entries.retain(|(p, _), _| *p != partition);
+        self.dirty.retain(|(p, _)| *p != partition);
     }
 
     /// Clones all *dirty* map chunks of `src` under `dst`'s key space — the
@@ -128,22 +141,56 @@ impl MapCache {
     }
 
     /// Number of dirty entries (drives checkpoint triggering, §4.7: "when
-    /// the cache becomes too large because of dirty descriptors").
+    /// the cache becomes too large because of dirty descriptors"). O(1)
+    /// via the dirty index.
     pub fn dirty_count(&self) -> usize {
-        self.entries.values().filter(|e| e.dirty).count()
+        self.dirty.len()
     }
 
     /// All dirty entries' keys, sorted by (partition, height, rank) so a
-    /// checkpoint can write bottom-up deterministically.
+    /// checkpoint can write bottom-up deterministically. Served from the
+    /// dirty index without scanning the cache.
     pub fn dirty_keys(&self) -> Vec<(PartitionId, Position)> {
-        let mut keys: Vec<_> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.dirty)
-            .map(|(k, _)| *k)
-            .collect();
-        keys.sort_by_key(|(p, pos)| (*p, pos.height, pos.rank));
-        keys
+        self.dirty.iter().copied().collect()
+    }
+
+    /// The lowest height among dirty map chunks with `is_system()` matching
+    /// `system`, with the keys at that height in (partition, rank) order —
+    /// one incremental-checkpoint level. `None` when no such chunk is dirty.
+    pub fn min_dirty_level(&self, system: bool) -> Option<(u8, Vec<(PartitionId, Position)>)> {
+        let mut level: Option<u8> = None;
+        let mut keys: Vec<(PartitionId, Position)> = Vec::new();
+        for &(p, pos) in self.dirty.iter().filter(|(p, _)| p.is_system() == system) {
+            match level {
+                None => {
+                    level = Some(pos.height);
+                    keys.push((p, pos));
+                }
+                Some(h) if pos.height < h => {
+                    level = Some(pos.height);
+                    keys.clear();
+                    keys.push((p, pos));
+                }
+                Some(h) if pos.height == h => keys.push((p, pos)),
+                Some(_) => {}
+            }
+        }
+        level.map(|h| (h, keys))
+    }
+
+    /// Distinct (partition kind, height) levels present in the cache and
+    /// the subset of those with at least one dirty chunk — the denominator
+    /// and numerator of the incremental checkpoint's skipped-levels stat.
+    pub fn level_counts(&self) -> (usize, usize) {
+        let mut present: BTreeSet<(bool, u8)> = BTreeSet::new();
+        for (p, pos) in self.entries.keys() {
+            present.insert((p.is_system(), pos.height));
+        }
+        let mut dirty: BTreeSet<(bool, u8)> = BTreeSet::new();
+        for (p, pos) in &self.dirty {
+            dirty.insert((p.is_system(), pos.height));
+        }
+        (present.len(), dirty.len())
     }
 
     /// Total entries cached.
@@ -159,6 +206,7 @@ impl MapCache {
     /// Drops everything (used when a restore replaces partitions wholesale).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.dirty.clear();
     }
 
     fn evict_if_needed(&mut self, keep: Option<(PartitionId, Position)>) {
@@ -284,6 +332,37 @@ mod tests {
         cache.purge_partition(p(1));
         assert!(!cache.contains(p(1), Position::map(1, 0)));
         assert!(cache.contains(p(2), Position::map(1, 0)));
+    }
+
+    #[test]
+    fn dirty_index_tracks_levels() {
+        let mut cache = MapCache::new(32);
+        cache.insert(p(1), Position::map(2, 0), mc(4, 1), true);
+        cache.insert(p(2), Position::map(1, 3), mc(4, 2), true);
+        cache.insert(p(1), Position::map(1, 1), mc(4, 3), true);
+        cache.insert(p(3), Position::map(3, 0), mc(4, 4), false);
+        assert_eq!(cache.dirty_count(), 3);
+        let (height, keys) = cache.min_dirty_level(false).unwrap();
+        assert_eq!(height, 1);
+        assert_eq!(
+            keys,
+            vec![(p(1), Position::map(1, 1)), (p(2), Position::map(1, 3))]
+        );
+        assert!(cache.min_dirty_level(true).is_none());
+        let (present, dirty) = cache.level_counts();
+        assert_eq!((present, dirty), (3, 2));
+        cache.mark_clean(p(1), Position::map(1, 1));
+        cache.mark_clean(p(2), Position::map(1, 3));
+        let (height, keys) = cache.min_dirty_level(false).unwrap();
+        assert_eq!(height, 2);
+        assert_eq!(keys, vec![(p(1), Position::map(2, 0))]);
+        cache.mark_clean(p(1), Position::map(2, 0));
+        assert_eq!(cache.dirty_count(), 0);
+        assert!(cache.min_dirty_level(false).is_none());
+        // The dirty index survives purge and clear.
+        cache.insert(p(2), Position::map(1, 0), mc(4, 5), true);
+        cache.purge_partition(p(2));
+        assert_eq!(cache.dirty_count(), 0);
     }
 
     #[test]

@@ -42,6 +42,14 @@ impl Inner {
     }
 
     fn checkpoint_impl(&mut self) -> Result<()> {
+        // Incremental accounting: levels that are cached but hold no dirty
+        // chunk are never visited below (the dirty index hands out only
+        // dirty levels), so a lightly dirtied tree checkpoints in O(dirty).
+        let (levels_present, levels_dirty) = self.map_cache.level_counts();
+        let skipped = levels_present.saturating_sub(levels_dirty) as u64;
+        self.stats.dirty_map_levels_skipped += skipped;
+        metrics::add(counters::DIRTY_MAP_LEVELS_SKIPPED, skipped);
+
         // 1. User-partition map chunks, bottom-up. Writing a chunk at height
         //    h dirties its parent at h+1 (or the partition leader), so
         //    re-collect keys per height until only system chunks remain.
@@ -135,13 +143,13 @@ impl Inner {
                 };
                 self.append(&sealed)?;
                 self.commit_count = count;
-                self.log.flush()?;
+                self.flush_log()?;
                 // A checkpoint always syncs the counter.
                 self.advance_counter(count)?;
                 self.write_superblock(leader_loc)?;
             }
             ValidationMode::DirectHash => {
-                self.log.flush()?;
+                self.flush_log()?;
                 // Superblock first, trusted record second: whichever leader
                 // the register's chain matches is the one recovery accepts,
                 // so both crash windows fall back cleanly (§4.9.2).
@@ -159,28 +167,16 @@ impl Inner {
 
     /// Writes every dirty map chunk of user partitions (`system == false`)
     /// or the system partition (`system == true`), heights ascending.
+    ///
+    /// Incremental: each pass pulls exactly the lowest dirty level from
+    /// the cache's dirty index — clean levels are never scanned. Writing a
+    /// chunk at height h only dirties chunks at heights > h (its
+    /// ancestors), so one whole level can be written per pass.
     fn write_dirty_maps(&mut self, system: bool) -> Result<()> {
-        loop {
-            let mut keys: Vec<(PartitionId, Position)> = self
-                .map_cache
-                .dirty_keys()
-                .into_iter()
-                .filter(|(p, _)| p.is_system() == system)
-                .collect();
-            if keys.is_empty() {
-                return Ok(());
-            }
-            // Writing a chunk at height h only dirties chunks at heights
-            // > h (its ancestors), so one whole height level can be written
-            // per collection pass without re-scanning.
-            keys.sort_by_key(|(p, pos)| (pos.height, *p, pos.rank));
-            let level = keys[0].1.height;
-            let level_keys: Vec<(PartitionId, Position)> = keys
-                .into_iter()
-                .take_while(|(_, pos)| pos.height == level)
-                .collect();
+        while let Some((_, level_keys)) = self.map_cache.min_dirty_level(system) {
             self.write_map_level(&level_keys)?;
         }
+        Ok(())
     }
 
     /// Writes one height level of dirty map chunks. Chunks at the same

@@ -144,6 +144,11 @@ pub enum CoreError {
     RestoreConstraint(String),
     /// The restore policy (a trusted program) denied the restore (§6.3).
     RestoreDenied(String),
+    /// The commit rode in a group-commit batch that was aborted before its
+    /// shared durability point: a batch-mate hit a storage or integrity
+    /// failure after bytes had reached the device. This commit itself was
+    /// rolled back cleanly and was never acknowledged durable.
+    BatchAborted(String),
     /// The store is serving validated reads only: a storage failure
     /// interrupted a mutation after bytes had reached the log, so further
     /// mutations are rejected until `ChunkStore::try_heal` or a reopen.
@@ -195,6 +200,9 @@ impl fmt::Display for CoreError {
                 write!(f, "restore constraint violated: {msg}")
             }
             CoreError::RestoreDenied(msg) => write!(f, "restore denied by policy: {msg}"),
+            CoreError::BatchAborted(msg) => {
+                write!(f, "group-commit batch aborted: {msg}")
+            }
             CoreError::DegradedMode(msg) => {
                 write!(f, "store degraded to read-only: {msg}")
             }

@@ -57,6 +57,7 @@
 //! ```
 
 pub mod backup;
+mod batcher;
 pub mod cache;
 mod checkpoint;
 mod cleaner;

@@ -219,6 +219,30 @@ impl LogHashes {
     }
 }
 
+/// A contiguous stretch of buffered log bytes awaiting write-out.
+///
+/// Runs break only at segment switches, so a run is always a whole number
+/// of sealed versions laid out contiguously within one segment.
+struct PendingRun {
+    start: u64,
+    buf: Vec<u8>,
+}
+
+/// A captured append-cursor state for rolling back a failed mutation.
+///
+/// Besides the tail position this records the pending end-marker
+/// obligation and a mark into the coalescing buffer, so a rollback also
+/// discards buffered-but-unwritten bytes appended after the capture.
+#[derive(Clone)]
+pub struct TailState {
+    segment: u32,
+    offset: u32,
+    residual: BTreeSet<u32>,
+    pending_stamp: Option<u64>,
+    /// (number of runs, length of the last run) at capture time.
+    runs_mark: (usize, usize),
+}
+
 /// The append cursor over the segmented log.
 pub struct SegmentedLog {
     store: SharedUntrusted,
@@ -235,6 +259,23 @@ pub struct SegmentedLog {
     nextseg_len: u32,
     /// Hard cap on segments (0 = unbounded).
     max_segments: u32,
+    /// Coalescing mode: appends accumulate into `runs` and reach the
+    /// device as one `write_at` per contiguous run at write-out time.
+    coalescing: bool,
+    /// Buffered runs awaiting [`SegmentedLog::write_out`].
+    runs: Vec<PendingRun>,
+    /// Head offset of a freshly switched-to segment whose zero end-marker
+    /// has not yet been covered by an append. The marker write is folded
+    /// into the first append after the switch (which always lands at the
+    /// segment head); this records the obligation so a write-out arriving
+    /// first still stamps the head.
+    pending_stamp: Option<u64>,
+    /// Cumulative count of appends absorbed into the coalescing buffer.
+    coalesced_appends: u64,
+    /// Cumulative count of coalesced runs written to the device.
+    coalesced_runs: u64,
+    /// Cumulative bytes written through coalesced runs.
+    coalesced_bytes: u64,
 }
 
 impl SegmentedLog {
@@ -258,6 +299,12 @@ impl SegmentedLog {
             residual,
             nextseg_len,
             max_segments,
+            coalescing: false,
+            runs: Vec::new(),
+            pending_stamp: None,
+            coalesced_appends: 0,
+            coalesced_runs: 0,
+            coalesced_bytes: 0,
         }
     }
 
@@ -305,20 +352,41 @@ impl SegmentedLog {
         self.residual.insert(segment);
     }
 
-    /// Captures the cursor (tail segment, tail offset, residual set) so a
-    /// failed mutation can be rolled back.
-    pub fn tail_state(&self) -> (u32, u32, BTreeSet<u32>) {
-        (self.tail_segment, self.tail_offset, self.residual.clone())
+    /// Captures the cursor (tail position, residual set, end-marker
+    /// obligation, coalescing-buffer mark) so a failed mutation can be
+    /// rolled back.
+    pub fn tail_state(&self) -> TailState {
+        TailState {
+            segment: self.tail_segment,
+            offset: self.tail_offset,
+            residual: self.residual.clone(),
+            pending_stamp: self.pending_stamp,
+            runs_mark: (self.runs.len(), self.runs.last().map_or(0, |r| r.buf.len())),
+        }
     }
 
     /// Restores a cursor captured by [`SegmentedLog::tail_state`]. Bytes
-    /// appended past the restored tail become invisible: the next append
-    /// overwrites them, and recovery treats them as a torn tail.
-    pub fn restore_tail_state(&mut self, state: (u32, u32, BTreeSet<u32>)) {
-        let (segment, offset, residual) = state;
-        self.tail_segment = segment;
-        self.tail_offset = offset;
-        self.residual = residual;
+    /// appended past the restored tail become invisible: buffered bytes
+    /// are truncated away, already-written bytes are overwritten by the
+    /// next append, and recovery treats them as a torn tail.
+    pub fn restore_tail_state(&mut self, state: TailState) {
+        self.tail_segment = state.segment;
+        self.tail_offset = state.offset;
+        self.residual = state.residual;
+        self.pending_stamp = state.pending_stamp;
+        let (nruns, last_len) = state.runs_mark;
+        // A write-out drains the buffer all-or-nothing, so either the runs
+        // captured by the mark are still here (truncate back to the mark)
+        // or they all reached the device (already invisible past the
+        // restored tail) and anything buffered since is rolled-back suffix.
+        if self.runs.len() >= nruns {
+            self.runs.truncate(nruns);
+            if let Some(last) = self.runs.last_mut() {
+                last.buf.truncate(last_len);
+            }
+        } else {
+            self.runs.clear();
+        }
     }
 
     /// Largest body a version may carry, given segment geometry.
@@ -371,13 +439,37 @@ impl SegmentedLog {
     ) -> Result<u64> {
         self.ensure_room(state, system, hashes, bytes.len() as u32)?;
         let location = self.tail_location();
-        {
+        if self.coalescing {
+            self.buffer_write(location, bytes);
+        } else {
             let _t = metrics::span(modules::UNTRUSTED_WRITE);
             self.store.write_at(location, bytes)?;
+        }
+        if self.pending_stamp == Some(location) {
+            // This append lands at the head of a freshly switched-to
+            // segment and covers the folded zero end-marker region (every
+            // sealed version is longer than the 2-byte marker).
+            self.pending_stamp = None;
         }
         hashes.absorb(bytes);
         self.tail_offset += bytes.len() as u32;
         Ok(location)
+    }
+
+    /// Accumulates `bytes` at `location` into the coalescing buffer,
+    /// extending the last run when contiguous.
+    fn buffer_write(&mut self, location: u64, bytes: &[u8]) {
+        self.coalesced_appends += 1;
+        if let Some(run) = self.runs.last_mut() {
+            if run.start + run.buf.len() as u64 == location {
+                run.buf.extend_from_slice(bytes);
+                return;
+            }
+        }
+        self.runs.push(PendingRun {
+            start: location,
+            buf: bytes.to_vec(),
+        });
     }
 
     /// Moves the cursor to a fresh segment, appending the chaining
@@ -399,24 +491,23 @@ impl SegmentedLog {
         );
         debug_assert!(sealed.len() as u32 <= self.nextseg_len);
         let location = self.tail_location();
-        {
+        if self.coalescing {
+            self.buffer_write(location, &sealed);
+        } else {
             let _t = metrics::span(modules::UNTRUSTED_WRITE);
             self.store.write_at(location, &sealed)?;
         }
         hashes.absorb(&sealed);
-        // Zero-fill the head of the new segment lazily: fresh store bytes
-        // read as zero; recycled segments must be stamped with an
-        // end-marker so stale versions are not misparsed.
         self.tail_segment = next;
         self.tail_offset = 0;
         self.residual.insert(next);
-        let seg_start = self.segment_offset(next);
-        {
-            let _t = metrics::span(modules::UNTRUSTED_WRITE);
-            // Write a zero end-marker at the head of the segment; it is
-            // overwritten by the first append.
-            self.store.write_at(seg_start, &[0u8; 2])?;
-        }
+        // The head of the new segment needs a zero end-marker: fresh store
+        // bytes read as zero, but a recycled segment holds stale versions
+        // that recovery must not parse past the tail. The marker write is
+        // folded into the first append after the switch (which always
+        // lands at the head); the recorded obligation makes a write-out
+        // arriving before any such append stamp the head itself.
+        self.pending_stamp = Some(self.segment_offset(next));
         Ok(())
     }
 
@@ -453,23 +544,102 @@ impl SegmentedLog {
 
     /// Reads `len` bytes at absolute `location`.
     ///
+    /// Buffered-but-unwritten bytes are served from the coalescing runs,
+    /// so the buffer stays invisible to readers (a version never
+    /// straddles a run boundary: runs break only at segment switches and
+    /// versions never straddle segments).
+    ///
     /// # Errors
     ///
     /// Propagates storage errors (including out-of-bounds reads, which
     /// indicate a forged descriptor).
     pub fn read_at(&self, location: u64, len: usize) -> Result<Vec<u8>> {
+        for run in &self.runs {
+            if location >= run.start {
+                let off = (location - run.start) as usize;
+                if off + len <= run.buf.len() {
+                    return Ok(run.buf[off..off + len].to_vec());
+                }
+            }
+        }
         let _t = metrics::span(modules::UNTRUSTED_READ);
         let mut buf = vec![0u8; len];
         self.store.read_at(location, &mut buf)?;
         Ok(buf)
     }
 
-    /// Flushes the untrusted store (a commit's durability point).
+    /// Turns append coalescing on or off. Disabling requires an empty
+    /// buffer (callers flush or write out first).
+    pub fn set_coalescing(&mut self, on: bool) {
+        debug_assert!(
+            on || self.runs.is_empty(),
+            "coalescing disabled with buffered runs pending"
+        );
+        self.coalescing = on;
+    }
+
+    /// True while appends accumulate in the coalescing buffer.
+    pub fn coalescing(&self) -> bool {
+        self.coalescing
+    }
+
+    /// Cumulative (buffered appends, runs written, bytes written) through
+    /// the coalescing buffer.
+    pub fn coalesce_counters(&self) -> (u64, u64, u64) {
+        (
+            self.coalesced_appends,
+            self.coalesced_runs,
+            self.coalesced_bytes,
+        )
+    }
+
+    /// Bytes currently sitting in the coalescing buffer.
+    pub fn buffered_len(&self) -> usize {
+        self.runs.iter().map(|r| r.buf.len()).sum()
+    }
+
+    /// Writes buffered runs to the device — one `write_at` per contiguous
+    /// run — and stamps a still-uncovered fresh-segment head with the
+    /// zero end-marker. Returns whether any device write was issued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors. On failure the buffer is left intact
+    /// (rewriting an already-written run puts the same bytes at the same
+    /// offsets, so a retry or rollback stays sound); the run counters
+    /// still record how many runs reached the device, which is how
+    /// callers detect that a rollback must degrade.
+    pub fn write_out(&mut self) -> Result<bool> {
+        let mut wrote = false;
+        let mut i = 0;
+        while i < self.runs.len() {
+            {
+                let _t = metrics::span(modules::UNTRUSTED_WRITE);
+                let run = &self.runs[i];
+                self.store.write_at(run.start, &run.buf)?;
+            }
+            wrote = true;
+            self.coalesced_runs += 1;
+            self.coalesced_bytes += self.runs[i].buf.len() as u64;
+            i += 1;
+        }
+        self.runs.clear();
+        if let Some(seg_start) = self.pending_stamp.take() {
+            let _t = metrics::span(modules::UNTRUSTED_WRITE);
+            self.store.write_at(seg_start, &[0u8; 2])?;
+            wrote = true;
+        }
+        Ok(wrote)
+    }
+
+    /// Flushes the untrusted store (a commit's durability point), writing
+    /// out any buffered runs first.
     ///
     /// # Errors
     ///
     /// Propagates storage errors.
-    pub fn flush(&self) -> Result<()> {
+    pub fn flush(&mut self) -> Result<()> {
+        self.write_out()?;
         let _t = metrics::span(modules::UNTRUSTED_WRITE);
         self.store.flush()?;
         Ok(())

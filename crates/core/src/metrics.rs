@@ -75,9 +75,18 @@ pub mod counters {
     pub const PARALLEL_CRYPTO_BATCHES: &str = "parallel-crypto batches";
     /// Chunks sealed by the parallel crypto pipeline.
     pub const PARALLEL_CRYPTO_CHUNKS: &str = "parallel-crypto chunks";
+    /// Group-commit batches executed by a leader thread.
+    pub const COMMIT_BATCHES: &str = "group-commit batches";
+    /// Commits that rode in a group-commit batch.
+    pub const BATCHED_COMMITS: &str = "group-commit batched commits";
+    /// Device writes saved by log append coalescing.
+    pub const LOG_WRITES_COALESCED: &str = "log writes coalesced";
+    /// Map-tree levels a checkpoint skipped because none of their chunks
+    /// were dirty.
+    pub const DIRTY_MAP_LEVELS_SKIPPED: &str = "dirty map levels skipped";
 
     /// All counter names, for reporting.
-    pub const ALL: [&str; 9] = [
+    pub const ALL: [&str; 13] = [
         RETRIES,
         DEGRADED_ENTRIES,
         POISON_EVENTS,
@@ -87,6 +96,10 @@ pub mod counters {
         READ_SHARD_CONTENTION,
         PARALLEL_CRYPTO_BATCHES,
         PARALLEL_CRYPTO_CHUNKS,
+        COMMIT_BATCHES,
+        BATCHED_COMMITS,
+        LOG_WRITES_COALESCED,
+        DIRTY_MAP_LEVELS_SKIPPED,
     ];
 }
 

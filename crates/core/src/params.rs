@@ -130,14 +130,23 @@ impl PartitionCrypto {
 
     /// Encrypts `plain`, returning `IV ‖ ciphertext` under a fresh IV.
     pub fn encrypt(&self, plain: &[u8]) -> Vec<u8> {
-        let iv = self.cbc.random_iv();
-        let ct = self
-            .cbc
-            .encrypt(&iv, plain)
-            .expect("fresh IV always has the right length");
-        let mut out = iv;
-        out.extend_from_slice(&ct);
+        let mut out = Vec::new();
+        self.encrypt_append(plain, &mut out);
         out
+    }
+
+    /// Appends `IV ‖ ciphertext` under a fresh IV to `out`, ciphering in
+    /// place (a single buffer, no intermediate IV or ciphertext vectors).
+    pub fn encrypt_append(&self, plain: &[u8], out: &mut Vec<u8>) {
+        let bs = self.cbc.block_size();
+        let mut iv = [0u8; 16];
+        let iv = &mut iv[..bs];
+        self.cbc.fill_iv(iv);
+        out.reserve(bs + self.cbc.ciphertext_len(plain.len()));
+        out.extend_from_slice(iv);
+        self.cbc
+            .encrypt_append(iv, plain, out)
+            .expect("fresh IV always has the right length");
     }
 
     /// Decrypts `IV ‖ ciphertext` produced by [`PartitionCrypto::encrypt`].

@@ -100,6 +100,15 @@ pub struct ChunkStoreConfig {
     /// checkpoint hash+seal fan-out). `0` means auto (available
     /// parallelism, capped at 8); `1` forces the sequential fallback.
     pub crypto_workers: usize,
+    /// Group commit: concurrent committers are batched by a leader thread
+    /// that preseals every member, coalesces their log appends into
+    /// segment-sized writes, and issues one flush for the whole batch.
+    /// `false` restores the paper's one-flush-per-commit write path
+    /// bit-for-bit on the log.
+    pub group_commit: bool,
+    /// Most commits a group-commit leader drains into one batch. Values
+    /// `<= 1` disable batching just like `group_commit = false`.
+    pub commit_batch_max: usize,
 }
 
 impl Default for ChunkStoreConfig {
@@ -120,6 +129,8 @@ impl Default for ChunkStoreConfig {
             read_shards: 16,
             read_cache_chunks: 1024,
             crypto_workers: 0,
+            group_commit: true,
+            commit_batch_max: 64,
         }
     }
 }
@@ -213,6 +224,24 @@ pub struct ChunkStoreStats {
     pub parallel_crypto_batches: u64,
     /// Chunks sealed by those parallel batches.
     pub parallel_crypto_chunks: u64,
+    /// Group-commit batches executed by a leader thread.
+    pub commit_batches: u64,
+    /// Commits that rode in a group-commit batch (of any size).
+    pub batched_commits: u64,
+    /// Histogram of group-commit batch sizes. Bucket `i` counts batches of
+    /// size in `(2^(i-1), 2^i]`: 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, >64.
+    pub batch_size_hist: [u64; 8],
+    /// Device flushes issued by the log (commit, checkpoint, and batch
+    /// barriers). With batching, many commits share one flush.
+    pub flushes: u64,
+    /// Bytes written through coalesced (buffered) log runs.
+    pub log_coalesced_bytes: u64,
+    /// Device writes saved by coalescing: buffered appends minus the
+    /// contiguous runs actually written.
+    pub log_writes_coalesced: u64,
+    /// Map-tree levels a checkpoint skipped because nothing in them was
+    /// dirty (incremental checkpointing).
+    pub dirty_map_levels_skipped: u64,
 }
 
 /// Externally visible health of the engine.
@@ -340,7 +369,7 @@ pub(crate) struct EngineSnapshot {
     sys_alloc_free: Vec<u64>,
     sys_reserved: std::collections::HashSet<u64>,
     chain: HashValue,
-    tail: (u32, u32, std::collections::BTreeSet<u32>),
+    tail: crate::log::TailState,
     commit_count: u64,
     trusted_count: u64,
     leader_version: Option<(u64, u32)>,
@@ -355,8 +384,11 @@ pub(crate) struct EngineSnapshot {
 /// fast path ([`crate::readpath`]) that serves validated chunks without
 /// the engine lock; any miss or anomaly falls back to the locked path.
 pub struct ChunkStore {
-    inner: Mutex<Inner>,
-    reads: ReadPath,
+    pub(crate) inner: Mutex<Inner>,
+    pub(crate) reads: ReadPath,
+    /// Group-commit coordinator; `None` runs the paper's one-commit-one-
+    /// flush path (`group_commit = false` or `commit_batch_max <= 1`).
+    pub(crate) batcher: Option<crate::batcher::CommitBatcher>,
 }
 
 impl std::fmt::Debug for ChunkStore {
@@ -440,9 +472,17 @@ impl ChunkStore {
             inner.config.read_cache_chunks,
         );
         reads.set_health(&inner.health);
+        let batcher = if inner.config.group_commit && inner.config.commit_batch_max > 1 {
+            Some(crate::batcher::CommitBatcher::new(
+                inner.config.commit_batch_max,
+            ))
+        } else {
+            None
+        };
         ChunkStore {
             inner: Mutex::new(inner),
             reads,
+            batcher,
         }
     }
 
@@ -526,6 +566,11 @@ impl ChunkStore {
     /// it stays live. Only integrity violations poison the store.
     pub fn commit(&self, ops: Vec<CommitOp>) -> Result<()> {
         let _t = metrics::span(modules::CHUNK_STORE);
+        if self.batcher.is_some() {
+            // Group commit: enqueue and let a leader thread batch this
+            // commit with its contemporaries (see `crate::batcher`).
+            return self.commit_batched(ops);
+        }
         // Collect the chunk ids this commit can change *before* the ops
         // are consumed; partition deallocations can invalidate arbitrary
         // shard entries (ids may be reused), so they clear everything.
@@ -657,7 +702,14 @@ impl ChunkStore {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> ChunkStoreStats {
-        let mut stats = self.inner.lock().stats;
+        let mut stats = {
+            let inner = self.inner.lock();
+            let mut stats = inner.stats;
+            let (appends, runs, bytes) = inner.log.coalesce_counters();
+            stats.log_coalesced_bytes = bytes;
+            stats.log_writes_coalesced = appends.saturating_sub(runs);
+            stats
+        };
         let (hits, fallbacks, contention) = self.reads.counters();
         stats.read_fast_hits = hits;
         stats.read_fallbacks = fallbacks;
@@ -1249,7 +1301,19 @@ impl Inner {
         // across workers; the appends below then serialize only the
         // already-ciphered buffers (in op order, so the hash chain is
         // unchanged). Purely read-only: a failure here rolls back clean.
-        let mut presealed = self.preseal_writes(&ops)?;
+        let presealed = self.preseal_writes(&ops)?;
+        self.apply_ops(ops, presealed)?;
+        self.finish_commit()
+    }
+
+    /// Applies a validated op set: appends every version and installs the
+    /// descriptors, consuming presealed slots where the pipeline produced
+    /// them. Shared by the unbatched and group-commit paths.
+    fn apply_ops(
+        &mut self,
+        ops: Vec<CommitOp>,
+        mut presealed: Vec<Option<Presealed>>,
+    ) -> Result<()> {
         let mut dealloc_ids: Vec<ChunkId> = Vec::new();
         for (i, op) in ops.into_iter().enumerate() {
             let pre = presealed.get_mut(i).and_then(Option::take);
@@ -1258,7 +1322,7 @@ impl Inner {
         if !dealloc_ids.is_empty() {
             self.append_dealloc_chunk(&dealloc_ids)?;
         }
-        self.finish_commit()
+        Ok(())
     }
 
     /// Precomputes `(hash, sealed bytes)` for every `WriteChunk` in the
@@ -1314,6 +1378,73 @@ impl Inner {
         Ok(out)
     }
 
+    /// Preseals every `WriteChunk` across a whole group-commit batch in
+    /// one pipeline pass. Crypto-resolution failures are swallowed (the
+    /// slot stays `None`): such a member either seals inline later or —
+    /// more likely — fails its own validation without touching batch-mates.
+    ///
+    /// Unlike [`Inner::preseal_writes`], partitions created by one member
+    /// are *not* visible to later members here: a member's create can
+    /// still fail validation (e.g. the partition already exists), and a
+    /// later member's write must then be sealed under the surviving
+    /// partition's real key, not the failed create's.
+    fn preseal_batch(&mut self, sets: &[Vec<CommitOp>]) -> Vec<Vec<Option<Presealed>>> {
+        let mut out: Vec<Vec<Option<Presealed>>> = sets
+            .iter()
+            .map(|ops| ops.iter().map(|_| None).collect())
+            .collect();
+        let workers = pipeline::resolve_workers(self.config.crypto_workers);
+        if workers < 2 {
+            return out;
+        }
+        let mut jobs: Vec<SealJob<'_>> = Vec::new();
+        let mut slots: Vec<(usize, usize)> = Vec::new();
+        for (m, ops) in sets.iter().enumerate() {
+            let mut created: HashMap<PartitionId, Arc<PartitionCrypto>> = HashMap::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    CommitOp::CreatePartition { id, params } => {
+                        if let Ok(rt) = params.runtime() {
+                            created.insert(*id, Arc::new(rt));
+                        }
+                    }
+                    CommitOp::CopyPartition { dst, src } => {
+                        let crypto = match created.get(src) {
+                            Some(c) => Some(Arc::clone(c)),
+                            None => self.crypto_for(*src).ok(),
+                        };
+                        if let Some(c) = crypto {
+                            created.insert(*dst, c);
+                        }
+                    }
+                    CommitOp::WriteChunk { id, bytes } => {
+                        let crypto = match created.get(&id.partition) {
+                            Some(c) => Some(Arc::clone(c)),
+                            None => self.crypto_for(id.partition).ok(),
+                        };
+                        if let Some(c) = crypto {
+                            jobs.push((*id, c, bytes.as_slice()));
+                            slots.push((m, i));
+                        }
+                    }
+                    CommitOp::DeallocChunk { .. } | CommitOp::DeallocPartition { .. } => {}
+                }
+            }
+        }
+        if jobs.len() < 2 {
+            return out;
+        }
+        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
+        self.stats.parallel_crypto_batches += 1;
+        self.stats.parallel_crypto_chunks += sealed.len() as u64;
+        metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
+        metrics::add(counters::PARALLEL_CRYPTO_CHUNKS, sealed.len() as u64);
+        for ((m, i), pre) in slots.into_iter().zip(sealed) {
+            out[m][i] = Some(pre);
+        }
+        out
+    }
+
     /// Appends a sealed named version and installs its descriptor.
     pub(crate) fn write_named(
         &mut self,
@@ -1342,11 +1473,30 @@ impl Inner {
             &mut self.hashes,
             sealed,
         )?;
-        // Only set after a *successful* append: a failed first write left
-        // nothing durable, so the mutation can roll back and stay live.
-        self.wrote_log = true;
+        // Only set after a *successful* device append: a failed first write
+        // left nothing durable, so the mutation can roll back and stay
+        // live. While the log is coalescing, appends only buffer in memory;
+        // `flush_log` flips `wrote_log` once runs actually hit the device.
+        if !self.log.coalescing() {
+            self.wrote_log = true;
+        }
         self.stats.bytes_appended += sealed.len() as u64;
         Ok(loc)
+    }
+
+    /// Flushes the log, writing out any coalesced runs first, and keeps the
+    /// `wrote_log` rollback marker honest: it is set as soon as buffered
+    /// bytes reach the device, whether or not the flush itself succeeds.
+    pub(crate) fn flush_log(&mut self) -> Result<()> {
+        let runs_before = self.log.coalesce_counters().1;
+        let result = self.log.flush();
+        if self.log.coalesce_counters().1 > runs_before {
+            self.wrote_log = true;
+        }
+        if result.is_ok() {
+            self.stats.flushes += 1;
+        }
+        result
     }
 
     fn apply_op(
@@ -1536,18 +1686,230 @@ impl Inner {
                 self.commit_count = count;
                 // "A commit operation waits until the commit set is written
                 // to the untrusted store reliably" (§4.8.2.1).
-                self.log.flush()?;
+                self.flush_log()?;
                 if count - self.trusted_count > delta_ut.saturating_sub(1) {
                     self.advance_counter(count)?;
                 }
             }
             ValidationMode::DirectHash => {
-                self.log.flush()?;
+                self.flush_log()?;
                 self.write_direct_record()?;
             }
         }
         self.stats.commits += 1;
         Ok(())
+    }
+
+    /// Batched variant of [`Inner::finish_commit`]: appends the member's
+    /// commit chunk (counter mode) but defers the device flush to the
+    /// batch finalizer, flushing early only when the counter-lag window
+    /// (Δut) demands an advance — the trusted counter must never count a
+    /// commit that is not yet durable, so the flush always precedes the
+    /// advance. Returns whether a flush happened (everything appended so
+    /// far, this member included, is durable).
+    fn finish_commit_batched(&mut self) -> Result<bool> {
+        let mut flushed = false;
+        if let ValidationMode::Counter { delta_ut, .. } = self.config.validation {
+            self.log.ensure_room(
+                &mut self.sys_leader.log,
+                &self.system,
+                &mut self.hashes,
+                COMMIT_CHUNK_ROOM,
+            )?;
+            let set_hash = self.hashes.end_set();
+            let count = self.commit_count + 1;
+            let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
+            let sealed = {
+                let _t = metrics::span(modules::ENCRYPTION);
+                seal_version(
+                    &self.system,
+                    &self.system,
+                    VersionKind::Commit,
+                    VersionHeader::unnamed_id(),
+                    &record.encode(),
+                )
+            };
+            self.append(&sealed)?;
+            self.commit_count = count;
+            if count - self.trusted_count > delta_ut.saturating_sub(1) {
+                self.flush_log()?;
+                self.advance_counter(count)?;
+                flushed = true;
+            }
+        }
+        // Direct-hash mode needs nothing per member: the register write at
+        // the batch's durability point is "the real commit point", and it
+        // covers every member at once.
+        self.stats.commits += 1;
+        Ok(flushed)
+    }
+
+    /// Rolls back to a batch's last durable snapshot while keeping the
+    /// monotone health-event counters a failure handler may have bumped
+    /// after that snapshot was taken.
+    fn restore_durable(&mut self, snap: EngineSnapshot) {
+        let degraded = self.stats.degraded_entries;
+        let poisons = self.stats.poison_events;
+        self.restore(snap);
+        self.stats.degraded_entries = self.stats.degraded_entries.max(degraded);
+        self.stats.poison_events = self.stats.poison_events.max(poisons);
+    }
+
+    /// Executes a group-commit batch: every member is validated, sealed,
+    /// and applied independently (per-commit atomicity), their log appends
+    /// coalesce in the log's run buffer, and one flush at the end makes
+    /// the whole batch durable.
+    ///
+    /// Failure policy per member:
+    /// - validation errors fail the member alone, before any state change;
+    /// - apply errors with no device write roll just that member back and
+    ///   the batch continues live;
+    /// - integrity violations poison and abort the batch;
+    /// - storage failures after bytes reached the device degrade and abort
+    ///   (remaining members get [`CoreError::BatchAborted`]).
+    ///
+    /// On abort or a failed final flush, members applied after the last
+    /// durable point are demoted to `BatchAborted` — no caller is ever
+    /// acknowledged before its bytes are flushed.
+    pub(crate) fn commit_batch(&mut self, sets: Vec<Vec<CommitOp>>) -> Vec<Result<()>> {
+        let n = sets.len();
+        self.stats.commit_batches += 1;
+        self.stats.batched_commits += n as u64;
+        self.stats.batch_size_hist[batch_size_bucket(n)] += 1;
+        metrics::count(counters::COMMIT_BATCHES);
+        metrics::add(counters::BATCHED_COMMITS, n as u64);
+
+        // Pool the whole batch's seal work through the crypto pipeline
+        // before any member mutates state.
+        let presealed = self.preseal_batch(&sets);
+        self.log.set_coalescing(true);
+
+        let mut results: Vec<Result<()>> = Vec::with_capacity(n);
+        // Members in `results[..durable]` are covered by a device flush;
+        // `durable_snap` is the engine state at that point. `None` once
+        // consumed by an abort (no further members run after that).
+        let mut durable = 0usize;
+        let mut durable_snap = Some(self.snapshot());
+        let mut abort: Option<String> = None;
+
+        for (ops, pre) in sets.into_iter().zip(presealed) {
+            if let Some(reason) = &abort {
+                results.push(Err(CoreError::BatchAborted(reason.clone())));
+                continue;
+            }
+            if ops.is_empty() {
+                results.push(Ok(()));
+                continue;
+            }
+            if let Err(e) = self.validate_ops(&ops) {
+                // Read-only failure: the member dies alone, batch-mates
+                // are untouched.
+                results.push(Err(e));
+                continue;
+            }
+            let snap = self.snapshot();
+            self.wrote_log = false;
+            let counter_mode = matches!(self.config.validation, ValidationMode::Counter { .. });
+            if counter_mode {
+                self.hashes.begin_set();
+            }
+            let result = self
+                .apply_ops(ops, pre)
+                .and_then(|()| self.finish_commit_batched());
+            match result {
+                Ok(flushed) => {
+                    results.push(Ok(()));
+                    if flushed {
+                        durable = results.len();
+                        durable_snap = Some(self.snapshot());
+                    }
+                    // Threshold-driven checkpoint, as on the unbatched
+                    // path. A successful checkpoint flushes and syncs the
+                    // trusted store, so it is a durable point too.
+                    let checkpoints_before = self.stats.checkpoints;
+                    match self.maybe_checkpoint() {
+                        Ok(()) => {
+                            if self.stats.checkpoints > checkpoints_before {
+                                durable = results.len();
+                                durable_snap = Some(self.snapshot());
+                            }
+                        }
+                        Err(e) => {
+                            // The member was applied but its follow-on
+                            // checkpoint failed (and did its own rollback
+                            // and health transition) — surface the error
+                            // as the member's result, exactly like the
+                            // unbatched path.
+                            let msg = e.to_string();
+                            *results.last_mut().expect("just pushed") = Err(e);
+                            if !self.health.is_live() {
+                                let snap = durable_snap.take().expect("unconsumed");
+                                self.restore_durable(snap);
+                                demote_unflushed(&mut results, durable, &msg);
+                                abort = Some(msg);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    let integrity = e.fault_class() == FaultClass::Integrity;
+                    if integrity || self.wrote_log {
+                        // Bytes reached the device (or integrity is in
+                        // doubt): everything since the last durable point
+                        // is unrecoverable in place. Roll back to it,
+                        // demote the members it does not cover, and stop.
+                        let msg = e.to_string();
+                        let snap = durable_snap.take().expect("unconsumed");
+                        self.restore_durable(snap);
+                        demote_unflushed(&mut results, durable, &msg);
+                        if integrity {
+                            self.enter_poisoned(format!(
+                                "integrity violation during batched commit: {msg}"
+                            ));
+                        } else {
+                            self.enter_degraded(format!(
+                                "storage failure during batched commit after \
+                                 log bytes were written: {msg}"
+                            ));
+                        }
+                        results.push(Err(e));
+                        abort = Some(msg);
+                    } else {
+                        // Nothing durable happened: this member rolls back
+                        // clean and the batch continues live.
+                        self.restore(snap);
+                        results.push(Err(e));
+                    }
+                }
+            }
+        }
+
+        // Finalize: one shared durability point for everything the batch
+        // buffered since the last flush.
+        if abort.is_none() && self.log.buffered_len() > 0 {
+            self.wrote_log = false;
+            let fin = match self.config.validation {
+                ValidationMode::Counter { .. } => self.flush_log(),
+                ValidationMode::DirectHash => {
+                    self.flush_log().and_then(|()| self.write_direct_record())
+                }
+            };
+            if let Err(e) = fin {
+                let msg = e.to_string();
+                let wrote = self.wrote_log;
+                let snap = durable_snap.take().expect("unconsumed");
+                self.restore_durable(snap);
+                demote_unflushed(&mut results, durable, &msg);
+                if wrote {
+                    self.enter_degraded(format!(
+                        "storage failure flushing a commit batch after log \
+                         bytes were written: {msg}"
+                    ));
+                }
+            }
+        }
+        self.log.set_coalescing(false);
+        results
     }
 
     pub(crate) fn advance_counter(&mut self, count: u64) -> Result<()> {
@@ -1687,6 +2049,27 @@ impl Inner {
             }
         }
         Ok(out)
+    }
+}
+
+/// Histogram bucket for a group-commit batch of `n` members: bucket `i`
+/// covers sizes in `(2^(i-1), 2^i]` (1, 2, 3–4, 5–8, …), capped at 7.
+fn batch_size_bucket(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        ((usize::BITS - (n - 1).leading_zeros()) as usize).min(7)
+    }
+}
+
+/// Demotes every `Ok` result at or past `durable` to [`CoreError::BatchAborted`]:
+/// those members were applied but never covered by a flush, so they must
+/// not be acknowledged.
+fn demote_unflushed(results: &mut [Result<()>], durable: usize, reason: &str) {
+    for r in results.iter_mut().skip(durable) {
+        if r.is_ok() {
+            *r = Err(CoreError::BatchAborted(reason.to_string()));
+        }
     }
 }
 

@@ -145,18 +145,23 @@ pub fn seal_version(
     id: ChunkId,
     body: &[u8],
 ) -> Vec<u8> {
-    let sealed_body = body_crypto.encrypt(body);
+    // Sealed lengths are deterministic (IV + padded ciphertext), so the
+    // whole version can be laid into one buffer and ciphered in place.
+    let body_ct_len = body_crypto.sealed_len(body.len());
     let header = VersionHeader {
         kind,
         id,
         body_len: body.len() as u32,
-        body_ct_len: sealed_body.len() as u32,
+        body_ct_len: body_ct_len as u32,
     };
-    let sealed_header = system.encrypt(&header.encode());
-    let mut out = Vec::with_capacity(2 + sealed_header.len() + sealed_body.len());
-    out.extend_from_slice(&(sealed_header.len() as u16).to_le_bytes());
-    out.extend_from_slice(&sealed_header);
-    out.extend_from_slice(&sealed_body);
+    let header_bytes = header.encode();
+    let header_ct_len = system.sealed_len(header_bytes.len());
+    let mut out = Vec::with_capacity(2 + header_ct_len + body_ct_len);
+    out.extend_from_slice(&(header_ct_len as u16).to_le_bytes());
+    system.encrypt_append(&header_bytes, &mut out);
+    debug_assert_eq!(out.len(), 2 + header_ct_len);
+    body_crypto.encrypt_append(body, &mut out);
+    debug_assert_eq!(out.len(), 2 + header_ct_len + body_ct_len);
     out
 }
 

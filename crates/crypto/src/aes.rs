@@ -12,10 +12,19 @@ use std::sync::OnceLock;
 
 use crate::BlockCipher;
 
-/// Precomputed S-box, inverse S-box, and round constants.
+/// Precomputed S-box, inverse S-box, and GF(2⁸) multiplication tables for
+/// the fixed MixColumns coefficients. The xtime-loop [`gf_mul`] stays as the
+/// reference implementation (key expansion, tests); the hot per-block path
+/// is pure table lookups.
 struct Tables {
     sbox: [u8; 256],
     inv_sbox: [u8; 256],
+    mul2: [u8; 256],
+    mul3: [u8; 256],
+    mul9: [u8; 256],
+    mul11: [u8; 256],
+    mul13: [u8; 256],
+    mul14: [u8; 256],
 }
 
 /// Multiplies two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
@@ -60,6 +69,12 @@ fn tables() -> &'static Tables {
     TABLES.get_or_init(|| {
         let mut sbox = [0u8; 256];
         let mut inv_sbox = [0u8; 256];
+        let mut mul2 = [0u8; 256];
+        let mut mul3 = [0u8; 256];
+        let mut mul9 = [0u8; 256];
+        let mut mul11 = [0u8; 256];
+        let mut mul13 = [0u8; 256];
+        let mut mul14 = [0u8; 256];
         for i in 0..=255u8 {
             let x = gf_inv(i);
             let s = x
@@ -70,8 +85,23 @@ fn tables() -> &'static Tables {
                 ^ 0x63;
             sbox[i as usize] = s;
             inv_sbox[s as usize] = i;
+            mul2[i as usize] = gf_mul(i, 2);
+            mul3[i as usize] = gf_mul(i, 3);
+            mul9[i as usize] = gf_mul(i, 9);
+            mul11[i as usize] = gf_mul(i, 11);
+            mul13[i as usize] = gf_mul(i, 13);
+            mul14[i as usize] = gf_mul(i, 14);
         }
-        Tables { sbox, inv_sbox }
+        Tables {
+            sbox,
+            inv_sbox,
+            mul2,
+            mul3,
+            mul9,
+            mul11,
+            mul13,
+            mul14,
+        }
     })
 }
 
@@ -79,9 +109,14 @@ fn tables() -> &'static Tables {
 const MAX_ROUND_KEYS: usize = 15;
 
 /// An AES instance holding the expanded key schedule.
+///
+/// The key schedule is expanded exactly once, at construction; per-block
+/// work touches only the cached `tables` reference (no `OnceLock` acquire
+/// on the hot path) and the precomputed multiplication tables.
 pub struct Aes {
     round_keys: [[u8; 16]; MAX_ROUND_KEYS],
     rounds: usize,
+    tables: &'static Tables,
 }
 
 impl Aes {
@@ -128,7 +163,11 @@ impl Aes {
                 rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
             }
         }
-        Aes { round_keys, rounds }
+        Aes {
+            round_keys,
+            rounds,
+            tables: t,
+        }
     }
 
     fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
@@ -137,17 +176,15 @@ impl Aes {
         }
     }
 
-    fn sub_bytes(state: &mut [u8; 16]) {
-        let t = tables();
+    fn sub_bytes(&self, state: &mut [u8; 16]) {
         for b in state.iter_mut() {
-            *b = t.sbox[*b as usize];
+            *b = self.tables.sbox[*b as usize];
         }
     }
 
-    fn inv_sub_bytes(state: &mut [u8; 16]) {
-        let t = tables();
+    fn inv_sub_bytes(&self, state: &mut [u8; 16]) {
         for b in state.iter_mut() {
-            *b = t.inv_sbox[*b as usize];
+            *b = self.tables.inv_sbox[*b as usize];
         }
     }
 
@@ -171,27 +208,27 @@ impl Aes {
         }
     }
 
-    fn mix_columns(state: &mut [u8; 16]) {
+    fn mix_columns(&self, state: &mut [u8; 16]) {
+        let t = self.tables;
         for c in 0..4 {
             let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("4-byte column");
-            state[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
-            state[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
-            state[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
-            state[c * 4 + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+            let [a, b, d, e] = col.map(usize::from);
+            state[c * 4] = t.mul2[a] ^ t.mul3[b] ^ col[2] ^ col[3];
+            state[c * 4 + 1] = col[0] ^ t.mul2[b] ^ t.mul3[d] ^ col[3];
+            state[c * 4 + 2] = col[0] ^ col[1] ^ t.mul2[d] ^ t.mul3[e];
+            state[c * 4 + 3] = t.mul3[a] ^ col[1] ^ col[2] ^ t.mul2[e];
         }
     }
 
-    fn inv_mix_columns(state: &mut [u8; 16]) {
+    fn inv_mix_columns(&self, state: &mut [u8; 16]) {
+        let t = self.tables;
         for c in 0..4 {
             let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("4-byte column");
-            state[c * 4] =
-                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
-            state[c * 4 + 1] =
-                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
-            state[c * 4 + 2] =
-                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
-            state[c * 4 + 3] =
-                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+            let [a, b, d, e] = col.map(usize::from);
+            state[c * 4] = t.mul14[a] ^ t.mul11[b] ^ t.mul13[d] ^ t.mul9[e];
+            state[c * 4 + 1] = t.mul9[a] ^ t.mul14[b] ^ t.mul11[d] ^ t.mul13[e];
+            state[c * 4 + 2] = t.mul13[a] ^ t.mul9[b] ^ t.mul14[d] ^ t.mul11[e];
+            state[c * 4 + 3] = t.mul11[a] ^ t.mul13[b] ^ t.mul9[d] ^ t.mul14[e];
         }
     }
 }
@@ -205,12 +242,12 @@ impl BlockCipher for Aes {
         let state: &mut [u8; 16] = block.try_into().expect("AES block must be 16 bytes");
         Self::add_round_key(state, &self.round_keys[0]);
         for round in 1..self.rounds {
-            Self::sub_bytes(state);
+            self.sub_bytes(state);
             Self::shift_rows(state);
-            Self::mix_columns(state);
+            self.mix_columns(state);
             Self::add_round_key(state, &self.round_keys[round]);
         }
-        Self::sub_bytes(state);
+        self.sub_bytes(state);
         Self::shift_rows(state);
         Self::add_round_key(state, &self.round_keys[self.rounds]);
     }
@@ -220,12 +257,12 @@ impl BlockCipher for Aes {
         Self::add_round_key(state, &self.round_keys[self.rounds]);
         for round in (1..self.rounds).rev() {
             Self::inv_shift_rows(state);
-            Self::inv_sub_bytes(state);
+            self.inv_sub_bytes(state);
             Self::add_round_key(state, &self.round_keys[round]);
-            Self::inv_mix_columns(state);
+            self.inv_mix_columns(state);
         }
         Self::inv_shift_rows(state);
-        Self::inv_sub_bytes(state);
+        self.inv_sub_bytes(state);
         Self::add_round_key(state, &self.round_keys[0]);
     }
 }
@@ -311,6 +348,19 @@ mod tests {
                 0x0b, 0x32
             ]
         );
+    }
+
+    #[test]
+    fn mul_tables_match_reference_gf_mul() {
+        let t = tables();
+        for i in 0..=255u8 {
+            assert_eq!(t.mul2[i as usize], gf_mul(i, 2));
+            assert_eq!(t.mul3[i as usize], gf_mul(i, 3));
+            assert_eq!(t.mul9[i as usize], gf_mul(i, 9));
+            assert_eq!(t.mul11[i as usize], gf_mul(i, 11));
+            assert_eq!(t.mul13[i as usize], gf_mul(i, 13));
+            assert_eq!(t.mul14[i as usize], gf_mul(i, 14));
+        }
     }
 
     #[test]

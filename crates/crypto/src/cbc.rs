@@ -34,6 +34,12 @@ impl Cbc {
         iv
     }
 
+    /// Fills `iv` (which must be block-sized) with fresh random bytes.
+    pub fn fill_iv(&self, iv: &mut [u8]) {
+        debug_assert_eq!(iv.len(), self.cipher.block_size());
+        rand::thread_rng().fill_bytes(iv);
+    }
+
     /// Encrypts `plaintext` with PKCS#7 padding under `iv`.
     ///
     /// The output length is `plaintext.len()` rounded up to the next whole
@@ -44,6 +50,25 @@ impl Cbc {
     ///
     /// Returns [`CryptoError::BadIvLength`] if `iv` has the wrong length.
     pub fn encrypt(&self, iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::new();
+        self.encrypt_append(iv, plaintext, &mut out)?;
+        Ok(out)
+    }
+
+    /// Appends `encrypt(iv, plaintext)` to `out` without intermediate
+    /// buffers: the padded plaintext is laid into `out` once and ciphered
+    /// in place, each block XOR-chained against the previous ciphertext
+    /// block already sitting in `out` (no per-block `prev` copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadIvLength`] if `iv` has the wrong length.
+    pub fn encrypt_append(
+        &self,
+        iv: &[u8],
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
         let bs = self.cipher.block_size();
         if iv.len() != bs {
             return Err(CryptoError::BadIvLength {
@@ -52,18 +77,23 @@ impl Cbc {
             });
         }
         let pad = bs - plaintext.len() % bs;
-        let mut out = Vec::with_capacity(plaintext.len() + pad);
+        let start = out.len();
+        out.reserve(plaintext.len() + pad);
         out.extend_from_slice(plaintext);
         out.extend(std::iter::repeat_n(pad as u8, pad));
-        let mut prev = iv.to_vec();
-        for block in out.chunks_mut(bs) {
+        let buf = &mut out[start..];
+        let mut off = 0;
+        while off < buf.len() {
+            let (done, rest) = buf.split_at_mut(off);
+            let prev = if off == 0 { iv } else { &done[off - bs..] };
+            let block = &mut rest[..bs];
             for (b, p) in block.iter_mut().zip(prev.iter()) {
                 *b ^= p;
             }
             self.cipher.encrypt_block(block);
-            prev.copy_from_slice(block);
+            off += bs;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Decrypts `ciphertext` under `iv` and strips PKCS#7 padding.
@@ -89,14 +119,21 @@ impl Cbc {
             });
         }
         let mut out = ciphertext.to_vec();
-        let mut prev = iv.to_vec();
+        // Every cipher in this crate has a block size of at most 16 bytes
+        // (AES), so the previous-ciphertext carry fits in fixed stack
+        // buffers — no per-block heap allocation on the decrypt path.
+        const MAX_BS: usize = 16;
+        debug_assert!(bs <= MAX_BS, "block size {bs} exceeds CBC carry buffer");
+        let mut prev = [0u8; MAX_BS];
+        let mut saved = [0u8; MAX_BS];
+        prev[..bs].copy_from_slice(iv);
         for block in out.chunks_mut(bs) {
-            let saved: Vec<u8> = block.to_vec();
+            saved[..bs].copy_from_slice(block);
             self.cipher.decrypt_block(block);
-            for (b, p) in block.iter_mut().zip(prev.iter()) {
+            for (b, p) in block.iter_mut().zip(prev[..bs].iter()) {
                 *b ^= p;
             }
-            prev = saved;
+            std::mem::swap(&mut prev, &mut saved);
         }
         let pad = *out.last().expect("non-empty checked") as usize;
         if pad == 0 || pad > bs || pad > out.len() {
@@ -169,6 +206,18 @@ mod tests {
                 0x19, 0x7d
             ]
         );
+    }
+
+    #[test]
+    fn encrypt_append_matches_encrypt_and_preserves_prefix() {
+        let c = cbc(CipherKind::Aes128);
+        let iv = c.random_iv();
+        let pt = b"some plaintext spanning more than one block";
+        let expect = c.encrypt(&iv, pt).unwrap();
+        let mut out = b"prefix".to_vec();
+        c.encrypt_append(&iv, pt, &mut out).unwrap();
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(&out[6..], &expect[..]);
     }
 
     #[test]

@@ -207,6 +207,30 @@ impl TrustedDbBuilder {
         self
     }
 
+    /// Enables or disables group commit (`false` restores the paper's
+    /// one-flush-per-commit write path; see
+    /// [`ChunkStoreConfig::group_commit`]).
+    pub fn group_commit(mut self, on: bool) -> Self {
+        self.chunk_config.group_commit = on;
+        self
+    }
+
+    /// Caps how many commits a group-commit leader drains into one batch
+    /// (values `<= 1` disable batching; see
+    /// [`ChunkStoreConfig::commit_batch_max`]).
+    pub fn commit_batch_max(mut self, max: usize) -> Self {
+        self.chunk_config.commit_batch_max = max;
+        self
+    }
+
+    /// Sets the dirty-map-chunk count that triggers an automatic
+    /// incremental checkpoint (see
+    /// [`ChunkStoreConfig::checkpoint_threshold`]).
+    pub fn checkpoint_threshold(mut self, dirty_chunks: usize) -> Self {
+        self.chunk_config.checkpoint_threshold = dirty_chunks;
+        self
+    }
+
     /// Overrides the default partition's cryptographic parameters.
     pub fn partition_params(mut self, params: CryptoParams) -> Self {
         self.partition_params = Some(params);

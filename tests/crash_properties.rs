@@ -351,10 +351,10 @@ fn torn_within_single_write_sweep() {
     }]);
     assert!(result.is_err(), "a dropped flush means no acknowledgement");
     let pending = crash.pending_writes();
-    assert!(
-        pending >= 2,
-        "the commit made at least data + commit writes"
-    );
+    // Group commit coalesces the data chunk and the commit chunk into one
+    // contiguous device write; with batching off it stays two. Either way
+    // the sweep below tears inside every pending write.
+    assert!(pending >= 1, "the commit made at least one device write");
 
     let mut images = Vec::new();
     for complete in 0..pending {

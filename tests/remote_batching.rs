@@ -104,13 +104,15 @@ fn batching_saves_round_trips() {
         let secret = SecretKey::random(24);
         let register = Arc::new(MemTrustedStore::new(64));
         let r = remote(batched);
-        let store = ChunkStore::create(
-            Arc::clone(&r.store),
-            backend(&register),
-            secret,
-            ChunkStoreConfig::default(),
-        )
-        .unwrap();
+        // Pin engine-side group commit off: it coalesces a commit's appends
+        // into one device write itself, which shrinks the unbatched baseline
+        // this test measures the *storage-layer* batching win against.
+        let config = ChunkStoreConfig {
+            group_commit: false,
+            ..ChunkStoreConfig::default()
+        };
+        let store =
+            ChunkStore::create(Arc::clone(&r.store), backend(&register), secret, config).unwrap();
         workload(&store);
         r.clock.elapsed()
     };
