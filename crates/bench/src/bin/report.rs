@@ -27,9 +27,9 @@ fn main() {
             selected.push(arg.to_lowercase());
         }
     }
-    const KNOWN: [&str; 22] = [
+    const KNOWN: [&str; 24] = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "fig9", "fig10", "fig11", "fig12", "conc", "commit", "all", "micro",
+        "e15", "fig9", "fig10", "fig11", "fig12", "conc", "commit", "clean", "all", "micro",
     ];
     for name in &selected {
         if !KNOWN.contains(&name.as_str()) {
@@ -43,7 +43,7 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "usage: report [--runs N] <experiments...>\n\
-             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 e13|conc e14|commit | all | micro"
+             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 e13|conc e14|commit e15|clean | all | micro"
         );
         std::process::exit(2);
     }
@@ -97,5 +97,8 @@ fn main() {
     }
     if want("e14", &["commit"]) {
         experiments::e14_commit_throughput();
+    }
+    if want("e15", &["clean"]) {
+        experiments::e15_cleaner();
     }
 }

@@ -939,3 +939,214 @@ pub fn e14_commit_throughput() {
     std::fs::write(path, json).expect("write benchmark artifact");
     println!("  wrote {path}");
 }
+
+// ---------------------------------------------------------------------------
+// E15: cleaning under log pressure (background slices vs foreground clean).
+// ---------------------------------------------------------------------------
+
+const E15_THREADS: usize = 4;
+const E15_COMMITS_PER_THREAD: usize = 250;
+const E15_CHUNK_BYTES: usize = 512;
+const E15_IDS_PER_THREAD: usize = 8;
+const E15_MAX_SEGMENTS: u32 = 24;
+const E15_SEGMENT_SIZE: u32 = 4096;
+
+/// A bounded log the workload overwrites many times over: every commit
+/// obsoletes an earlier version, so the store lives or dies by cleaning.
+fn e15_config(background: bool) -> ChunkStoreConfig {
+    ChunkStoreConfig {
+        segment_size: E15_SEGMENT_SIZE,
+        max_segments: E15_MAX_SEGMENTS,
+        checkpoint_threshold: 16,
+        background_maintenance: background,
+        clean_slice_segments: 1,
+        clean_low_water: 3,
+        clean_high_water: 8,
+        ..paper_config()
+    }
+}
+
+fn e15_store(background: bool) -> (Arc<ChunkStore>, Vec<Vec<ChunkId>>) {
+    use tdb_storage::{
+        CounterOverTrusted, MemStore, MemTrustedStore, SharedUntrusted, SimClock, SimDiskStore,
+        TrustedStore,
+    };
+    let disk: SharedUntrusted = Arc::new(SimDiskStore::new(
+        Arc::new(MemStore::new()) as SharedUntrusted,
+        e14_disk(),
+        Arc::new(SimClock::new(true)),
+    ));
+    let backend = tdb::TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(Arc::new(
+        MemTrustedStore::new(64),
+    )
+        as Arc<dyn TrustedStore>)));
+    let store = Arc::new(
+        ChunkStore::create(
+            disk,
+            backend,
+            tdb_crypto::SecretKey::random(24),
+            e15_config(background),
+        )
+        .expect("create chunk store"),
+    );
+    let p = store.allocate_partition().expect("allocate partition");
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .expect("create partition");
+    let ids = (0..E15_THREADS)
+        .map(|_| {
+            (0..E15_IDS_PER_THREAD)
+                .map(|_| store.allocate_chunk(p).expect("allocate chunk"))
+                .collect()
+        })
+        .collect();
+    (store, ids)
+}
+
+/// Runs the overwrite workload, returning every commit's client-observed
+/// latency (including any inline maintenance the caller had to do) plus
+/// aggregate throughput. Foreground mode does what a caller-driven store
+/// must: watch the free-segment estimate and, below a low-water mark,
+/// checkpoint and clean the whole backlog inside the commit path — a full
+/// log has no room left to relocate into, so reacting to `OutOfSpace`
+/// alone wedges. Background mode just commits; the maintenance thread's
+/// slices and admission gate do the pacing.
+fn e15_run(store: &ChunkStore, ids: &[Vec<ChunkId>], background: bool) -> (Vec<Duration>, f64) {
+    use tdb_core::CoreError;
+    let latencies = std::sync::Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (t, my_ids) in ids.iter().enumerate() {
+            let latencies = &latencies;
+            s.spawn(move || {
+                let mut mine = Vec::with_capacity(E15_COMMITS_PER_THREAD);
+                for round in 0..E15_COMMITS_PER_THREAD {
+                    let id = my_ids[round % my_ids.len()];
+                    let commit_start = Instant::now();
+                    if !background && store.free_segment_estimate().is_some_and(|free| free < 8) {
+                        // Clean only the garbage-heavy tail of the backlog:
+                        // relocating fully-live segments reclaims nothing
+                        // and burns the very headroom cleaning needs.
+                        let _ = store.checkpoint();
+                        let _ = store.clean(8);
+                    }
+                    let mut patience = 100u32;
+                    loop {
+                        let ops = vec![CommitOp::WriteChunk {
+                            id,
+                            bytes: bytes((t * 1000 + round) as u64, E15_CHUNK_BYTES),
+                        }];
+                        match store.commit(ops) {
+                            Ok(()) => break,
+                            Err(CoreError::OutOfSpace) if patience > 0 => {
+                                patience -= 1;
+                                if background {
+                                    std::thread::sleep(Duration::from_millis(1));
+                                } else {
+                                    let _ = store.checkpoint();
+                                    let _ = store.clean(8);
+                                }
+                            }
+                            Err(CoreError::DegradedMode(_)) if patience > 0 => {
+                                patience -= 1;
+                                let _ = store.try_heal();
+                            }
+                            Err(e) => panic!("commit failed: {e}"),
+                        }
+                    }
+                    mine.push(commit_start.elapsed());
+                }
+                latencies.lock().unwrap().append(&mut mine);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let latencies = latencies.into_inner().unwrap();
+    let rate = latencies.len() as f64 / elapsed.as_secs_f64();
+    (latencies, rate)
+}
+
+fn e15_percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Measures steady-state commit throughput and latency percentiles under
+/// log pressure with caller-driven foreground cleaning vs the background
+/// maintenance runtime (bounded slices + admission control), printing the
+/// comparison and recording it in `BENCH_cleaner.json`.
+pub fn e15_cleaner() {
+    println!("== E15: cleaning under log pressure (foreground vs background) ==");
+    println!(
+        "workload: {E15_THREADS} threads x {E15_COMMITS_PER_THREAD} overwrites of \
+         {E15_CHUNK_BYTES} B, {E15_MAX_SEGMENTS}-segment bounded log, \
+         flush-dominated simulated disk"
+    );
+    let mut rows: Vec<(&str, f64, Duration, Duration)> = Vec::new();
+    let mut background_stats = None;
+    for (name, background) in [("foreground clean", false), ("background slices", true)] {
+        let (store, ids) = e15_store(background);
+        let (mut latencies, rate) = e15_run(&store, &ids, background);
+        latencies.sort_unstable();
+        let p50 = e15_percentile(&latencies, 0.50);
+        let p99 = e15_percentile(&latencies, 0.99);
+        let s = store.stats();
+        println!(
+            "  {:17} {:>7.0} commits/s, p50 {:>7.0} us, p99 {:>7.0} us  \
+             (segments cleaned {}, slices {}, throttle waits {})",
+            name,
+            rate,
+            p50.as_secs_f64() * 1e6,
+            p99.as_secs_f64() * 1e6,
+            s.segments_cleaned,
+            s.clean_slices,
+            s.commit_throttle_waits
+        );
+        if background {
+            background_stats = Some(s);
+        }
+        rows.push((name, rate, p50, p99));
+        store.close().expect("close");
+    }
+    let p99_improvement = rows[0].3.as_secs_f64() / rows[1].3.as_secs_f64();
+    println!("  foreground/background p99 commit latency: {p99_improvement:.2}x");
+    let stats = background_stats.expect("background run recorded stats");
+    let mode = |r: &(&str, f64, Duration, Duration)| {
+        format!(
+            "{{ \"commits_per_sec\": {:.0}, \"p50_us\": {:.0}, \"p99_us\": {:.0} }}",
+            r.1,
+            r.2.as_secs_f64() * 1e6,
+            r.3.as_secs_f64() * 1e6
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"cleaner\",\n  \"threads\": {},\n  \
+         \"commits\": {},\n  \"chunk_bytes\": {},\n  \"max_segments\": {},\n  \
+         \"segment_size\": {},\n  \"foreground_clean\": {},\n  \
+         \"background_slices\": {},\n  \"background_maintenance\": {{\n    \
+         \"segments_cleaned\": {},\n    \"chunks_relocated\": {},\n    \
+         \"bytes_reclaimed\": {},\n    \"clean_slices\": {},\n    \
+         \"maintenance_wakeups\": {},\n    \"commit_throttle_waits\": {}\n  }},\n  \
+         \"p99_improvement\": {:.2}\n}}\n",
+        E15_THREADS,
+        E15_THREADS * E15_COMMITS_PER_THREAD,
+        E15_CHUNK_BYTES,
+        E15_MAX_SEGMENTS,
+        E15_SEGMENT_SIZE,
+        mode(&rows[0]),
+        mode(&rows[1]),
+        stats.segments_cleaned,
+        stats.chunks_relocated,
+        stats.bytes_reclaimed,
+        stats.clean_slices,
+        stats.maintenance_wakeups,
+        stats.commit_throttle_waits,
+        p99_improvement
+    );
+    let path = "BENCH_cleaner.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}

@@ -72,6 +72,12 @@ impl CommitBatcher {
             max: max.max(1),
         }
     }
+
+    /// Commits currently enqueued and waiting for a leader. The background
+    /// cleaner polls this between slices to yield to committers.
+    pub(crate) fn queued(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
 }
 
 impl ChunkStore {
@@ -178,5 +184,6 @@ impl ChunkStore {
             *m.result.lock() = Some(result);
         }
         self.reads.set_health(&inner.health);
+        self.note_engine_state(&inner);
     }
 }

@@ -13,12 +13,13 @@
 //! the residual log.
 
 use crate::descriptor::Descriptor;
+use crate::engine::commit::COMMIT_CHUNK_ROOM;
 use crate::errors::Result;
 use crate::ids::{ChunkId, PartitionId, Position};
 use crate::log::Superblock;
 use crate::metrics::{self, counters, modules};
 use crate::pipeline::{self, SealJob};
-use crate::store::{Inner, ValidationMode, COMMIT_CHUNK_ROOM};
+use crate::store::{Inner, ValidationMode};
 use crate::version::{seal_version, sealed_version_len, CommitRecord, VersionHeader, VersionKind};
 
 impl Inner {

@@ -1,0 +1,854 @@
+//! Commit processing (§4.6, §4.8.2): validation, the apply loop, commit
+//! sealing, and group-commit batches.
+//!
+//! A commit appends the sealed versions of its op set to the log, installs
+//! their descriptors in the chunk map, and seals the set per the validation
+//! protocol — a signed, counted commit chunk (counter mode) or a chained
+//! hash pushed to the tamper-resistant register (direct mode). The batched
+//! variant applies every member independently (per-commit atomicity) and
+//! shares one durability point per batch.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tdb_crypto::HashValue;
+
+use crate::codec::{Dec, Enc};
+use crate::descriptor::{ChunkStatus, Descriptor};
+use crate::errors::{CoreError, FaultClass, Result};
+use crate::ids::{ChunkId, PartitionId};
+use crate::leader::PartitionLeader;
+use crate::metrics::{self, counters, modules};
+use crate::params::{CryptoParams, PartitionCrypto};
+use crate::pipeline::{self, Presealed, SealJob};
+use crate::store::{Inner, TrustedBackend, ValidationMode};
+use crate::version::{seal_version, CommitRecord, DeallocRecord, VersionHeader, VersionKind};
+
+/// Conservative byte budget reserved for a commit chunk, so finalizing a
+/// commit set never forces a segment switch after the set hash is taken.
+pub(crate) const COMMIT_CHUNK_ROOM: u32 = 256;
+
+/// One operation inside an atomic commit (§4.1, §5.1).
+#[derive(Debug)]
+pub enum CommitOp {
+    /// Sets the state of an allocated chunk.
+    WriteChunk {
+        /// Target chunk (allocated via [`crate::store::ChunkStore::allocate_chunk`]).
+        id: ChunkId,
+        /// New state, of any size.
+        bytes: Vec<u8>,
+    },
+    /// Deallocates a chunk.
+    DeallocChunk {
+        /// Target chunk.
+        id: ChunkId,
+    },
+    /// Writes an empty partition with the given parameters
+    /// (`Write(partitionId, secretKey, cipher, hashFunction)` of §5.1).
+    CreatePartition {
+        /// Target id (allocated via [`crate::store::ChunkStore::allocate_partition`]).
+        id: PartitionId,
+        /// Cryptographic parameters (cipher, hash, key).
+        params: CryptoParams,
+    },
+    /// Copies the current state of `src` to `dst`
+    /// (`Write(partitionId, sourcePId)` of §5.1). Cheap: copy-on-write.
+    CopyPartition {
+        /// Target id (allocated, unwritten).
+        dst: PartitionId,
+        /// Source partition.
+        src: PartitionId,
+    },
+    /// Deallocates a partition, all of its copies, and all their chunks.
+    DeallocPartition {
+        /// Target partition.
+        id: PartitionId,
+    },
+}
+
+/// Everything needed to roll the in-memory engine back to the instant a
+/// mutation began. Device bytes written by the failed mutation lie past the
+/// restored log tail, where the next append overwrites them and recovery
+/// treats them as a torn tail.
+pub(crate) struct EngineSnapshot {
+    map_cache: crate::cache::MapCache,
+    leaders: HashMap<PartitionId, crate::store::LeaderEntry>,
+    sys_leader: crate::leader::SystemLeader,
+    sys_alloc_next: u64,
+    sys_alloc_free: Vec<u64>,
+    sys_reserved: std::collections::HashSet<u64>,
+    chain: HashValue,
+    tail: crate::log::TailState,
+    commit_count: u64,
+    trusted_count: u64,
+    leader_version: Option<(u64, u32)>,
+    superblock: crate::log::Superblock,
+    stats: crate::store::ChunkStoreStats,
+}
+
+impl Inner {
+    /// Captures the in-memory engine state at the start of a mutation.
+    pub(crate) fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            map_cache: self.map_cache.clone(),
+            leaders: self.leaders.clone(),
+            sys_leader: self.sys_leader.clone(),
+            sys_alloc_next: self.sys_alloc_next,
+            sys_alloc_free: self.sys_alloc_free.clone(),
+            sys_reserved: self.sys_reserved.clone(),
+            chain: self.hashes.chain,
+            tail: self.log.tail_state(),
+            commit_count: self.commit_count,
+            trusted_count: self.trusted_count,
+            leader_version: self.leader_version,
+            superblock: self.superblock,
+            stats: self.stats,
+        }
+    }
+
+    /// Rolls the in-memory engine back to `snap`. Log bytes written by the
+    /// failed mutation lie past the restored tail and are never served:
+    /// the next append overwrites them, and recovery parses them as a torn
+    /// tail.
+    pub(crate) fn restore(&mut self, snap: EngineSnapshot) {
+        self.map_cache = snap.map_cache;
+        self.leaders = snap.leaders;
+        self.sys_leader = snap.sys_leader;
+        self.sys_alloc_next = snap.sys_alloc_next;
+        self.sys_alloc_free = snap.sys_alloc_free;
+        self.sys_reserved = snap.sys_reserved;
+        self.hashes.abort_set();
+        self.hashes.chain = snap.chain;
+        self.log.restore_tail_state(snap.tail);
+        self.commit_count = snap.commit_count;
+        self.trusted_count = snap.trusted_count;
+        self.leader_version = snap.leader_version;
+        self.superblock = snap.superblock;
+        self.stats = snap.stats;
+    }
+}
+
+impl Inner {
+    // -- Commit (§4.6) --------------------------------------------------------
+
+    pub(crate) fn commit(&mut self, ops: Vec<CommitOp>) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        // Validation is read-only: a failure here (including a transient
+        // read fault resolving a descriptor) leaves the store untouched
+        // and live.
+        self.validate_ops(&ops)?;
+        let snap = self.snapshot();
+        self.wrote_log = false;
+        let result = self.apply_and_finish(ops);
+        match &result {
+            Err(e) => self.fail_mutation(snap, e, "commit"),
+            Ok(()) => self.maybe_checkpoint()?,
+        }
+        result
+    }
+
+    fn validate_ops(&mut self, ops: &[CommitOp]) -> Result<()> {
+        // Validation runs against pre-commit state plus the effects of
+        // earlier ops in the same set (e.g. create-then-write).
+        let mut created: Vec<PartitionId> = Vec::new();
+        let mut deallocated: Vec<PartitionId> = Vec::new();
+        for op in ops {
+            match op {
+                CommitOp::WriteChunk { id, bytes } => {
+                    if id.partition.is_system() || !id.pos.is_data() {
+                        return Err(CoreError::NotAllocated(*id));
+                    }
+                    if !created.contains(&id.partition)
+                        && self.effective_status(*id)? == ChunkStatus::Unallocated
+                    {
+                        return Err(CoreError::NotAllocated(*id));
+                    }
+                    let max = self.log.max_version_len() as usize;
+                    if bytes.len() + 512 > max {
+                        return Err(CoreError::ChunkTooLarge {
+                            size: bytes.len(),
+                            max: max - 512,
+                        });
+                    }
+                }
+                CommitOp::DeallocChunk { id } => {
+                    if id.partition.is_system() || !id.pos.is_data() {
+                        return Err(CoreError::NotAllocated(*id));
+                    }
+                    if self.effective_status(*id)? == ChunkStatus::Unallocated {
+                        return Err(CoreError::NotAllocated(*id));
+                    }
+                }
+                CommitOp::CreatePartition { id, params } => {
+                    let exists = self.leader_entry(*id).is_ok() && !deallocated.contains(id);
+                    if id.is_system() || exists {
+                        return Err(CoreError::PartitionExists(*id));
+                    }
+                    params.runtime()?; // Key length check.
+                    created.push(*id);
+                }
+                CommitOp::CopyPartition { dst, src } => {
+                    let exists = self.leader_entry(*dst).is_ok() && !deallocated.contains(dst);
+                    if dst.is_system() || exists {
+                        return Err(CoreError::PartitionExists(*dst));
+                    }
+                    if !created.contains(src) {
+                        self.leader_entry(*src)?;
+                    }
+                    created.push(*dst);
+                }
+                CommitOp::DeallocPartition { id } => {
+                    if deallocated.contains(id) {
+                        return Err(CoreError::NoSuchPartition(*id));
+                    }
+                    self.leader_entry(*id)?;
+                    deallocated.push(*id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_and_finish(&mut self, ops: Vec<CommitOp>) -> Result<()> {
+        if matches!(self.config.validation, ValidationMode::Counter { .. }) {
+            self.hashes.begin_set();
+        }
+        // Hash+seal every WriteChunk body up front, fanning the crypto
+        // across workers; the appends below then serialize only the
+        // already-ciphered buffers (in op order, so the hash chain is
+        // unchanged). Purely read-only: a failure here rolls back clean.
+        let presealed = self.preseal_writes(&ops)?;
+        self.apply_ops(ops, presealed)?;
+        self.finish_commit()
+    }
+
+    /// Applies a validated op set: appends every version and installs the
+    /// descriptors, consuming presealed slots where the pipeline produced
+    /// them. Shared by the unbatched and group-commit paths.
+    fn apply_ops(
+        &mut self,
+        ops: Vec<CommitOp>,
+        mut presealed: Vec<Option<Presealed>>,
+    ) -> Result<()> {
+        let mut dealloc_ids: Vec<ChunkId> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let pre = presealed.get_mut(i).and_then(Option::take);
+            self.apply_op(op, pre, &mut dealloc_ids)?;
+        }
+        if !dealloc_ids.is_empty() {
+            self.append_dealloc_chunk(&dealloc_ids)?;
+        }
+        Ok(())
+    }
+
+    /// Precomputes `(hash, sealed bytes)` for every `WriteChunk` in the
+    /// set via the parallel crypto pipeline. Returns per-op slots; ops
+    /// without preseal work (or batches too small to parallelize) get
+    /// `None` and are sealed inline by [`Inner::apply_op`].
+    fn preseal_writes(&mut self, ops: &[CommitOp]) -> Result<Vec<Option<Presealed>>> {
+        let mut out: Vec<Option<Presealed>> = ops.iter().map(|_| None).collect();
+        let workers = pipeline::resolve_workers(self.config.crypto_workers);
+        if workers < 2 {
+            return Ok(out);
+        }
+        // Resolve each write's partition crypto sequentially (this may
+        // load leaders through the engine's caches). Partitions created
+        // earlier in the same set derive their crypto from the op params.
+        let mut created: HashMap<PartitionId, Arc<PartitionCrypto>> = HashMap::new();
+        let mut jobs: Vec<SealJob<'_>> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                CommitOp::CreatePartition { id, params } => {
+                    created.insert(*id, Arc::new(params.runtime()?));
+                }
+                CommitOp::CopyPartition { dst, src } => {
+                    let crypto = match created.get(src) {
+                        Some(c) => Arc::clone(c),
+                        None => self.crypto_for(*src)?,
+                    };
+                    created.insert(*dst, crypto);
+                }
+                CommitOp::WriteChunk { id, bytes } => {
+                    let crypto = match created.get(&id.partition) {
+                        Some(c) => Arc::clone(c),
+                        None => self.crypto_for(id.partition)?,
+                    };
+                    jobs.push((*id, crypto, bytes.as_slice()));
+                    slots.push(i);
+                }
+                CommitOp::DeallocChunk { .. } | CommitOp::DeallocPartition { .. } => {}
+            }
+        }
+        if jobs.len() < 2 {
+            return Ok(out);
+        }
+        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
+        self.stats.parallel_crypto_batches += 1;
+        self.stats.parallel_crypto_chunks += sealed.len() as u64;
+        metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
+        metrics::add(counters::PARALLEL_CRYPTO_CHUNKS, sealed.len() as u64);
+        for (slot, pre) in slots.into_iter().zip(sealed) {
+            out[slot] = Some(pre);
+        }
+        Ok(out)
+    }
+
+    /// Preseals every `WriteChunk` across a whole group-commit batch in
+    /// one pipeline pass. Crypto-resolution failures are swallowed (the
+    /// slot stays `None`): such a member either seals inline later or —
+    /// more likely — fails its own validation without touching batch-mates.
+    ///
+    /// Unlike [`Inner::preseal_writes`], partitions created by one member
+    /// are *not* visible to later members here: a member's create can
+    /// still fail validation (e.g. the partition already exists), and a
+    /// later member's write must then be sealed under the surviving
+    /// partition's real key, not the failed create's.
+    fn preseal_batch(&mut self, sets: &[Vec<CommitOp>]) -> Vec<Vec<Option<Presealed>>> {
+        let mut out: Vec<Vec<Option<Presealed>>> = sets
+            .iter()
+            .map(|ops| ops.iter().map(|_| None).collect())
+            .collect();
+        let workers = pipeline::resolve_workers(self.config.crypto_workers);
+        if workers < 2 {
+            return out;
+        }
+        let mut jobs: Vec<SealJob<'_>> = Vec::new();
+        let mut slots: Vec<(usize, usize)> = Vec::new();
+        for (m, ops) in sets.iter().enumerate() {
+            let mut created: HashMap<PartitionId, Arc<PartitionCrypto>> = HashMap::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    CommitOp::CreatePartition { id, params } => {
+                        if let Ok(rt) = params.runtime() {
+                            created.insert(*id, Arc::new(rt));
+                        }
+                    }
+                    CommitOp::CopyPartition { dst, src } => {
+                        let crypto = match created.get(src) {
+                            Some(c) => Some(Arc::clone(c)),
+                            None => self.crypto_for(*src).ok(),
+                        };
+                        if let Some(c) = crypto {
+                            created.insert(*dst, c);
+                        }
+                    }
+                    CommitOp::WriteChunk { id, bytes } => {
+                        let crypto = match created.get(&id.partition) {
+                            Some(c) => Some(Arc::clone(c)),
+                            None => self.crypto_for(id.partition).ok(),
+                        };
+                        if let Some(c) = crypto {
+                            jobs.push((*id, c, bytes.as_slice()));
+                            slots.push((m, i));
+                        }
+                    }
+                    CommitOp::DeallocChunk { .. } | CommitOp::DeallocPartition { .. } => {}
+                }
+            }
+        }
+        if jobs.len() < 2 {
+            return out;
+        }
+        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
+        self.stats.parallel_crypto_batches += 1;
+        self.stats.parallel_crypto_chunks += sealed.len() as u64;
+        metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
+        metrics::add(counters::PARALLEL_CRYPTO_CHUNKS, sealed.len() as u64);
+        for ((m, i), pre) in slots.into_iter().zip(sealed) {
+            out[m][i] = Some(pre);
+        }
+        out
+    }
+
+    /// Appends a sealed named version and installs its descriptor.
+    pub(crate) fn write_named(
+        &mut self,
+        kind: VersionKind,
+        id: ChunkId,
+        body: &[u8],
+    ) -> Result<Descriptor> {
+        let crypto = self.crypto_for(id.partition)?;
+        let hash = {
+            let _t = metrics::span(modules::HASHING);
+            crypto.hash(body)
+        };
+        let sealed = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            seal_version(&self.system, &crypto, kind, id, body)
+        };
+        let location = self.append(&sealed)?;
+        let desc = Descriptor::written(location, sealed.len() as u32, body.len() as u32, hash);
+        Ok(desc)
+    }
+
+    pub(crate) fn append(&mut self, sealed: &[u8]) -> Result<u64> {
+        let loc = self.log.append(
+            &mut self.sys_leader.log,
+            &self.system,
+            &mut self.hashes,
+            sealed,
+        )?;
+        // Only set after a *successful* device append: a failed first write
+        // left nothing durable, so the mutation can roll back and stay
+        // live. While the log is coalescing, appends only buffer in memory;
+        // `flush_log` flips `wrote_log` once runs actually hit the device.
+        if !self.log.coalescing() {
+            self.wrote_log = true;
+        }
+        self.stats.bytes_appended += sealed.len() as u64;
+        Ok(loc)
+    }
+
+    /// Flushes the log, writing out any coalesced runs first, and keeps the
+    /// `wrote_log` rollback marker honest: it is set as soon as buffered
+    /// bytes reach the device, whether or not the flush itself succeeds.
+    pub(crate) fn flush_log(&mut self) -> Result<()> {
+        let runs_before = self.log.coalesce_counters().1;
+        let result = self.log.flush();
+        if self.log.coalesce_counters().1 > runs_before {
+            self.wrote_log = true;
+        }
+        if result.is_ok() {
+            self.stats.flushes += 1;
+        }
+        result
+    }
+
+    fn apply_op(
+        &mut self,
+        op: CommitOp,
+        pre: Option<Presealed>,
+        dealloc_ids: &mut Vec<ChunkId>,
+    ) -> Result<()> {
+        match op {
+            CommitOp::WriteChunk { id, bytes } => {
+                self.ensure_capacity(id.partition, id.pos.rank)?;
+                let desc = match pre {
+                    // Pipeline already hashed + sealed this body; only the
+                    // append is left on the serial path.
+                    Some(p) => {
+                        let location = self.append(&p.sealed)?;
+                        Descriptor::written(location, p.sealed.len() as u32, p.body_len, p.hash)
+                    }
+                    None => self.write_named(VersionKind::Named, id, &bytes)?,
+                };
+                self.set_descriptor(id, desc)?;
+                let entry = self.leader_entry(id.partition)?;
+                entry.leader.next_rank = entry.leader.next_rank.max(id.pos.rank + 1);
+                entry.alloc_next = entry.alloc_next.max(entry.leader.next_rank);
+                entry.leader.unfree(id.pos.rank);
+                entry.alloc_free.retain(|r| *r != id.pos.rank);
+                entry.reserved.remove(&id.pos.rank);
+                entry.dirty = true;
+            }
+            CommitOp::DeallocChunk { id } => {
+                // Deallocating a reserved-but-unwritten id is purely an
+                // in-memory affair: there is no persistent state to undo.
+                let was_written = self.get_descriptor(id)?.is_written();
+                if was_written {
+                    dealloc_ids.push(id);
+                    self.set_descriptor(id, Descriptor::unallocated())?;
+                    let entry = self.leader_entry(id.partition)?;
+                    entry.leader.push_free(id.pos.rank);
+                    entry.alloc_free.push(id.pos.rank);
+                    entry.dirty = true;
+                } else {
+                    let entry = self.leader_entry(id.partition)?;
+                    entry.reserved.remove(&id.pos.rank);
+                    entry.alloc_free.push(id.pos.rank);
+                }
+            }
+            CommitOp::CreatePartition { id, params } => {
+                let leader = PartitionLeader::new(params);
+                self.write_partition_leader(id, leader)?;
+            }
+            CommitOp::CopyPartition { dst, src } => {
+                let src_entry = self.leader_entry(src)?;
+                let dst_leader = src_entry.leader.copied(src);
+                src_entry.leader.copies.push(dst);
+                let src_leader = src_entry.leader.clone();
+                // Persist the source's updated copies list.
+                self.write_partition_leader(src, src_leader)?;
+                self.write_partition_leader(dst, dst_leader)?;
+                // Clone buffered (dirty) map state so dst sees post-
+                // checkpoint updates of src (§5.3).
+                self.map_cache.clone_dirty(src, dst);
+            }
+            CommitOp::DeallocPartition { id } => {
+                self.dealloc_partition(id, dealloc_ids)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn append_dealloc_chunk(&mut self, ids: &[ChunkId]) -> Result<()> {
+        let record = DeallocRecord { ids: ids.to_vec() };
+        let sealed = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            seal_version(
+                &self.system,
+                &self.system,
+                VersionKind::Dealloc,
+                VersionHeader::unnamed_id(),
+                &record.encode(),
+            )
+        };
+        self.append(&sealed)?;
+        Ok(())
+    }
+
+    /// Seals the commit: commit chunk or chained hash, flush, trusted-store
+    /// update (§4.6, §4.8.2).
+    pub(crate) fn finish_commit(&mut self) -> Result<()> {
+        match self.config.validation {
+            ValidationMode::Counter { delta_ut, .. } => {
+                // Reserve room so the commit chunk follows its set in the
+                // same segment (the set hash must cover any next-segment
+                // chunk, so no switch may happen after end_set).
+                self.log.ensure_room(
+                    &mut self.sys_leader.log,
+                    &self.system,
+                    &mut self.hashes,
+                    COMMIT_CHUNK_ROOM,
+                )?;
+                let set_hash = self.hashes.end_set();
+                let count = self.commit_count + 1;
+                let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
+                let sealed = {
+                    let _t = metrics::span(modules::ENCRYPTION);
+                    seal_version(
+                        &self.system,
+                        &self.system,
+                        VersionKind::Commit,
+                        VersionHeader::unnamed_id(),
+                        &record.encode(),
+                    )
+                };
+                self.append(&sealed)?;
+                self.commit_count = count;
+                // "A commit operation waits until the commit set is written
+                // to the untrusted store reliably" (§4.8.2.1).
+                self.flush_log()?;
+                if count - self.trusted_count > delta_ut.saturating_sub(1) {
+                    self.advance_counter(count)?;
+                }
+            }
+            ValidationMode::DirectHash => {
+                self.flush_log()?;
+                self.write_direct_record()?;
+            }
+        }
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Batched variant of [`Inner::finish_commit`]: appends the member's
+    /// commit chunk (counter mode) but defers the device flush to the
+    /// batch finalizer, flushing early only when the counter-lag window
+    /// (Δut) demands an advance — the trusted counter must never count a
+    /// commit that is not yet durable, so the flush always precedes the
+    /// advance. Returns whether a flush happened (everything appended so
+    /// far, this member included, is durable).
+    fn finish_commit_batched(&mut self) -> Result<bool> {
+        let mut flushed = false;
+        if let ValidationMode::Counter { delta_ut, .. } = self.config.validation {
+            self.log.ensure_room(
+                &mut self.sys_leader.log,
+                &self.system,
+                &mut self.hashes,
+                COMMIT_CHUNK_ROOM,
+            )?;
+            let set_hash = self.hashes.end_set();
+            let count = self.commit_count + 1;
+            let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
+            let sealed = {
+                let _t = metrics::span(modules::ENCRYPTION);
+                seal_version(
+                    &self.system,
+                    &self.system,
+                    VersionKind::Commit,
+                    VersionHeader::unnamed_id(),
+                    &record.encode(),
+                )
+            };
+            self.append(&sealed)?;
+            self.commit_count = count;
+            if count - self.trusted_count > delta_ut.saturating_sub(1) {
+                self.flush_log()?;
+                self.advance_counter(count)?;
+                flushed = true;
+            }
+        }
+        // Direct-hash mode needs nothing per member: the register write at
+        // the batch's durability point is "the real commit point", and it
+        // covers every member at once.
+        self.stats.commits += 1;
+        Ok(flushed)
+    }
+
+    /// Rolls back to a batch's last durable snapshot while keeping the
+    /// monotone health-event counters a failure handler may have bumped
+    /// after that snapshot was taken.
+    fn restore_durable(&mut self, snap: EngineSnapshot) {
+        let degraded = self.stats.degraded_entries;
+        let poisons = self.stats.poison_events;
+        self.restore(snap);
+        self.stats.degraded_entries = self.stats.degraded_entries.max(degraded);
+        self.stats.poison_events = self.stats.poison_events.max(poisons);
+    }
+
+    /// Executes a group-commit batch: every member is validated, sealed,
+    /// and applied independently (per-commit atomicity), their log appends
+    /// coalesce in the log's run buffer, and one flush at the end makes
+    /// the whole batch durable.
+    ///
+    /// Failure policy per member:
+    /// - validation errors fail the member alone, before any state change;
+    /// - apply errors with no device write roll just that member back and
+    ///   the batch continues live;
+    /// - integrity violations poison and abort the batch;
+    /// - storage failures after bytes reached the device degrade and abort
+    ///   (remaining members get [`CoreError::BatchAborted`]).
+    ///
+    /// On abort or a failed final flush, members applied after the last
+    /// durable point are demoted to `BatchAborted` — no caller is ever
+    /// acknowledged before its bytes are flushed.
+    pub(crate) fn commit_batch(&mut self, sets: Vec<Vec<CommitOp>>) -> Vec<Result<()>> {
+        let n = sets.len();
+        self.stats.commit_batches += 1;
+        self.stats.batched_commits += n as u64;
+        self.stats.batch_size_hist[batch_size_bucket(n)] += 1;
+        metrics::count(counters::COMMIT_BATCHES);
+        metrics::add(counters::BATCHED_COMMITS, n as u64);
+
+        // Pool the whole batch's seal work through the crypto pipeline
+        // before any member mutates state.
+        let presealed = self.preseal_batch(&sets);
+        self.log.set_coalescing(true);
+
+        let mut results: Vec<Result<()>> = Vec::with_capacity(n);
+        // Members in `results[..durable]` are covered by a device flush;
+        // `durable_snap` is the engine state at that point. `None` once
+        // consumed by an abort (no further members run after that).
+        let mut durable = 0usize;
+        let mut durable_snap = Some(self.snapshot());
+        let mut abort: Option<String> = None;
+
+        for (ops, pre) in sets.into_iter().zip(presealed) {
+            if let Some(reason) = &abort {
+                results.push(Err(CoreError::BatchAborted(reason.clone())));
+                continue;
+            }
+            if ops.is_empty() {
+                results.push(Ok(()));
+                continue;
+            }
+            if let Err(e) = self.validate_ops(&ops) {
+                // Read-only failure: the member dies alone, batch-mates
+                // are untouched.
+                results.push(Err(e));
+                continue;
+            }
+            let snap = self.snapshot();
+            self.wrote_log = false;
+            let counter_mode = matches!(self.config.validation, ValidationMode::Counter { .. });
+            if counter_mode {
+                self.hashes.begin_set();
+            }
+            let result = self
+                .apply_ops(ops, pre)
+                .and_then(|()| self.finish_commit_batched());
+            match result {
+                Ok(flushed) => {
+                    results.push(Ok(()));
+                    if flushed {
+                        durable = results.len();
+                        durable_snap = Some(self.snapshot());
+                    }
+                    // Threshold-driven checkpoint, as on the unbatched
+                    // path. A successful checkpoint flushes and syncs the
+                    // trusted store, so it is a durable point too.
+                    let checkpoints_before = self.stats.checkpoints;
+                    match self.maybe_checkpoint() {
+                        Ok(()) => {
+                            if self.stats.checkpoints > checkpoints_before {
+                                durable = results.len();
+                                durable_snap = Some(self.snapshot());
+                            }
+                        }
+                        Err(e) => {
+                            // The member was applied but its follow-on
+                            // checkpoint failed (and did its own rollback
+                            // and health transition) — surface the error
+                            // as the member's result, exactly like the
+                            // unbatched path.
+                            let msg = e.to_string();
+                            *results.last_mut().expect("just pushed") = Err(e);
+                            if !self.health.is_live() {
+                                let snap = durable_snap.take().expect("unconsumed");
+                                self.restore_durable(snap);
+                                demote_unflushed(&mut results, durable, &msg);
+                                abort = Some(msg);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    let integrity = e.fault_class() == FaultClass::Integrity;
+                    if integrity || self.wrote_log {
+                        // Bytes reached the device (or integrity is in
+                        // doubt): everything since the last durable point
+                        // is unrecoverable in place. Roll back to it,
+                        // demote the members it does not cover, and stop.
+                        let msg = e.to_string();
+                        let snap = durable_snap.take().expect("unconsumed");
+                        self.restore_durable(snap);
+                        demote_unflushed(&mut results, durable, &msg);
+                        if integrity {
+                            self.enter_poisoned(format!(
+                                "integrity violation during batched commit: {msg}"
+                            ));
+                        } else {
+                            self.enter_degraded(format!(
+                                "storage failure during batched commit after \
+                                 log bytes were written: {msg}"
+                            ));
+                        }
+                        results.push(Err(e));
+                        abort = Some(msg);
+                    } else {
+                        // Nothing durable happened: this member rolls back
+                        // clean and the batch continues live.
+                        self.restore(snap);
+                        results.push(Err(e));
+                    }
+                }
+            }
+        }
+
+        // Finalize: one shared durability point for everything the batch
+        // buffered since the last flush.
+        if abort.is_none() && self.log.buffered_len() > 0 {
+            self.wrote_log = false;
+            let fin = match self.config.validation {
+                ValidationMode::Counter { .. } => self.flush_log(),
+                ValidationMode::DirectHash => {
+                    self.flush_log().and_then(|()| self.write_direct_record())
+                }
+            };
+            if let Err(e) = fin {
+                let msg = e.to_string();
+                let wrote = self.wrote_log;
+                let snap = durable_snap.take().expect("unconsumed");
+                self.restore_durable(snap);
+                demote_unflushed(&mut results, durable, &msg);
+                if wrote {
+                    self.enter_degraded(format!(
+                        "storage failure flushing a commit batch after log \
+                         bytes were written: {msg}"
+                    ));
+                }
+            }
+        }
+        self.log.set_coalescing(false);
+        results
+    }
+
+    pub(crate) fn advance_counter(&mut self, count: u64) -> Result<()> {
+        let _t = metrics::span(modules::TRUSTED_STORE);
+        match &self.trusted {
+            TrustedBackend::Counter(c) => c.advance_to(count)?,
+            TrustedBackend::Register(_) => {
+                return Err(CoreError::Corrupt(
+                    "counter validation configured with a register backend".into(),
+                ))
+            }
+        }
+        self.trusted_count = count;
+        Ok(())
+    }
+
+    /// Writes `{chain, tail}` to the tamper-resistant register — "the real
+    /// commit point" of direct hash validation (§4.8.2.1).
+    pub(crate) fn write_direct_record(&mut self) -> Result<()> {
+        let record = DirectRecord {
+            chain: self.hashes.chain,
+            tail: self.log.tail_location(),
+        };
+        let _t = metrics::span(modules::TRUSTED_STORE);
+        match &self.trusted {
+            TrustedBackend::Register(r) => r.write(&record.encode())?,
+            TrustedBackend::Counter(_) => {
+                return Err(CoreError::Corrupt(
+                    "direct validation configured with a counter backend".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Caller-driven threshold checkpoint. A no-op when the background
+    /// maintenance runtime owns checkpoint scheduling
+    /// ([`crate::maintenance`]): the commit path then never stalls on a
+    /// full checkpoint, and the maintenance thread picks the threshold up
+    /// on its next wakeup.
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        if self.config.background_maintenance {
+            return Ok(());
+        }
+        if self.map_cache.dirty_count() >= self.config.checkpoint_threshold {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+/// Histogram bucket for a group-commit batch of `n` members: bucket `i`
+/// covers sizes in `(2^(i-1), 2^i]` (1, 2, 3–4, 5–8, …), capped at 7.
+fn batch_size_bucket(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        ((usize::BITS - (n - 1).leading_zeros()) as usize).min(7)
+    }
+}
+
+/// Demotes every `Ok` result at or past `durable` to [`CoreError::BatchAborted`]:
+/// those members were applied but never covered by a flush, so they must
+/// not be acknowledged.
+fn demote_unflushed(results: &mut [Result<()>], durable: usize, reason: &str) {
+    for r in results.iter_mut().skip(durable) {
+        if r.is_ok() {
+            *r = Err(CoreError::BatchAborted(reason.to_string()));
+        }
+    }
+}
+
+/// The direct-validation record kept in the tamper-resistant register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DirectRecord {
+    /// Chained hash over the residual log.
+    pub chain: HashValue,
+    /// Exact end of the validated log.
+    pub tail: u64,
+}
+
+impl DirectRecord {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(self.chain.len() + 12);
+        e.bytes(self.chain.as_bytes());
+        e.u64(self.tail);
+        e.finish()
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> Result<DirectRecord> {
+        let mut d = Dec::new(buf);
+        let chain = HashValue::new(d.bytes()?);
+        let tail = d.u64()?;
+        d.expect_done("trusted direct record")?;
+        Ok(DirectRecord { chain, tail })
+    }
+}

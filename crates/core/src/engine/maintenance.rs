@@ -17,23 +17,41 @@
 //! each chunk (so the cleaner cannot launder an attacker's modifications),
 //! and the faster variant that moves sealed bytes verbatim without updating
 //! stored hashes.
+//!
+//! Each [`Inner::clean`] call is one bounded *slice*: the background
+//! maintenance runtime ([`crate::maintenance`]) invokes it repeatedly with
+//! `clean_slice_segments` per engine-lock hold, so committers interleave
+//! between slices instead of stalling behind one long cleaning pass.
 
 use std::collections::HashSet;
 
 use crate::descriptor::Descriptor;
 use crate::errors::{CoreError, Result, TamperKind};
 use crate::ids::{ChunkId, PartitionId, LEADER_HEIGHT};
-use crate::metrics::{self, modules};
+use crate::metrics::{self, counters, modules};
 use crate::store::{Inner, ValidationMode};
 use crate::version::{parse_version, seal_version, CleanerRecord, VersionHeader, VersionKind};
 
+/// What one cleaning pass did, reported to the store facade so the read
+/// path can invalidate exactly the published descriptors that went stale.
+pub(crate) struct CleanOutcome {
+    /// Segments reclaimed.
+    pub reclaimed: usize,
+    /// `(partition, position)` ids whose current version was relocated;
+    /// every other published descriptor survived the pass untouched.
+    pub relocated: Vec<ChunkId>,
+}
+
 impl Inner {
     /// Cleans up to `max_segments` low-utilization segments; returns how
-    /// many were reclaimed.
-    pub(crate) fn clean(&mut self, max_segments: usize) -> Result<usize> {
+    /// many were reclaimed and which chunk ids were relocated.
+    pub(crate) fn clean(&mut self, max_segments: usize) -> Result<CleanOutcome> {
         let targets = self.pick_segments(max_segments);
         if targets.is_empty() {
-            return Ok(0);
+            return Ok(CleanOutcome {
+                reclaimed: 0,
+                relocated: Vec::new(),
+            });
         }
         let snap = self.snapshot();
         self.wrote_log = false;
@@ -67,14 +85,32 @@ impl Inner {
             .collect()
     }
 
-    fn clean_segments(&mut self, targets: &[u32]) -> Result<usize> {
+    fn clean_segments(&mut self, targets: &[u32]) -> Result<CleanOutcome> {
         if matches!(self.config.validation, ValidationMode::Counter { .. }) {
             self.hashes.begin_set();
         }
+        // Obsolete bytes per target, captured before relocation shuffles
+        // utilization: the live remainder is rewritten to the tail, so the
+        // net space the pass reclaims is segment size minus live bytes.
+        let seg_size = self.log.segment_size();
+        let obsolete: u64 = targets
+            .iter()
+            .map(|seg| {
+                let live = self
+                    .sys_leader
+                    .log
+                    .utilization
+                    .get(*seg as usize)
+                    .copied()
+                    .unwrap_or(0);
+                u64::from(seg_size.saturating_sub(live))
+            })
+            .sum();
         let mut freed = Vec::new();
+        let mut relocated: Vec<ChunkId> = Vec::new();
         let mut rewrote_any = false;
         for &seg in targets {
-            rewrote_any |= self.clean_one_segment(seg)?;
+            rewrote_any |= self.clean_one_segment(seg, &mut relocated)?;
             freed.push(seg);
         }
         if rewrote_any || matches!(self.config.validation, ValidationMode::Counter { .. }) {
@@ -91,10 +127,16 @@ impl Inner {
             }
         }
         self.stats.segments_cleaned += freed.len() as u64;
-        Ok(freed.len())
+        self.stats.bytes_reclaimed += obsolete;
+        metrics::add(counters::SEGMENTS_CLEANED, freed.len() as u64);
+        metrics::add(counters::BYTES_RECLAIMED, obsolete);
+        Ok(CleanOutcome {
+            reclaimed: freed.len(),
+            relocated,
+        })
     }
 
-    fn clean_one_segment(&mut self, seg: u32) -> Result<bool> {
+    fn clean_one_segment(&mut self, seg: u32, relocated: &mut Vec<ChunkId>) -> Result<bool> {
         let buf = self.log.read_segment(seg)?;
         let base = self.log.segment_offset(seg);
         let mut off = 0usize;
@@ -117,7 +159,13 @@ impl Inner {
             {
                 let current_in = self.current_in(raw.header.id, location)?;
                 if !current_in.is_empty() {
-                    self.relocate(raw.header.id, &buf[off..off + total], location, &current_in)?;
+                    self.relocate(
+                        raw.header.id,
+                        &buf[off..off + total],
+                        location,
+                        &current_in,
+                        relocated,
+                    )?;
                     rewrote = true;
                 }
             }
@@ -170,6 +218,7 @@ impl Inner {
         sealed_old: &[u8],
         old_location: u64,
         current_in: &[PartitionId],
+        relocated: &mut Vec<ChunkId>,
     ) -> Result<()> {
         let pos = original_id.pos;
         let owner = current_in[0];
@@ -213,8 +262,10 @@ impl Inner {
                 }));
             }
             self.set_descriptor(ChunkId::new(q, pos), new_desc)?;
+            relocated.push(ChunkId::new(q, pos));
         }
         self.stats.chunks_relocated += 1;
+        metrics::count(counters::VERSIONS_RELOCATED);
         Ok(())
     }
 }

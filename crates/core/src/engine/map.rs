@@ -1,0 +1,210 @@
+//! The chunk map (§4.3, §4.5): locating and validating chunk versions.
+//!
+//! Descriptors carry both a version's log location and its expected hash,
+//! so the map doubles as a Merkle tree: every descriptor read walks the
+//! tree bottom-up from the deepest cached ancestor, and every validated
+//! chunk read checks the body hash against the descriptor on the way out.
+
+use crate::descriptor::{ChunkStatus, Descriptor, MapChunk};
+use crate::errors::{CoreError, Result, TamperKind};
+use crate::ids::{capacity, ChunkId, PartitionId, Position};
+use crate::metrics::{self, modules};
+use crate::store::Inner;
+use crate::version::{parse_version, RawVersion, VersionKind};
+
+impl Inner {
+    /// Fetches the descriptor for `id`, walking the map bottom-up from the
+    /// deepest cached ancestor (§4.5).
+    pub(crate) fn get_descriptor(&mut self, id: ChunkId) -> Result<Descriptor> {
+        let height = self.tree_height(id.partition)?;
+        if id.pos.height > height {
+            return Ok(Descriptor::unallocated());
+        }
+        if id.pos.height == height && id.pos.rank == 0 {
+            return self.root_descriptor(id.partition);
+        }
+        let parent = id.pos.parent(self.fanout());
+        self.ensure_map_chunk(id.partition, parent)?;
+        let slot = id.pos.slot(self.fanout());
+        Ok(self
+            .map_cache
+            .get(id.partition, parent)
+            .expect("ensured above")
+            .slots[slot])
+    }
+
+    /// Ensures the map chunk at `(p, pos)` is decoded in the cache,
+    /// validating it against its descriptor on the way in.
+    fn ensure_map_chunk(&mut self, p: PartitionId, pos: Position) -> Result<()> {
+        if self.map_cache.contains(p, pos) {
+            return Ok(());
+        }
+        let desc = self.get_descriptor(ChunkId::new(p, pos))?;
+        let fanout = self.fanout() as usize;
+        let chunk = if desc.is_written() {
+            let body = self.read_validated(ChunkId::new(p, pos), &desc)?;
+            let hash_len = self.crypto_for(p)?.hash_kind().digest_len();
+            MapChunk::decode(&body, fanout, hash_len)?
+        } else {
+            // Never written: synthesize an empty map chunk.
+            MapChunk::empty(fanout)
+        };
+        self.map_cache.insert(p, pos, chunk, false);
+        Ok(())
+    }
+
+    /// Updates the descriptor for `id`, dirtying its parent map chunk (the
+    /// §4.6 deferral) and maintaining segment utilization.
+    pub(crate) fn set_descriptor(&mut self, id: ChunkId, desc: Descriptor) -> Result<()> {
+        let old = self.get_descriptor(id)?;
+        // Utilization: the old version becomes obsolete, the new is live.
+        if old.is_written() {
+            let seg = self.log.segment_of(old.location) as usize;
+            if let Some(u) = self.sys_leader.log.utilization.get_mut(seg) {
+                *u = u.saturating_sub(old.vlen);
+            }
+        }
+        if desc.is_written() {
+            let seg = self.log.segment_of(desc.location) as usize;
+            if let Some(u) = self.sys_leader.log.utilization.get_mut(seg) {
+                *u += desc.vlen;
+            }
+        }
+        let height = self.tree_height(id.partition)?;
+        debug_assert!(
+            id.pos.height < height || (id.pos.height == height && id.pos.rank == 0),
+            "descriptor write outside tree: {id} at height {height}"
+        );
+        if id.pos.height == height && id.pos.rank == 0 {
+            return self.set_root_descriptor(id.partition, desc);
+        }
+        let parent = id.pos.parent(self.fanout());
+        self.ensure_map_chunk(id.partition, parent)?;
+        let slot = id.pos.slot(self.fanout());
+        self.map_cache
+            .get_mut_dirty(id.partition, parent)
+            .expect("ensured above")
+            .slots[slot] = desc;
+        Ok(())
+    }
+
+    /// Grows `p`'s tree until `rank` is addressable (§4.3: "as the tree
+    /// grows, new chunks are added to the right and to the top").
+    pub(crate) fn ensure_capacity(&mut self, p: PartitionId, rank: u64) -> Result<()> {
+        loop {
+            let height = self.tree_height(p)?;
+            if rank < capacity(self.fanout(), height) {
+                return Ok(());
+            }
+            let old_root = self.root_descriptor(p)?;
+            let new_height = height + 1;
+            let mut chunk = MapChunk::empty(self.fanout() as usize);
+            chunk.slots[0] = old_root;
+            self.map_cache
+                .insert(p, Position::map(new_height, 0), chunk, true);
+            if p.is_system() {
+                self.sys_leader.map.height = new_height;
+                self.sys_leader.map.root = Descriptor::unwritten();
+            } else {
+                let entry = self.leader_entry(p)?;
+                entry.leader.height = new_height;
+                entry.leader.root = Descriptor::unwritten();
+                entry.dirty = true;
+            }
+        }
+    }
+
+    /// Grows the tree so `pos` is addressable (map heights included).
+    pub(crate) fn ensure_capacity_for_pos(&mut self, p: PartitionId, pos: Position) -> Result<()> {
+        if pos.is_data() {
+            return self.ensure_capacity(p, pos.rank);
+        }
+        // A map position: the tree must be at least `pos.height` tall
+        // (capacity ≥ F^height, i.e. rank F^height − 1 addressable) and wide
+        // enough to contain the subtree's first data rank.
+        let fanout = u64::from(self.config.fanout);
+        let subtree = fanout.saturating_pow(u32::from(pos.height));
+        let for_height = subtree.saturating_sub(1);
+        let for_rank = pos.rank.saturating_mul(subtree);
+        self.ensure_capacity(p, for_height.max(for_rank))
+    }
+
+    /// Reads and validates the version a descriptor points at, returning
+    /// the plaintext body (§4.5: located, decrypted, hashed, compared).
+    pub(crate) fn read_validated(&mut self, id: ChunkId, desc: &Descriptor) -> Result<Vec<u8>> {
+        debug_assert!(desc.is_written());
+        let buf = self.log.read_at(desc.location, desc.vlen as usize)?;
+        let raw = self.parse_at(&buf, desc.location)?;
+        if !matches!(raw.header.kind, VersionKind::Named | VersionKind::Relocated)
+            || raw.header.id.pos != id.pos
+        {
+            return Err(CoreError::TamperDetected(TamperKind::MisdirectedChunk {
+                expected: id,
+                location: desc.location,
+            }));
+        }
+        let crypto = self.crypto_for(id.partition)?;
+        let body = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            raw.open_body(&crypto, desc.location)?
+        };
+        let hash = {
+            let _t = metrics::span(modules::HASHING);
+            crypto.hash(&body)
+        };
+        if hash != desc.hash {
+            return Err(CoreError::TamperDetected(TamperKind::ChunkHashMismatch(id)));
+        }
+        Ok(body)
+    }
+
+    fn parse_at(&self, buf: &[u8], location: u64) -> Result<RawVersion> {
+        let parsed = {
+            let _t = metrics::span(modules::ENCRYPTION);
+            parse_version(&self.system, buf, location)?
+        };
+        parsed.ok_or(CoreError::TamperDetected(TamperKind::UndecryptableChunk {
+            location,
+        }))
+    }
+
+    /// Effective allocation status of a data chunk id, folding in
+    /// session-only reservations.
+    pub(crate) fn effective_status(&mut self, id: ChunkId) -> Result<ChunkStatus> {
+        let desc = self.get_descriptor(id)?;
+        if desc.status == ChunkStatus::Unallocated {
+            let reserved = self
+                .leader_entry(id.partition)?
+                .reserved
+                .contains(&id.pos.rank);
+            if reserved {
+                return Ok(ChunkStatus::Unwritten);
+            }
+        }
+        Ok(desc.status)
+    }
+
+    // -- Read (§4.5) ----------------------------------------------------------
+
+    pub(crate) fn read_chunk(&mut self, id: ChunkId) -> Result<Vec<u8>> {
+        if id.partition.is_system() || !id.pos.is_data() {
+            return Err(CoreError::NotAllocated(id));
+        }
+        let desc = self.get_descriptor(id)?;
+        match desc.status {
+            ChunkStatus::Unallocated => {
+                if self
+                    .leader_entry(id.partition)?
+                    .reserved
+                    .contains(&id.pos.rank)
+                {
+                    Err(CoreError::NotWritten(id))
+                } else {
+                    Err(CoreError::NotAllocated(id))
+                }
+            }
+            ChunkStatus::Unwritten => Err(CoreError::NotWritten(id)),
+            ChunkStatus::Written => self.read_validated(id, &desc),
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Partition bookkeeping (§5): the leader cache, allocation, partition
+//! create/copy/dealloc support, diffs, and written-rank scans.
+//!
+//! A partition's persistent state is its *leader* — a data chunk of the
+//! system partition holding the crypto parameters, map root, allocation
+//! high-water, free list, and copy links. The engine caches decoded
+//! leaders with session-only allocation state layered on top.
+
+use std::sync::Arc;
+
+use crate::descriptor::{ChunkStatus, Descriptor};
+use crate::errors::{CoreError, Result};
+use crate::ids::{ChunkId, PartitionId, Position};
+use crate::leader::PartitionLeader;
+use crate::params::PartitionCrypto;
+use crate::store::Inner;
+use crate::version::VersionKind;
+
+/// How a chunk position changed between two partitions (§5.1 `Diff`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffChange {
+    /// Written in `new` but not in `old`.
+    Created,
+    /// Written in both with different state.
+    Updated,
+    /// Written in `old` but not in `new`.
+    Deallocated,
+}
+
+/// One entry of a partition diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffEntry {
+    /// Data-chunk position that changed.
+    pub pos: Position,
+    /// Kind of change.
+    pub change: DiffChange,
+}
+
+/// Cached per-partition state: decoded leader, runtime crypto, and session
+/// allocation state.
+#[derive(Clone)]
+pub(crate) struct LeaderEntry {
+    pub leader: PartitionLeader,
+    pub crypto: Arc<PartitionCrypto>,
+    /// Session-only allocation high-water (≥ `leader.next_rank`).
+    pub alloc_next: u64,
+    /// Session view of the free list (ranks handed out are removed here
+    /// but stay in `leader.free_ranks` until the write commits).
+    pub alloc_free: Vec<u64>,
+    /// Session-allocated ranks not yet written. Purely in-memory: "id
+    /// allocation is not persistent until the chunk is written" (§4.4), so
+    /// allocation touches no map state at all.
+    pub reserved: std::collections::HashSet<u64>,
+    /// True when committed leader state changed since its last version was
+    /// written; checkpoints persist dirty leaders.
+    pub dirty: bool,
+}
+
+impl LeaderEntry {
+    pub(crate) fn new(leader: PartitionLeader) -> Result<LeaderEntry> {
+        let crypto = Arc::new(leader.params.runtime()?);
+        let alloc_next = leader.next_rank;
+        let alloc_free = leader.free_ranks.clone();
+        Ok(LeaderEntry {
+            leader,
+            crypto,
+            alloc_next,
+            alloc_free,
+            reserved: std::collections::HashSet::new(),
+            dirty: false,
+        })
+    }
+}
+
+impl Inner {
+    // -- Leader and crypto access --------------------------------------------
+
+    /// Loads (if needed) and returns the cached state for a user partition.
+    pub(crate) fn leader_entry(&mut self, p: PartitionId) -> Result<&mut LeaderEntry> {
+        if p.is_system() {
+            return Err(CoreError::NoSuchPartition(p));
+        }
+        if !self.leaders.contains_key(&p) {
+            let id = ChunkId::leader_chunk(p);
+            let desc = self.get_descriptor(id)?;
+            if desc.status != ChunkStatus::Written {
+                return Err(CoreError::NoSuchPartition(p));
+            }
+            let body = self.read_validated(id, &desc)?;
+            let leader = PartitionLeader::decode(&body)?;
+            self.leaders.insert(p, LeaderEntry::new(leader)?);
+        }
+        Ok(self.leaders.get_mut(&p).expect("just inserted"))
+    }
+
+    /// Runtime crypto for a partition (system partition included).
+    pub(crate) fn crypto_for(&mut self, p: PartitionId) -> Result<Arc<PartitionCrypto>> {
+        if p.is_system() {
+            Ok(Arc::clone(&self.system))
+        } else {
+            Ok(Arc::clone(&self.leader_entry(p)?.crypto))
+        }
+    }
+
+    /// The tree height of a partition's position map.
+    pub(crate) fn tree_height(&mut self, p: PartitionId) -> Result<u8> {
+        if p.is_system() {
+            Ok(self.sys_leader.map.height)
+        } else {
+            Ok(self.leader_entry(p)?.leader.height)
+        }
+    }
+
+    pub(crate) fn root_descriptor(&mut self, p: PartitionId) -> Result<Descriptor> {
+        if p.is_system() {
+            Ok(self.sys_leader.map.root)
+        } else {
+            Ok(self.leader_entry(p)?.leader.root)
+        }
+    }
+
+    pub(crate) fn set_root_descriptor(&mut self, p: PartitionId, desc: Descriptor) -> Result<()> {
+        if p.is_system() {
+            self.sys_leader.map.root = desc;
+        } else {
+            let entry = self.leader_entry(p)?;
+            entry.leader.root = desc;
+            entry.dirty = true;
+        }
+        Ok(())
+    }
+
+    // -- Allocation (§4.4) ----------------------------------------------------
+
+    pub(crate) fn allocate_partition(&mut self) -> Result<PartitionId> {
+        // Partition ids are ranks in the system partition's data space.
+        // Allocation is purely in-memory: "this operation does not change
+        // the persistent state" (§9.2.2).
+        let rank = match self.sys_alloc_free.pop() {
+            Some(r) => r,
+            None => {
+                let r = self.sys_alloc_next;
+                self.sys_alloc_next += 1;
+                r
+            }
+        };
+        self.sys_reserved.insert(rank);
+        Ok(PartitionId::from_leader_rank(rank))
+    }
+
+    pub(crate) fn allocate_chunk(&mut self, p: PartitionId) -> Result<ChunkId> {
+        let entry = self.leader_entry(p)?;
+        let rank = match entry.alloc_free.pop() {
+            Some(r) => r,
+            None => {
+                let r = entry.alloc_next;
+                entry.alloc_next += 1;
+                r
+            }
+        };
+        entry.reserved.insert(rank);
+        Ok(ChunkId::data(p, rank))
+    }
+
+    /// Encodes and writes a partition leader as a system data chunk,
+    /// refreshing the leaders cache.
+    pub(crate) fn write_partition_leader(
+        &mut self,
+        p: PartitionId,
+        leader: PartitionLeader,
+    ) -> Result<()> {
+        let id = ChunkId::leader_chunk(p);
+        self.ensure_capacity(PartitionId::SYSTEM, id.pos.rank)?;
+        let body = leader.encode();
+        let desc = self.write_named(VersionKind::Named, id, &body)?;
+        self.set_descriptor(id, desc)?;
+        self.sys_leader.map.next_rank = self.sys_leader.map.next_rank.max(id.pos.rank + 1);
+        self.sys_alloc_next = self.sys_alloc_next.max(self.sys_leader.map.next_rank);
+        self.sys_leader.map.unfree(id.pos.rank);
+        self.sys_alloc_free.retain(|r| *r != id.pos.rank);
+        self.sys_reserved.remove(&id.pos.rank);
+        match self.leaders.get_mut(&p) {
+            Some(entry) => {
+                // Preserve session allocation state across the rewrite.
+                let alloc_next = entry.alloc_next.max(leader.next_rank);
+                let alloc_free = entry.alloc_free.clone();
+                entry.leader = leader;
+                entry.alloc_next = alloc_next;
+                entry.alloc_free = alloc_free;
+                entry.dirty = false;
+            }
+            None => {
+                self.leaders.insert(p, LeaderEntry::new(leader)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deallocates `p` and (recursively) all of its copies (§5.1).
+    pub(crate) fn dealloc_partition(
+        &mut self,
+        p: PartitionId,
+        dealloc_ids: &mut Vec<ChunkId>,
+    ) -> Result<()> {
+        // Gather the closure of copies first.
+        let mut closure = vec![p];
+        let mut i = 0;
+        while i < closure.len() {
+            let q = closure[i];
+            i += 1;
+            if let Ok(entry) = self.leader_entry(q) {
+                for c in entry.leader.copies.clone() {
+                    if !closure.contains(&c) {
+                        closure.push(c);
+                    }
+                }
+            }
+        }
+        // Detach from a surviving source, if any.
+        let source = self.leader_entry(p)?.leader.source;
+        if let Some(src) = source {
+            if !closure.contains(&src) {
+                if let Ok(entry) = self.leader_entry(src) {
+                    entry.leader.copies.retain(|c| *c != p);
+                    let updated = entry.leader.clone();
+                    self.write_partition_leader(src, updated)?;
+                }
+            }
+        }
+        for q in closure {
+            let id = ChunkId::leader_chunk(q);
+            dealloc_ids.push(id);
+            self.set_descriptor(id, Descriptor::unallocated())?;
+            self.sys_leader.map.push_free(id.pos.rank);
+            self.sys_alloc_free.push(id.pos.rank);
+            self.leaders.remove(&q);
+            self.map_cache.purge_partition(q);
+        }
+        Ok(())
+    }
+
+    // -- Diff (§5.3) ----------------------------------------------------------
+
+    pub(crate) fn diff(&mut self, old: PartitionId, new: PartitionId) -> Result<Vec<DiffEntry>> {
+        let old_height = self.leader_entry(old)?.leader.height;
+        let new_height = self.leader_entry(new)?.leader.height;
+        let old_next = self.leader_entry(old)?.leader.next_rank;
+        let new_next = self.leader_entry(new)?.leader.next_rank;
+        let mut out = Vec::new();
+        // Fast path: equal heights allow subtree pruning by comparing map
+        // descriptors ("traversing their position maps and comparing the
+        // descriptors of the corresponding chunks").
+        if old_height == new_height {
+            let root = Position::map(old_height, 0);
+            self.diff_subtree(old, new, root, &mut out)?;
+        } else {
+            let max_rank = old_next.max(new_next);
+            for rank in 0..max_rank {
+                self.diff_leaf(old, new, Position::data(rank), &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn diff_subtree(
+        &mut self,
+        old: PartitionId,
+        new: PartitionId,
+        pos: Position,
+        out: &mut Vec<DiffEntry>,
+    ) -> Result<()> {
+        let d_old = self.get_descriptor(ChunkId::new(old, pos))?;
+        let d_new = self.get_descriptor(ChunkId::new(new, pos))?;
+        // Identical subtrees are pruned — but only when neither side has
+        // buffered overrides anywhere below: dirty cached map chunks are
+        // not yet reflected in ancestor descriptors (that is the §4.7
+        // deferral), so a clean-looking match here can hide changes.
+        let dirty = self.subtree_has_dirty(old, pos) || self.subtree_has_dirty(new, pos);
+        if d_old.same_state(&d_new) && !dirty {
+            return Ok(());
+        }
+        for slot in 0..self.fanout() as usize {
+            let child = pos.child(self.fanout(), slot);
+            if child.is_data() {
+                self.diff_leaf(old, new, child, out)?;
+            } else {
+                self.diff_subtree(old, new, child, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `p` has any dirty cached map chunk inside the subtree
+    /// rooted at `pos` (including `pos` itself).
+    fn subtree_has_dirty(&self, p: PartitionId, pos: Position) -> bool {
+        let fanout = u64::from(self.config.fanout);
+        self.map_cache.dirty_keys().into_iter().any(|(q, dp)| {
+            if q != p || dp.height > pos.height {
+                return false;
+            }
+            // Climb dp to pos.height; ancestor ranks divide by fanout per
+            // level.
+            let levels = u32::from(pos.height - dp.height);
+            dp.rank / fanout.saturating_pow(levels) == pos.rank
+        })
+    }
+
+    fn diff_leaf(
+        &mut self,
+        old: PartitionId,
+        new: PartitionId,
+        pos: Position,
+        out: &mut Vec<DiffEntry>,
+    ) -> Result<()> {
+        let d_old = self.get_descriptor(ChunkId::new(old, pos))?;
+        let d_new = self.get_descriptor(ChunkId::new(new, pos))?;
+        let change = match (d_old.is_written(), d_new.is_written()) {
+            (false, true) => Some(DiffChange::Created),
+            (true, false) => Some(DiffChange::Deallocated),
+            (true, true) if !d_old.same_state(&d_new) => Some(DiffChange::Updated),
+            _ => None,
+        };
+        if let Some(change) = change {
+            out.push(DiffEntry { pos, change });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn written_ranks(&mut self, p: PartitionId) -> Result<Vec<u64>> {
+        let next = self.leader_entry(p)?.leader.next_rank;
+        let mut out = Vec::new();
+        for rank in 0..next {
+            let desc = self.get_descriptor(ChunkId::data(p, rank))?;
+            if desc.is_written() {
+                out.push(rank);
+            }
+        }
+        Ok(out)
+    }
+}

@@ -59,14 +59,14 @@
 pub mod backup;
 mod batcher;
 pub mod cache;
-mod checkpoint;
-mod cleaner;
 pub mod codec;
 pub mod descriptor;
+mod engine;
 pub mod errors;
 pub mod ids;
 pub mod leader;
 pub mod log;
+mod maintenance;
 pub mod metrics;
 pub mod params;
 mod pipeline;

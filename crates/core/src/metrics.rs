@@ -84,9 +84,21 @@ pub mod counters {
     /// Map-tree levels a checkpoint skipped because none of their chunks
     /// were dirty.
     pub const DIRTY_MAP_LEVELS_SKIPPED: &str = "dirty map levels skipped";
+    /// Segments reclaimed by the log cleaner.
+    pub const SEGMENTS_CLEANED: &str = "segments cleaned";
+    /// Current chunk versions the cleaner relocated to the log tail.
+    pub const VERSIONS_RELOCATED: &str = "versions relocated";
+    /// Obsolete bytes reclaimed by cleaning.
+    pub const BYTES_RECLAIMED: &str = "bytes reclaimed by cleaning";
+    /// Bounded cleaning slices run by the background maintenance thread.
+    pub const CLEAN_SLICES: &str = "clean slices";
+    /// Maintenance-thread wakeups that ran a pass.
+    pub const MAINTENANCE_WAKEUPS: &str = "maintenance wakeups";
+    /// Commits throttled at the low-water admission gate.
+    pub const COMMIT_THROTTLE_WAITS: &str = "commit throttle waits";
 
     /// All counter names, for reporting.
-    pub const ALL: [&str; 13] = [
+    pub const ALL: [&str; 19] = [
         RETRIES,
         DEGRADED_ENTRIES,
         POISON_EVENTS,
@@ -100,6 +112,12 @@ pub mod counters {
         BATCHED_COMMITS,
         LOG_WRITES_COALESCED,
         DIRTY_MAP_LEVELS_SKIPPED,
+        SEGMENTS_CLEANED,
+        VERSIONS_RELOCATED,
+        BYTES_RECLAIMED,
+        CLEAN_SLICES,
+        MAINTENANCE_WAKEUPS,
+        COMMIT_THROTTLE_WAITS,
     ];
 }
 

@@ -608,24 +608,3 @@ fn apply_named(
     }
     Ok(())
 }
-
-impl Inner {
-    /// Grows the tree so `pos` is addressable (map heights included).
-    pub(crate) fn ensure_capacity_for_pos(
-        &mut self,
-        p: PartitionId,
-        pos: crate::ids::Position,
-    ) -> Result<()> {
-        if pos.is_data() {
-            return self.ensure_capacity(p, pos.rank);
-        }
-        // A map position: the tree must be at least `pos.height` tall
-        // (capacity ≥ F^height, i.e. rank F^height − 1 addressable) and wide
-        // enough to contain the subtree's first data rank.
-        let fanout = u64::from(self.config.fanout);
-        let subtree = fanout.saturating_pow(u32::from(pos.height));
-        let for_height = subtree.saturating_sub(1);
-        let for_rank = pos.rank.saturating_mul(subtree);
-        self.ensure_capacity(p, for_height.max(for_rank))
-    }
-}

@@ -6,38 +6,43 @@
 //! counts — in the tamper-resistant store. See the paper §4.2 for the
 //! implementation overview this module follows.
 //!
+//! This module holds the public facade, the engine state struct, the
+//! health state machine, and the lock/publication protocol. The engine
+//! logic itself lives in the [`crate::engine`] layer: commit processing
+//! (`engine::commit`), the chunk map (`engine::map`), checkpointing
+//! (`engine::checkpoint`), partition bookkeeping (`engine::partitions`),
+//! and the log cleaner (`engine::maintenance`). The optional background
+//! maintenance runtime is [`crate::maintenance`].
+//!
 //! Concurrency: "serializability of operations is provided through mutual
 //! exclusion, which does not overlap I/O and computation, but is simple and
 //! acceptable when concurrency is low" (§4.2) — a single mutex around the
 //! whole engine.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use tdb_crypto::{HashValue, SecretKey};
+use tdb_crypto::SecretKey;
 use tdb_storage::{MonotonicCounter, SharedUntrusted, TrustedStore};
 
 use crate::cache::MapCache;
-use crate::codec::{Dec, Enc};
-use crate::descriptor::{ChunkStatus, Descriptor, MapChunk};
-use crate::errors::{CoreError, FaultClass, Result, TamperKind};
-use crate::ids::{capacity, ChunkId, PartitionId, Position};
-use crate::leader::{PartitionLeader, SystemLeader};
+use crate::descriptor::Descriptor;
+use crate::errors::{CoreError, FaultClass, Result};
+use crate::ids::{ChunkId, PartitionId};
+use crate::leader::SystemLeader;
 use crate::log::{LogHashes, SegmentedLog, Superblock};
+use crate::maintenance::{MaintenanceService, MaintenanceShared};
 use crate::metrics::{self, counters, modules};
 use crate::params::{CryptoParams, PartitionCrypto};
-use crate::pipeline::{self, Presealed, SealJob};
 use crate::readpath::ReadPath;
-use crate::version::{
-    parse_version, seal_version, CommitRecord, DeallocRecord, RawVersion, VersionHeader,
-    VersionKind,
-};
 
-/// Conservative byte budget reserved for a commit chunk, so finalizing a
-/// commit set never forces a segment switch after the set hash is taken.
-pub(crate) const COMMIT_CHUNK_ROOM: u32 = 256;
+pub use crate::engine::commit::CommitOp;
+pub(crate) use crate::engine::commit::{DirectRecord, EngineSnapshot};
+pub(crate) use crate::engine::partitions::LeaderEntry;
+pub use crate::engine::partitions::{DiffChange, DiffEntry};
 
 /// How the tamper-resistant store is used (§4.8.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +114,22 @@ pub struct ChunkStoreConfig {
     /// Most commits a group-commit leader drains into one batch. Values
     /// `<= 1` disable batching just like `group_commit = false`.
     pub commit_batch_max: usize,
+    /// Run cleaning and threshold checkpoints on a background maintenance
+    /// thread ([`crate::maintenance`]) instead of inside commits and
+    /// explicit [`ChunkStore::clean`] calls. `false` (the default)
+    /// reproduces the paper's caller-driven behavior exactly.
+    pub background_maintenance: bool,
+    /// Segments the background cleaner processes per engine-lock hold
+    /// (one *slice*); between slices the lock is released so committers
+    /// interleave. Ignored without `background_maintenance`.
+    pub clean_slice_segments: usize,
+    /// Free-segment low-water mark of a bounded log: below it, committers
+    /// are throttled (bounded wait) until the background cleaner frees
+    /// space. `0` disables throttling.
+    pub clean_low_water: u32,
+    /// Free-segment high-water mark of a bounded log: the background
+    /// cleaner runs while free segments are below it.
+    pub clean_high_water: u32,
 }
 
 impl Default for ChunkStoreConfig {
@@ -131,66 +152,12 @@ impl Default for ChunkStoreConfig {
             crypto_workers: 0,
             group_commit: true,
             commit_batch_max: 64,
+            background_maintenance: false,
+            clean_slice_segments: 2,
+            clean_low_water: 2,
+            clean_high_water: 4,
         }
     }
-}
-
-/// One operation inside an atomic commit (§4.1, §5.1).
-#[derive(Debug)]
-pub enum CommitOp {
-    /// Sets the state of an allocated chunk.
-    WriteChunk {
-        /// Target chunk (allocated via [`ChunkStore::allocate_chunk`]).
-        id: ChunkId,
-        /// New state, of any size.
-        bytes: Vec<u8>,
-    },
-    /// Deallocates a chunk.
-    DeallocChunk {
-        /// Target chunk.
-        id: ChunkId,
-    },
-    /// Writes an empty partition with the given parameters
-    /// (`Write(partitionId, secretKey, cipher, hashFunction)` of §5.1).
-    CreatePartition {
-        /// Target id (allocated via [`ChunkStore::allocate_partition`]).
-        id: PartitionId,
-        /// Cryptographic parameters (cipher, hash, key).
-        params: CryptoParams,
-    },
-    /// Copies the current state of `src` to `dst`
-    /// (`Write(partitionId, sourcePId)` of §5.1). Cheap: copy-on-write.
-    CopyPartition {
-        /// Target id (allocated, unwritten).
-        dst: PartitionId,
-        /// Source partition.
-        src: PartitionId,
-    },
-    /// Deallocates a partition, all of its copies, and all their chunks.
-    DeallocPartition {
-        /// Target partition.
-        id: PartitionId,
-    },
-}
-
-/// How a chunk position changed between two partitions (§5.1 `Diff`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DiffChange {
-    /// Written in `new` but not in `old`.
-    Created,
-    /// Written in both with different state.
-    Updated,
-    /// Written in `old` but not in `new`.
-    Deallocated,
-}
-
-/// One entry of a partition diff.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DiffEntry {
-    /// Data-chunk position that changed.
-    pub pos: Position,
-    /// Kind of change.
-    pub change: DiffChange,
 }
 
 /// Aggregate counters exposed for benchmarks and experiments.
@@ -204,6 +171,16 @@ pub struct ChunkStoreStats {
     pub segments_cleaned: u64,
     /// Versions relocated by the cleaner.
     pub chunks_relocated: u64,
+    /// Obsolete bytes reclaimed by the cleaner (segment size minus live
+    /// bytes, summed over reclaimed segments).
+    pub bytes_reclaimed: u64,
+    /// Bounded cleaning slices run by the background maintenance thread.
+    pub clean_slices: u64,
+    /// Times the background maintenance thread woke and ran a pass.
+    pub maintenance_wakeups: u64,
+    /// Commits that hit the low-water admission gate and waited for the
+    /// cleaner.
+    pub commit_throttle_waits: u64,
     /// Bytes appended to the log.
     pub bytes_appended: u64,
     /// Times this store entered read-only degraded mode.
@@ -289,42 +266,6 @@ impl StoreHealth {
     }
 }
 
-/// Cached per-partition state: decoded leader, runtime crypto, and session
-/// allocation state.
-#[derive(Clone)]
-pub(crate) struct LeaderEntry {
-    pub leader: PartitionLeader,
-    pub crypto: Arc<PartitionCrypto>,
-    /// Session-only allocation high-water (≥ `leader.next_rank`).
-    pub alloc_next: u64,
-    /// Session view of the free list (ranks handed out are removed here
-    /// but stay in `leader.free_ranks` until the write commits).
-    pub alloc_free: Vec<u64>,
-    /// Session-allocated ranks not yet written. Purely in-memory: "id
-    /// allocation is not persistent until the chunk is written" (§4.4), so
-    /// allocation touches no map state at all.
-    pub reserved: std::collections::HashSet<u64>,
-    /// True when committed leader state changed since its last version was
-    /// written; checkpoints persist dirty leaders.
-    pub dirty: bool,
-}
-
-impl LeaderEntry {
-    pub(crate) fn new(leader: PartitionLeader) -> Result<LeaderEntry> {
-        let crypto = Arc::new(leader.params.runtime()?);
-        let alloc_next = leader.next_rank;
-        let alloc_free = leader.free_ranks.clone();
-        Ok(LeaderEntry {
-            leader,
-            crypto,
-            alloc_next,
-            alloc_free,
-            reserved: std::collections::HashSet::new(),
-            dirty: false,
-        })
-    }
-}
-
 /// The engine state behind the mutex.
 pub(crate) struct Inner {
     pub config: ChunkStoreConfig,
@@ -357,24 +298,21 @@ pub(crate) struct Inner {
     pub wrote_log: bool,
 }
 
-/// Everything needed to roll the in-memory engine back to the instant a
-/// mutation began. Device bytes written by the failed mutation lie past the
-/// restored log tail, where the next append overwrites them and recovery
-/// treats them as a torn tail.
-pub(crate) struct EngineSnapshot {
-    map_cache: MapCache,
-    leaders: HashMap<PartitionId, LeaderEntry>,
-    sys_leader: SystemLeader,
-    sys_alloc_next: u64,
-    sys_alloc_free: Vec<u64>,
-    sys_reserved: std::collections::HashSet<u64>,
-    chain: HashValue,
-    tail: crate::log::TailState,
-    commit_count: u64,
-    trusted_count: u64,
-    leader_version: Option<(u64, u32)>,
-    superblock: Superblock,
-    stats: ChunkStoreStats,
+/// The sharable core of a chunk store: the engine behind its mutex, the
+/// lock-free read path, the group-commit coordinator, and the maintenance
+/// rendezvous state. The facade and the background maintenance thread each
+/// hold an `Arc` of this. Public only because it is [`ChunkStore`]'s
+/// `Deref` target; every field and method is crate-private.
+#[doc(hidden)]
+pub struct StoreCore {
+    pub(crate) inner: Mutex<Inner>,
+    pub(crate) reads: ReadPath,
+    /// Group-commit coordinator; `None` runs the paper's one-commit-one-
+    /// flush path (`group_commit = false` or `commit_batch_max <= 1`).
+    pub(crate) batcher: Option<crate::batcher::CommitBatcher>,
+    /// Shared state of the background maintenance runtime (present even
+    /// when disabled; the flags inside make everything a no-op then).
+    pub(crate) maint: MaintenanceShared,
 }
 
 /// The trusted chunk store.
@@ -384,11 +322,18 @@ pub(crate) struct EngineSnapshot {
 /// fast path ([`crate::readpath`]) that serves validated chunks without
 /// the engine lock; any miss or anomaly falls back to the locked path.
 pub struct ChunkStore {
-    pub(crate) inner: Mutex<Inner>,
-    pub(crate) reads: ReadPath,
-    /// Group-commit coordinator; `None` runs the paper's one-commit-one-
-    /// flush path (`group_commit = false` or `commit_batch_max <= 1`).
-    pub(crate) batcher: Option<crate::batcher::CommitBatcher>,
+    /// Background maintenance thread; declared before `core` so shutdown
+    /// and join happen before the facade's core reference goes away.
+    maintenance: Option<MaintenanceService>,
+    core: Arc<StoreCore>,
+}
+
+impl std::ops::Deref for ChunkStore {
+    type Target = StoreCore;
+
+    fn deref(&self) -> &StoreCore {
+        &self.core
+    }
 }
 
 impl std::fmt::Debug for ChunkStore {
@@ -463,7 +408,8 @@ impl ChunkStore {
         Ok(ChunkStore::assemble(inner))
     }
 
-    /// Wraps a fully built engine with its concurrent read path.
+    /// Wraps a fully built engine with its concurrent read path and (when
+    /// configured) the background maintenance thread.
     fn assemble(inner: Inner) -> ChunkStore {
         let reads = ReadPath::new(
             Arc::clone(inner.log.store()),
@@ -479,11 +425,25 @@ impl ChunkStore {
         } else {
             None
         };
-        ChunkStore {
+        let maint = MaintenanceShared::new(&inner.config);
+        let background = inner.config.background_maintenance;
+        let core = Arc::new(StoreCore {
             inner: Mutex::new(inner),
             reads,
             batcher,
+            maint,
+        });
+        {
+            // Seed the maintenance mirrors from the freshly built engine.
+            let inner = core.inner.lock();
+            core.note_engine_state(&inner);
         }
+        let maintenance = if background {
+            Some(MaintenanceService::spawn(Arc::clone(&core)))
+        } else {
+            None
+        };
+        ChunkStore { maintenance, core }
     }
 
     /// Opens an existing store, running crash recovery (§4.8) and
@@ -566,6 +526,10 @@ impl ChunkStore {
     /// it stays live. Only integrity violations poison the store.
     pub fn commit(&self, ops: Vec<CommitOp>) -> Result<()> {
         let _t = metrics::span(modules::CHUNK_STORE);
+        // Under background maintenance, a bounded log below its low-water
+        // mark throttles committers here (bounded wait) before they take
+        // the engine lock.
+        self.admission_gate();
         if self.batcher.is_some() {
             // Group commit: enqueue and let a leader thread batch this
             // commit with its contemporaries (see `crate::batcher`).
@@ -609,6 +573,7 @@ impl ChunkStore {
             }
         }
         self.reads.set_health(&inner.health);
+        self.note_engine_state(&inner);
         result
     }
 
@@ -626,6 +591,7 @@ impl ChunkStore {
         // data chunk's state, so published shard entries stay valid.
         let result = inner.checkpoint();
         self.reads.set_health(&inner.health);
+        self.note_engine_state(&inner);
         result
     }
 
@@ -639,14 +605,7 @@ impl ChunkStore {
     /// poison the store.
     pub fn clean(&self, max_segments: usize) -> Result<usize> {
         let _t = metrics::span(modules::CHUNK_STORE);
-        let mut inner = self.inner.lock();
-        inner.check_writable()?;
-        let result = inner.clean(max_segments);
-        // Cleaning may relocate versions and reuse reclaimed segments, so
-        // published descriptors (which carry log locations) are stale.
-        self.reads.clear_shards();
-        self.reads.set_health(&inner.health);
-        result
+        self.clean_locked(max_segments, false)
     }
 
     /// Chunk positions whose state differs between two partitions (§5.1
@@ -714,12 +673,30 @@ impl ChunkStore {
         stats.read_fast_hits = hits;
         stats.read_fallbacks = fallbacks;
         stats.read_shard_contention = contention;
+        stats.maintenance_wakeups = self.maint.wakeups.load(Ordering::Relaxed);
+        stats.commit_throttle_waits = self.maint.throttle_waits.load(Ordering::Relaxed);
         stats
     }
 
     /// Current health: live, degraded (read-only), or poisoned.
     pub fn health(&self) -> StoreHealth {
         self.inner.lock().health.clone()
+    }
+
+    /// Whether this store runs the background maintenance thread.
+    pub fn background_maintenance(&self) -> bool {
+        self.maintenance.is_some()
+    }
+
+    /// Lock-free estimate of the bounded log's free segments (headroom to
+    /// `max_segments` plus the free list), or `None` when the log is
+    /// unbounded. Callers running their own maintenance poll this to
+    /// decide when to checkpoint and clean — waiting for a commit to fail
+    /// with [`CoreError::OutOfSpace`](crate::errors::CoreError::OutOfSpace)
+    /// is too late: a completely full log has no room left to relocate
+    /// live versions into.
+    pub fn free_segment_estimate(&self) -> Option<u64> {
+        self.maint.free_segments_if_bounded()
     }
 
     /// Drops every cached descriptor and validated body from the read
@@ -776,6 +753,7 @@ impl ChunkStore {
         inner.check_writable()?;
         let result = inner.checkpoint();
         self.reads.set_health(&inner.health);
+        self.note_engine_state(&inner);
         result
     }
 
@@ -808,46 +786,6 @@ impl Inner {
         }
     }
 
-    /// Captures the in-memory engine state at the start of a mutation.
-    pub(crate) fn snapshot(&self) -> EngineSnapshot {
-        EngineSnapshot {
-            map_cache: self.map_cache.clone(),
-            leaders: self.leaders.clone(),
-            sys_leader: self.sys_leader.clone(),
-            sys_alloc_next: self.sys_alloc_next,
-            sys_alloc_free: self.sys_alloc_free.clone(),
-            sys_reserved: self.sys_reserved.clone(),
-            chain: self.hashes.chain,
-            tail: self.log.tail_state(),
-            commit_count: self.commit_count,
-            trusted_count: self.trusted_count,
-            leader_version: self.leader_version,
-            superblock: self.superblock,
-            stats: self.stats,
-        }
-    }
-
-    /// Rolls the in-memory engine back to `snap`. Log bytes written by the
-    /// failed mutation lie past the restored tail and are never served:
-    /// the next append overwrites them, and recovery parses them as a torn
-    /// tail.
-    pub(crate) fn restore(&mut self, snap: EngineSnapshot) {
-        self.map_cache = snap.map_cache;
-        self.leaders = snap.leaders;
-        self.sys_leader = snap.sys_leader;
-        self.sys_alloc_next = snap.sys_alloc_next;
-        self.sys_alloc_free = snap.sys_alloc_free;
-        self.sys_reserved = snap.sys_reserved;
-        self.hashes.abort_set();
-        self.hashes.chain = snap.chain;
-        self.log.restore_tail_state(snap.tail);
-        self.commit_count = snap.commit_count;
-        self.trusted_count = snap.trusted_count;
-        self.leader_version = snap.leader_version;
-        self.superblock = snap.superblock;
-        self.stats = snap.stats;
-    }
-
     /// Classifies a failed mutation and moves the health state machine:
     /// integrity violations poison; storage failures roll back to `snap`
     /// and degrade only when log bytes were already written.
@@ -868,7 +806,7 @@ impl Inner {
         }
     }
 
-    fn enter_degraded(&mut self, reason: String) {
+    pub(crate) fn enter_degraded(&mut self, reason: String) {
         if self.health.is_poisoned() {
             return;
         }
@@ -877,7 +815,7 @@ impl Inner {
         self.health = StoreHealth::Degraded { reason };
     }
 
-    fn enter_poisoned(&mut self, reason: String) {
+    pub(crate) fn enter_poisoned(&mut self, reason: String) {
         self.stats.poison_events += 1;
         metrics::count(counters::POISON_EVENTS);
         self.health = StoreHealth::Poisoned { reason };
@@ -936,1166 +874,8 @@ impl Inner {
         Ok(())
     }
 
-    fn fanout(&self) -> u64 {
+    pub(crate) fn fanout(&self) -> u64 {
         u64::from(self.config.fanout)
-    }
-
-    // -- Leader and crypto access --------------------------------------------
-
-    /// Loads (if needed) and returns the cached state for a user partition.
-    pub(crate) fn leader_entry(&mut self, p: PartitionId) -> Result<&mut LeaderEntry> {
-        if p.is_system() {
-            return Err(CoreError::NoSuchPartition(p));
-        }
-        if !self.leaders.contains_key(&p) {
-            let id = ChunkId::leader_chunk(p);
-            let desc = self.get_descriptor(id)?;
-            if desc.status != ChunkStatus::Written {
-                return Err(CoreError::NoSuchPartition(p));
-            }
-            let body = self.read_validated(id, &desc)?;
-            let leader = PartitionLeader::decode(&body)?;
-            self.leaders.insert(p, LeaderEntry::new(leader)?);
-        }
-        Ok(self.leaders.get_mut(&p).expect("just inserted"))
-    }
-
-    /// Runtime crypto for a partition (system partition included).
-    pub(crate) fn crypto_for(&mut self, p: PartitionId) -> Result<Arc<PartitionCrypto>> {
-        if p.is_system() {
-            Ok(Arc::clone(&self.system))
-        } else {
-            Ok(Arc::clone(&self.leader_entry(p)?.crypto))
-        }
-    }
-
-    /// The tree height of a partition's position map.
-    fn tree_height(&mut self, p: PartitionId) -> Result<u8> {
-        if p.is_system() {
-            Ok(self.sys_leader.map.height)
-        } else {
-            Ok(self.leader_entry(p)?.leader.height)
-        }
-    }
-
-    fn root_descriptor(&mut self, p: PartitionId) -> Result<Descriptor> {
-        if p.is_system() {
-            Ok(self.sys_leader.map.root)
-        } else {
-            Ok(self.leader_entry(p)?.leader.root)
-        }
-    }
-
-    fn set_root_descriptor(&mut self, p: PartitionId, desc: Descriptor) -> Result<()> {
-        if p.is_system() {
-            self.sys_leader.map.root = desc;
-        } else {
-            let entry = self.leader_entry(p)?;
-            entry.leader.root = desc;
-            entry.dirty = true;
-        }
-        Ok(())
-    }
-
-    // -- Chunk map (§4.3, §4.5) ----------------------------------------------
-
-    /// Fetches the descriptor for `id`, walking the map bottom-up from the
-    /// deepest cached ancestor (§4.5).
-    pub(crate) fn get_descriptor(&mut self, id: ChunkId) -> Result<Descriptor> {
-        let height = self.tree_height(id.partition)?;
-        if id.pos.height > height {
-            return Ok(Descriptor::unallocated());
-        }
-        if id.pos.height == height && id.pos.rank == 0 {
-            return self.root_descriptor(id.partition);
-        }
-        let parent = id.pos.parent(self.fanout());
-        self.ensure_map_chunk(id.partition, parent)?;
-        let slot = id.pos.slot(self.fanout());
-        Ok(self
-            .map_cache
-            .get(id.partition, parent)
-            .expect("ensured above")
-            .slots[slot])
-    }
-
-    /// Ensures the map chunk at `(p, pos)` is decoded in the cache,
-    /// validating it against its descriptor on the way in.
-    fn ensure_map_chunk(&mut self, p: PartitionId, pos: Position) -> Result<()> {
-        if self.map_cache.contains(p, pos) {
-            return Ok(());
-        }
-        let desc = self.get_descriptor(ChunkId::new(p, pos))?;
-        let fanout = self.fanout() as usize;
-        let chunk = if desc.is_written() {
-            let body = self.read_validated(ChunkId::new(p, pos), &desc)?;
-            let hash_len = self.crypto_for(p)?.hash_kind().digest_len();
-            MapChunk::decode(&body, fanout, hash_len)?
-        } else {
-            // Never written: synthesize an empty map chunk.
-            MapChunk::empty(fanout)
-        };
-        self.map_cache.insert(p, pos, chunk, false);
-        Ok(())
-    }
-
-    /// Updates the descriptor for `id`, dirtying its parent map chunk (the
-    /// §4.6 deferral) and maintaining segment utilization.
-    pub(crate) fn set_descriptor(&mut self, id: ChunkId, desc: Descriptor) -> Result<()> {
-        let old = self.get_descriptor(id)?;
-        // Utilization: the old version becomes obsolete, the new is live.
-        if old.is_written() {
-            let seg = self.log.segment_of(old.location) as usize;
-            if let Some(u) = self.sys_leader.log.utilization.get_mut(seg) {
-                *u = u.saturating_sub(old.vlen);
-            }
-        }
-        if desc.is_written() {
-            let seg = self.log.segment_of(desc.location) as usize;
-            if let Some(u) = self.sys_leader.log.utilization.get_mut(seg) {
-                *u += desc.vlen;
-            }
-        }
-        let height = self.tree_height(id.partition)?;
-        debug_assert!(
-            id.pos.height < height || (id.pos.height == height && id.pos.rank == 0),
-            "descriptor write outside tree: {id} at height {height}"
-        );
-        if id.pos.height == height && id.pos.rank == 0 {
-            return self.set_root_descriptor(id.partition, desc);
-        }
-        let parent = id.pos.parent(self.fanout());
-        self.ensure_map_chunk(id.partition, parent)?;
-        let slot = id.pos.slot(self.fanout());
-        self.map_cache
-            .get_mut_dirty(id.partition, parent)
-            .expect("ensured above")
-            .slots[slot] = desc;
-        Ok(())
-    }
-
-    /// Grows `p`'s tree until `rank` is addressable (§4.3: "as the tree
-    /// grows, new chunks are added to the right and to the top").
-    pub(crate) fn ensure_capacity(&mut self, p: PartitionId, rank: u64) -> Result<()> {
-        loop {
-            let height = self.tree_height(p)?;
-            if rank < capacity(self.fanout(), height) {
-                return Ok(());
-            }
-            let old_root = self.root_descriptor(p)?;
-            let new_height = height + 1;
-            let mut chunk = MapChunk::empty(self.fanout() as usize);
-            chunk.slots[0] = old_root;
-            self.map_cache
-                .insert(p, Position::map(new_height, 0), chunk, true);
-            if p.is_system() {
-                self.sys_leader.map.height = new_height;
-                self.sys_leader.map.root = Descriptor::unwritten();
-            } else {
-                let entry = self.leader_entry(p)?;
-                entry.leader.height = new_height;
-                entry.leader.root = Descriptor::unwritten();
-                entry.dirty = true;
-            }
-        }
-    }
-
-    /// Reads and validates the version a descriptor points at, returning
-    /// the plaintext body (§4.5: located, decrypted, hashed, compared).
-    pub(crate) fn read_validated(&mut self, id: ChunkId, desc: &Descriptor) -> Result<Vec<u8>> {
-        debug_assert!(desc.is_written());
-        let buf = self.log.read_at(desc.location, desc.vlen as usize)?;
-        let raw = self.parse_at(&buf, desc.location)?;
-        if !matches!(raw.header.kind, VersionKind::Named | VersionKind::Relocated)
-            || raw.header.id.pos != id.pos
-        {
-            return Err(CoreError::TamperDetected(TamperKind::MisdirectedChunk {
-                expected: id,
-                location: desc.location,
-            }));
-        }
-        let crypto = self.crypto_for(id.partition)?;
-        let body = {
-            let _t = metrics::span(modules::ENCRYPTION);
-            raw.open_body(&crypto, desc.location)?
-        };
-        let hash = {
-            let _t = metrics::span(modules::HASHING);
-            crypto.hash(&body)
-        };
-        if hash != desc.hash {
-            return Err(CoreError::TamperDetected(TamperKind::ChunkHashMismatch(id)));
-        }
-        Ok(body)
-    }
-
-    fn parse_at(&self, buf: &[u8], location: u64) -> Result<RawVersion> {
-        let parsed = {
-            let _t = metrics::span(modules::ENCRYPTION);
-            parse_version(&self.system, buf, location)?
-        };
-        parsed.ok_or(CoreError::TamperDetected(TamperKind::UndecryptableChunk {
-            location,
-        }))
-    }
-
-    // -- Allocation (§4.4) ----------------------------------------------------
-
-    pub(crate) fn allocate_partition(&mut self) -> Result<PartitionId> {
-        // Partition ids are ranks in the system partition's data space.
-        // Allocation is purely in-memory: "this operation does not change
-        // the persistent state" (§9.2.2).
-        let rank = match self.sys_alloc_free.pop() {
-            Some(r) => r,
-            None => {
-                let r = self.sys_alloc_next;
-                self.sys_alloc_next += 1;
-                r
-            }
-        };
-        self.sys_reserved.insert(rank);
-        Ok(PartitionId::from_leader_rank(rank))
-    }
-
-    pub(crate) fn allocate_chunk(&mut self, p: PartitionId) -> Result<ChunkId> {
-        let entry = self.leader_entry(p)?;
-        let rank = match entry.alloc_free.pop() {
-            Some(r) => r,
-            None => {
-                let r = entry.alloc_next;
-                entry.alloc_next += 1;
-                r
-            }
-        };
-        entry.reserved.insert(rank);
-        Ok(ChunkId::data(p, rank))
-    }
-
-    /// Effective allocation status of a data chunk id, folding in
-    /// session-only reservations.
-    pub(crate) fn effective_status(&mut self, id: ChunkId) -> Result<ChunkStatus> {
-        let desc = self.get_descriptor(id)?;
-        if desc.status == ChunkStatus::Unallocated {
-            let reserved = self
-                .leader_entry(id.partition)?
-                .reserved
-                .contains(&id.pos.rank);
-            if reserved {
-                return Ok(ChunkStatus::Unwritten);
-            }
-        }
-        Ok(desc.status)
-    }
-
-    // -- Read (§4.5) ----------------------------------------------------------
-
-    pub(crate) fn read_chunk(&mut self, id: ChunkId) -> Result<Vec<u8>> {
-        if id.partition.is_system() || !id.pos.is_data() {
-            return Err(CoreError::NotAllocated(id));
-        }
-        let desc = self.get_descriptor(id)?;
-        match desc.status {
-            ChunkStatus::Unallocated => {
-                if self
-                    .leader_entry(id.partition)?
-                    .reserved
-                    .contains(&id.pos.rank)
-                {
-                    Err(CoreError::NotWritten(id))
-                } else {
-                    Err(CoreError::NotAllocated(id))
-                }
-            }
-            ChunkStatus::Unwritten => Err(CoreError::NotWritten(id)),
-            ChunkStatus::Written => self.read_validated(id, &desc),
-        }
-    }
-
-    // -- Commit (§4.6) --------------------------------------------------------
-
-    pub(crate) fn commit(&mut self, ops: Vec<CommitOp>) -> Result<()> {
-        if ops.is_empty() {
-            return Ok(());
-        }
-        // Validation is read-only: a failure here (including a transient
-        // read fault resolving a descriptor) leaves the store untouched
-        // and live.
-        self.validate_ops(&ops)?;
-        let snap = self.snapshot();
-        self.wrote_log = false;
-        let result = self.apply_and_finish(ops);
-        match &result {
-            Err(e) => self.fail_mutation(snap, e, "commit"),
-            Ok(()) => self.maybe_checkpoint()?,
-        }
-        result
-    }
-
-    fn validate_ops(&mut self, ops: &[CommitOp]) -> Result<()> {
-        // Validation runs against pre-commit state plus the effects of
-        // earlier ops in the same set (e.g. create-then-write).
-        let mut created: Vec<PartitionId> = Vec::new();
-        let mut deallocated: Vec<PartitionId> = Vec::new();
-        for op in ops {
-            match op {
-                CommitOp::WriteChunk { id, bytes } => {
-                    if id.partition.is_system() || !id.pos.is_data() {
-                        return Err(CoreError::NotAllocated(*id));
-                    }
-                    if !created.contains(&id.partition)
-                        && self.effective_status(*id)? == ChunkStatus::Unallocated
-                    {
-                        return Err(CoreError::NotAllocated(*id));
-                    }
-                    let max = self.log.max_version_len() as usize;
-                    if bytes.len() + 512 > max {
-                        return Err(CoreError::ChunkTooLarge {
-                            size: bytes.len(),
-                            max: max - 512,
-                        });
-                    }
-                }
-                CommitOp::DeallocChunk { id } => {
-                    if id.partition.is_system() || !id.pos.is_data() {
-                        return Err(CoreError::NotAllocated(*id));
-                    }
-                    if self.effective_status(*id)? == ChunkStatus::Unallocated {
-                        return Err(CoreError::NotAllocated(*id));
-                    }
-                }
-                CommitOp::CreatePartition { id, params } => {
-                    let exists = self.leader_entry(*id).is_ok() && !deallocated.contains(id);
-                    if id.is_system() || exists {
-                        return Err(CoreError::PartitionExists(*id));
-                    }
-                    params.runtime()?; // Key length check.
-                    created.push(*id);
-                }
-                CommitOp::CopyPartition { dst, src } => {
-                    let exists = self.leader_entry(*dst).is_ok() && !deallocated.contains(dst);
-                    if dst.is_system() || exists {
-                        return Err(CoreError::PartitionExists(*dst));
-                    }
-                    if !created.contains(src) {
-                        self.leader_entry(*src)?;
-                    }
-                    created.push(*dst);
-                }
-                CommitOp::DeallocPartition { id } => {
-                    if deallocated.contains(id) {
-                        return Err(CoreError::NoSuchPartition(*id));
-                    }
-                    self.leader_entry(*id)?;
-                    deallocated.push(*id);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn apply_and_finish(&mut self, ops: Vec<CommitOp>) -> Result<()> {
-        if matches!(self.config.validation, ValidationMode::Counter { .. }) {
-            self.hashes.begin_set();
-        }
-        // Hash+seal every WriteChunk body up front, fanning the crypto
-        // across workers; the appends below then serialize only the
-        // already-ciphered buffers (in op order, so the hash chain is
-        // unchanged). Purely read-only: a failure here rolls back clean.
-        let presealed = self.preseal_writes(&ops)?;
-        self.apply_ops(ops, presealed)?;
-        self.finish_commit()
-    }
-
-    /// Applies a validated op set: appends every version and installs the
-    /// descriptors, consuming presealed slots where the pipeline produced
-    /// them. Shared by the unbatched and group-commit paths.
-    fn apply_ops(
-        &mut self,
-        ops: Vec<CommitOp>,
-        mut presealed: Vec<Option<Presealed>>,
-    ) -> Result<()> {
-        let mut dealloc_ids: Vec<ChunkId> = Vec::new();
-        for (i, op) in ops.into_iter().enumerate() {
-            let pre = presealed.get_mut(i).and_then(Option::take);
-            self.apply_op(op, pre, &mut dealloc_ids)?;
-        }
-        if !dealloc_ids.is_empty() {
-            self.append_dealloc_chunk(&dealloc_ids)?;
-        }
-        Ok(())
-    }
-
-    /// Precomputes `(hash, sealed bytes)` for every `WriteChunk` in the
-    /// set via the parallel crypto pipeline. Returns per-op slots; ops
-    /// without preseal work (or batches too small to parallelize) get
-    /// `None` and are sealed inline by [`Inner::apply_op`].
-    fn preseal_writes(&mut self, ops: &[CommitOp]) -> Result<Vec<Option<Presealed>>> {
-        let mut out: Vec<Option<Presealed>> = ops.iter().map(|_| None).collect();
-        let workers = pipeline::resolve_workers(self.config.crypto_workers);
-        if workers < 2 {
-            return Ok(out);
-        }
-        // Resolve each write's partition crypto sequentially (this may
-        // load leaders through the engine's caches). Partitions created
-        // earlier in the same set derive their crypto from the op params.
-        let mut created: HashMap<PartitionId, Arc<PartitionCrypto>> = HashMap::new();
-        let mut jobs: Vec<SealJob<'_>> = Vec::new();
-        let mut slots: Vec<usize> = Vec::new();
-        for (i, op) in ops.iter().enumerate() {
-            match op {
-                CommitOp::CreatePartition { id, params } => {
-                    created.insert(*id, Arc::new(params.runtime()?));
-                }
-                CommitOp::CopyPartition { dst, src } => {
-                    let crypto = match created.get(src) {
-                        Some(c) => Arc::clone(c),
-                        None => self.crypto_for(*src)?,
-                    };
-                    created.insert(*dst, crypto);
-                }
-                CommitOp::WriteChunk { id, bytes } => {
-                    let crypto = match created.get(&id.partition) {
-                        Some(c) => Arc::clone(c),
-                        None => self.crypto_for(id.partition)?,
-                    };
-                    jobs.push((*id, crypto, bytes.as_slice()));
-                    slots.push(i);
-                }
-                CommitOp::DeallocChunk { .. } | CommitOp::DeallocPartition { .. } => {}
-            }
-        }
-        if jobs.len() < 2 {
-            return Ok(out);
-        }
-        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
-        self.stats.parallel_crypto_batches += 1;
-        self.stats.parallel_crypto_chunks += sealed.len() as u64;
-        metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
-        metrics::add(counters::PARALLEL_CRYPTO_CHUNKS, sealed.len() as u64);
-        for (slot, pre) in slots.into_iter().zip(sealed) {
-            out[slot] = Some(pre);
-        }
-        Ok(out)
-    }
-
-    /// Preseals every `WriteChunk` across a whole group-commit batch in
-    /// one pipeline pass. Crypto-resolution failures are swallowed (the
-    /// slot stays `None`): such a member either seals inline later or —
-    /// more likely — fails its own validation without touching batch-mates.
-    ///
-    /// Unlike [`Inner::preseal_writes`], partitions created by one member
-    /// are *not* visible to later members here: a member's create can
-    /// still fail validation (e.g. the partition already exists), and a
-    /// later member's write must then be sealed under the surviving
-    /// partition's real key, not the failed create's.
-    fn preseal_batch(&mut self, sets: &[Vec<CommitOp>]) -> Vec<Vec<Option<Presealed>>> {
-        let mut out: Vec<Vec<Option<Presealed>>> = sets
-            .iter()
-            .map(|ops| ops.iter().map(|_| None).collect())
-            .collect();
-        let workers = pipeline::resolve_workers(self.config.crypto_workers);
-        if workers < 2 {
-            return out;
-        }
-        let mut jobs: Vec<SealJob<'_>> = Vec::new();
-        let mut slots: Vec<(usize, usize)> = Vec::new();
-        for (m, ops) in sets.iter().enumerate() {
-            let mut created: HashMap<PartitionId, Arc<PartitionCrypto>> = HashMap::new();
-            for (i, op) in ops.iter().enumerate() {
-                match op {
-                    CommitOp::CreatePartition { id, params } => {
-                        if let Ok(rt) = params.runtime() {
-                            created.insert(*id, Arc::new(rt));
-                        }
-                    }
-                    CommitOp::CopyPartition { dst, src } => {
-                        let crypto = match created.get(src) {
-                            Some(c) => Some(Arc::clone(c)),
-                            None => self.crypto_for(*src).ok(),
-                        };
-                        if let Some(c) = crypto {
-                            created.insert(*dst, c);
-                        }
-                    }
-                    CommitOp::WriteChunk { id, bytes } => {
-                        let crypto = match created.get(&id.partition) {
-                            Some(c) => Some(Arc::clone(c)),
-                            None => self.crypto_for(id.partition).ok(),
-                        };
-                        if let Some(c) = crypto {
-                            jobs.push((*id, c, bytes.as_slice()));
-                            slots.push((m, i));
-                        }
-                    }
-                    CommitOp::DeallocChunk { .. } | CommitOp::DeallocPartition { .. } => {}
-                }
-            }
-        }
-        if jobs.len() < 2 {
-            return out;
-        }
-        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
-        self.stats.parallel_crypto_batches += 1;
-        self.stats.parallel_crypto_chunks += sealed.len() as u64;
-        metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
-        metrics::add(counters::PARALLEL_CRYPTO_CHUNKS, sealed.len() as u64);
-        for ((m, i), pre) in slots.into_iter().zip(sealed) {
-            out[m][i] = Some(pre);
-        }
-        out
-    }
-
-    /// Appends a sealed named version and installs its descriptor.
-    pub(crate) fn write_named(
-        &mut self,
-        kind: VersionKind,
-        id: ChunkId,
-        body: &[u8],
-    ) -> Result<Descriptor> {
-        let crypto = self.crypto_for(id.partition)?;
-        let hash = {
-            let _t = metrics::span(modules::HASHING);
-            crypto.hash(body)
-        };
-        let sealed = {
-            let _t = metrics::span(modules::ENCRYPTION);
-            seal_version(&self.system, &crypto, kind, id, body)
-        };
-        let location = self.append(&sealed)?;
-        let desc = Descriptor::written(location, sealed.len() as u32, body.len() as u32, hash);
-        Ok(desc)
-    }
-
-    pub(crate) fn append(&mut self, sealed: &[u8]) -> Result<u64> {
-        let loc = self.log.append(
-            &mut self.sys_leader.log,
-            &self.system,
-            &mut self.hashes,
-            sealed,
-        )?;
-        // Only set after a *successful* device append: a failed first write
-        // left nothing durable, so the mutation can roll back and stay
-        // live. While the log is coalescing, appends only buffer in memory;
-        // `flush_log` flips `wrote_log` once runs actually hit the device.
-        if !self.log.coalescing() {
-            self.wrote_log = true;
-        }
-        self.stats.bytes_appended += sealed.len() as u64;
-        Ok(loc)
-    }
-
-    /// Flushes the log, writing out any coalesced runs first, and keeps the
-    /// `wrote_log` rollback marker honest: it is set as soon as buffered
-    /// bytes reach the device, whether or not the flush itself succeeds.
-    pub(crate) fn flush_log(&mut self) -> Result<()> {
-        let runs_before = self.log.coalesce_counters().1;
-        let result = self.log.flush();
-        if self.log.coalesce_counters().1 > runs_before {
-            self.wrote_log = true;
-        }
-        if result.is_ok() {
-            self.stats.flushes += 1;
-        }
-        result
-    }
-
-    fn apply_op(
-        &mut self,
-        op: CommitOp,
-        pre: Option<Presealed>,
-        dealloc_ids: &mut Vec<ChunkId>,
-    ) -> Result<()> {
-        match op {
-            CommitOp::WriteChunk { id, bytes } => {
-                self.ensure_capacity(id.partition, id.pos.rank)?;
-                let desc = match pre {
-                    // Pipeline already hashed + sealed this body; only the
-                    // append is left on the serial path.
-                    Some(p) => {
-                        let location = self.append(&p.sealed)?;
-                        Descriptor::written(location, p.sealed.len() as u32, p.body_len, p.hash)
-                    }
-                    None => self.write_named(VersionKind::Named, id, &bytes)?,
-                };
-                self.set_descriptor(id, desc)?;
-                let entry = self.leader_entry(id.partition)?;
-                entry.leader.next_rank = entry.leader.next_rank.max(id.pos.rank + 1);
-                entry.alloc_next = entry.alloc_next.max(entry.leader.next_rank);
-                entry.leader.unfree(id.pos.rank);
-                entry.alloc_free.retain(|r| *r != id.pos.rank);
-                entry.reserved.remove(&id.pos.rank);
-                entry.dirty = true;
-            }
-            CommitOp::DeallocChunk { id } => {
-                // Deallocating a reserved-but-unwritten id is purely an
-                // in-memory affair: there is no persistent state to undo.
-                let was_written = self.get_descriptor(id)?.is_written();
-                if was_written {
-                    dealloc_ids.push(id);
-                    self.set_descriptor(id, Descriptor::unallocated())?;
-                    let entry = self.leader_entry(id.partition)?;
-                    entry.leader.push_free(id.pos.rank);
-                    entry.alloc_free.push(id.pos.rank);
-                    entry.dirty = true;
-                } else {
-                    let entry = self.leader_entry(id.partition)?;
-                    entry.reserved.remove(&id.pos.rank);
-                    entry.alloc_free.push(id.pos.rank);
-                }
-            }
-            CommitOp::CreatePartition { id, params } => {
-                let leader = PartitionLeader::new(params);
-                self.write_partition_leader(id, leader)?;
-            }
-            CommitOp::CopyPartition { dst, src } => {
-                let src_entry = self.leader_entry(src)?;
-                let dst_leader = src_entry.leader.copied(src);
-                src_entry.leader.copies.push(dst);
-                let src_leader = src_entry.leader.clone();
-                // Persist the source's updated copies list.
-                self.write_partition_leader(src, src_leader)?;
-                self.write_partition_leader(dst, dst_leader)?;
-                // Clone buffered (dirty) map state so dst sees post-
-                // checkpoint updates of src (§5.3).
-                self.map_cache.clone_dirty(src, dst);
-            }
-            CommitOp::DeallocPartition { id } => {
-                self.dealloc_partition(id, dealloc_ids)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Encodes and writes a partition leader as a system data chunk,
-    /// refreshing the leaders cache.
-    pub(crate) fn write_partition_leader(
-        &mut self,
-        p: PartitionId,
-        leader: PartitionLeader,
-    ) -> Result<()> {
-        let id = ChunkId::leader_chunk(p);
-        self.ensure_capacity(PartitionId::SYSTEM, id.pos.rank)?;
-        let body = leader.encode();
-        let desc = self.write_named(VersionKind::Named, id, &body)?;
-        self.set_descriptor(id, desc)?;
-        self.sys_leader.map.next_rank = self.sys_leader.map.next_rank.max(id.pos.rank + 1);
-        self.sys_alloc_next = self.sys_alloc_next.max(self.sys_leader.map.next_rank);
-        self.sys_leader.map.unfree(id.pos.rank);
-        self.sys_alloc_free.retain(|r| *r != id.pos.rank);
-        self.sys_reserved.remove(&id.pos.rank);
-        match self.leaders.get_mut(&p) {
-            Some(entry) => {
-                // Preserve session allocation state across the rewrite.
-                let alloc_next = entry.alloc_next.max(leader.next_rank);
-                let alloc_free = entry.alloc_free.clone();
-                entry.leader = leader;
-                entry.alloc_next = alloc_next;
-                entry.alloc_free = alloc_free;
-                entry.dirty = false;
-            }
-            None => {
-                self.leaders.insert(p, LeaderEntry::new(leader)?);
-            }
-        }
-        Ok(())
-    }
-
-    /// Deallocates `p` and (recursively) all of its copies (§5.1).
-    fn dealloc_partition(&mut self, p: PartitionId, dealloc_ids: &mut Vec<ChunkId>) -> Result<()> {
-        // Gather the closure of copies first.
-        let mut closure = vec![p];
-        let mut i = 0;
-        while i < closure.len() {
-            let q = closure[i];
-            i += 1;
-            if let Ok(entry) = self.leader_entry(q) {
-                for c in entry.leader.copies.clone() {
-                    if !closure.contains(&c) {
-                        closure.push(c);
-                    }
-                }
-            }
-        }
-        // Detach from a surviving source, if any.
-        let source = self.leader_entry(p)?.leader.source;
-        if let Some(src) = source {
-            if !closure.contains(&src) {
-                if let Ok(entry) = self.leader_entry(src) {
-                    entry.leader.copies.retain(|c| *c != p);
-                    let updated = entry.leader.clone();
-                    self.write_partition_leader(src, updated)?;
-                }
-            }
-        }
-        for q in closure {
-            let id = ChunkId::leader_chunk(q);
-            dealloc_ids.push(id);
-            self.set_descriptor(id, Descriptor::unallocated())?;
-            self.sys_leader.map.push_free(id.pos.rank);
-            self.sys_alloc_free.push(id.pos.rank);
-            self.leaders.remove(&q);
-            self.map_cache.purge_partition(q);
-        }
-        Ok(())
-    }
-
-    fn append_dealloc_chunk(&mut self, ids: &[ChunkId]) -> Result<()> {
-        let record = DeallocRecord { ids: ids.to_vec() };
-        let sealed = {
-            let _t = metrics::span(modules::ENCRYPTION);
-            seal_version(
-                &self.system,
-                &self.system,
-                VersionKind::Dealloc,
-                VersionHeader::unnamed_id(),
-                &record.encode(),
-            )
-        };
-        self.append(&sealed)?;
-        Ok(())
-    }
-
-    /// Seals the commit: commit chunk or chained hash, flush, trusted-store
-    /// update (§4.6, §4.8.2).
-    pub(crate) fn finish_commit(&mut self) -> Result<()> {
-        match self.config.validation {
-            ValidationMode::Counter { delta_ut, .. } => {
-                // Reserve room so the commit chunk follows its set in the
-                // same segment (the set hash must cover any next-segment
-                // chunk, so no switch may happen after end_set).
-                self.log.ensure_room(
-                    &mut self.sys_leader.log,
-                    &self.system,
-                    &mut self.hashes,
-                    COMMIT_CHUNK_ROOM,
-                )?;
-                let set_hash = self.hashes.end_set();
-                let count = self.commit_count + 1;
-                let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
-                let sealed = {
-                    let _t = metrics::span(modules::ENCRYPTION);
-                    seal_version(
-                        &self.system,
-                        &self.system,
-                        VersionKind::Commit,
-                        VersionHeader::unnamed_id(),
-                        &record.encode(),
-                    )
-                };
-                self.append(&sealed)?;
-                self.commit_count = count;
-                // "A commit operation waits until the commit set is written
-                // to the untrusted store reliably" (§4.8.2.1).
-                self.flush_log()?;
-                if count - self.trusted_count > delta_ut.saturating_sub(1) {
-                    self.advance_counter(count)?;
-                }
-            }
-            ValidationMode::DirectHash => {
-                self.flush_log()?;
-                self.write_direct_record()?;
-            }
-        }
-        self.stats.commits += 1;
-        Ok(())
-    }
-
-    /// Batched variant of [`Inner::finish_commit`]: appends the member's
-    /// commit chunk (counter mode) but defers the device flush to the
-    /// batch finalizer, flushing early only when the counter-lag window
-    /// (Δut) demands an advance — the trusted counter must never count a
-    /// commit that is not yet durable, so the flush always precedes the
-    /// advance. Returns whether a flush happened (everything appended so
-    /// far, this member included, is durable).
-    fn finish_commit_batched(&mut self) -> Result<bool> {
-        let mut flushed = false;
-        if let ValidationMode::Counter { delta_ut, .. } = self.config.validation {
-            self.log.ensure_room(
-                &mut self.sys_leader.log,
-                &self.system,
-                &mut self.hashes,
-                COMMIT_CHUNK_ROOM,
-            )?;
-            let set_hash = self.hashes.end_set();
-            let count = self.commit_count + 1;
-            let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
-            let sealed = {
-                let _t = metrics::span(modules::ENCRYPTION);
-                seal_version(
-                    &self.system,
-                    &self.system,
-                    VersionKind::Commit,
-                    VersionHeader::unnamed_id(),
-                    &record.encode(),
-                )
-            };
-            self.append(&sealed)?;
-            self.commit_count = count;
-            if count - self.trusted_count > delta_ut.saturating_sub(1) {
-                self.flush_log()?;
-                self.advance_counter(count)?;
-                flushed = true;
-            }
-        }
-        // Direct-hash mode needs nothing per member: the register write at
-        // the batch's durability point is "the real commit point", and it
-        // covers every member at once.
-        self.stats.commits += 1;
-        Ok(flushed)
-    }
-
-    /// Rolls back to a batch's last durable snapshot while keeping the
-    /// monotone health-event counters a failure handler may have bumped
-    /// after that snapshot was taken.
-    fn restore_durable(&mut self, snap: EngineSnapshot) {
-        let degraded = self.stats.degraded_entries;
-        let poisons = self.stats.poison_events;
-        self.restore(snap);
-        self.stats.degraded_entries = self.stats.degraded_entries.max(degraded);
-        self.stats.poison_events = self.stats.poison_events.max(poisons);
-    }
-
-    /// Executes a group-commit batch: every member is validated, sealed,
-    /// and applied independently (per-commit atomicity), their log appends
-    /// coalesce in the log's run buffer, and one flush at the end makes
-    /// the whole batch durable.
-    ///
-    /// Failure policy per member:
-    /// - validation errors fail the member alone, before any state change;
-    /// - apply errors with no device write roll just that member back and
-    ///   the batch continues live;
-    /// - integrity violations poison and abort the batch;
-    /// - storage failures after bytes reached the device degrade and abort
-    ///   (remaining members get [`CoreError::BatchAborted`]).
-    ///
-    /// On abort or a failed final flush, members applied after the last
-    /// durable point are demoted to `BatchAborted` — no caller is ever
-    /// acknowledged before its bytes are flushed.
-    pub(crate) fn commit_batch(&mut self, sets: Vec<Vec<CommitOp>>) -> Vec<Result<()>> {
-        let n = sets.len();
-        self.stats.commit_batches += 1;
-        self.stats.batched_commits += n as u64;
-        self.stats.batch_size_hist[batch_size_bucket(n)] += 1;
-        metrics::count(counters::COMMIT_BATCHES);
-        metrics::add(counters::BATCHED_COMMITS, n as u64);
-
-        // Pool the whole batch's seal work through the crypto pipeline
-        // before any member mutates state.
-        let presealed = self.preseal_batch(&sets);
-        self.log.set_coalescing(true);
-
-        let mut results: Vec<Result<()>> = Vec::with_capacity(n);
-        // Members in `results[..durable]` are covered by a device flush;
-        // `durable_snap` is the engine state at that point. `None` once
-        // consumed by an abort (no further members run after that).
-        let mut durable = 0usize;
-        let mut durable_snap = Some(self.snapshot());
-        let mut abort: Option<String> = None;
-
-        for (ops, pre) in sets.into_iter().zip(presealed) {
-            if let Some(reason) = &abort {
-                results.push(Err(CoreError::BatchAborted(reason.clone())));
-                continue;
-            }
-            if ops.is_empty() {
-                results.push(Ok(()));
-                continue;
-            }
-            if let Err(e) = self.validate_ops(&ops) {
-                // Read-only failure: the member dies alone, batch-mates
-                // are untouched.
-                results.push(Err(e));
-                continue;
-            }
-            let snap = self.snapshot();
-            self.wrote_log = false;
-            let counter_mode = matches!(self.config.validation, ValidationMode::Counter { .. });
-            if counter_mode {
-                self.hashes.begin_set();
-            }
-            let result = self
-                .apply_ops(ops, pre)
-                .and_then(|()| self.finish_commit_batched());
-            match result {
-                Ok(flushed) => {
-                    results.push(Ok(()));
-                    if flushed {
-                        durable = results.len();
-                        durable_snap = Some(self.snapshot());
-                    }
-                    // Threshold-driven checkpoint, as on the unbatched
-                    // path. A successful checkpoint flushes and syncs the
-                    // trusted store, so it is a durable point too.
-                    let checkpoints_before = self.stats.checkpoints;
-                    match self.maybe_checkpoint() {
-                        Ok(()) => {
-                            if self.stats.checkpoints > checkpoints_before {
-                                durable = results.len();
-                                durable_snap = Some(self.snapshot());
-                            }
-                        }
-                        Err(e) => {
-                            // The member was applied but its follow-on
-                            // checkpoint failed (and did its own rollback
-                            // and health transition) — surface the error
-                            // as the member's result, exactly like the
-                            // unbatched path.
-                            let msg = e.to_string();
-                            *results.last_mut().expect("just pushed") = Err(e);
-                            if !self.health.is_live() {
-                                let snap = durable_snap.take().expect("unconsumed");
-                                self.restore_durable(snap);
-                                demote_unflushed(&mut results, durable, &msg);
-                                abort = Some(msg);
-                            }
-                        }
-                    }
-                }
-                Err(e) => {
-                    let integrity = e.fault_class() == FaultClass::Integrity;
-                    if integrity || self.wrote_log {
-                        // Bytes reached the device (or integrity is in
-                        // doubt): everything since the last durable point
-                        // is unrecoverable in place. Roll back to it,
-                        // demote the members it does not cover, and stop.
-                        let msg = e.to_string();
-                        let snap = durable_snap.take().expect("unconsumed");
-                        self.restore_durable(snap);
-                        demote_unflushed(&mut results, durable, &msg);
-                        if integrity {
-                            self.enter_poisoned(format!(
-                                "integrity violation during batched commit: {msg}"
-                            ));
-                        } else {
-                            self.enter_degraded(format!(
-                                "storage failure during batched commit after \
-                                 log bytes were written: {msg}"
-                            ));
-                        }
-                        results.push(Err(e));
-                        abort = Some(msg);
-                    } else {
-                        // Nothing durable happened: this member rolls back
-                        // clean and the batch continues live.
-                        self.restore(snap);
-                        results.push(Err(e));
-                    }
-                }
-            }
-        }
-
-        // Finalize: one shared durability point for everything the batch
-        // buffered since the last flush.
-        if abort.is_none() && self.log.buffered_len() > 0 {
-            self.wrote_log = false;
-            let fin = match self.config.validation {
-                ValidationMode::Counter { .. } => self.flush_log(),
-                ValidationMode::DirectHash => {
-                    self.flush_log().and_then(|()| self.write_direct_record())
-                }
-            };
-            if let Err(e) = fin {
-                let msg = e.to_string();
-                let wrote = self.wrote_log;
-                let snap = durable_snap.take().expect("unconsumed");
-                self.restore_durable(snap);
-                demote_unflushed(&mut results, durable, &msg);
-                if wrote {
-                    self.enter_degraded(format!(
-                        "storage failure flushing a commit batch after log \
-                         bytes were written: {msg}"
-                    ));
-                }
-            }
-        }
-        self.log.set_coalescing(false);
-        results
-    }
-
-    pub(crate) fn advance_counter(&mut self, count: u64) -> Result<()> {
-        let _t = metrics::span(modules::TRUSTED_STORE);
-        match &self.trusted {
-            TrustedBackend::Counter(c) => c.advance_to(count)?,
-            TrustedBackend::Register(_) => {
-                return Err(CoreError::Corrupt(
-                    "counter validation configured with a register backend".into(),
-                ))
-            }
-        }
-        self.trusted_count = count;
-        Ok(())
-    }
-
-    /// Writes `{chain, tail}` to the tamper-resistant register — "the real
-    /// commit point" of direct hash validation (§4.8.2.1).
-    pub(crate) fn write_direct_record(&mut self) -> Result<()> {
-        let record = DirectRecord {
-            chain: self.hashes.chain,
-            tail: self.log.tail_location(),
-        };
-        let _t = metrics::span(modules::TRUSTED_STORE);
-        match &self.trusted {
-            TrustedBackend::Register(r) => r.write(&record.encode())?,
-            TrustedBackend::Counter(_) => {
-                return Err(CoreError::Corrupt(
-                    "direct validation configured with a counter backend".into(),
-                ))
-            }
-        }
-        Ok(())
-    }
-
-    fn maybe_checkpoint(&mut self) -> Result<()> {
-        if self.map_cache.dirty_count() >= self.config.checkpoint_threshold {
-            self.checkpoint()?;
-        }
-        Ok(())
-    }
-
-    // -- Diff (§5.3) ----------------------------------------------------------
-
-    pub(crate) fn diff(&mut self, old: PartitionId, new: PartitionId) -> Result<Vec<DiffEntry>> {
-        let old_height = self.leader_entry(old)?.leader.height;
-        let new_height = self.leader_entry(new)?.leader.height;
-        let old_next = self.leader_entry(old)?.leader.next_rank;
-        let new_next = self.leader_entry(new)?.leader.next_rank;
-        let mut out = Vec::new();
-        // Fast path: equal heights allow subtree pruning by comparing map
-        // descriptors ("traversing their position maps and comparing the
-        // descriptors of the corresponding chunks").
-        if old_height == new_height {
-            let root = Position::map(old_height, 0);
-            self.diff_subtree(old, new, root, &mut out)?;
-        } else {
-            let max_rank = old_next.max(new_next);
-            for rank in 0..max_rank {
-                self.diff_leaf(old, new, Position::data(rank), &mut out)?;
-            }
-        }
-        Ok(out)
-    }
-
-    fn diff_subtree(
-        &mut self,
-        old: PartitionId,
-        new: PartitionId,
-        pos: Position,
-        out: &mut Vec<DiffEntry>,
-    ) -> Result<()> {
-        let d_old = self.get_descriptor(ChunkId::new(old, pos))?;
-        let d_new = self.get_descriptor(ChunkId::new(new, pos))?;
-        // Identical subtrees are pruned — but only when neither side has
-        // buffered overrides anywhere below: dirty cached map chunks are
-        // not yet reflected in ancestor descriptors (that is the §4.7
-        // deferral), so a clean-looking match here can hide changes.
-        let dirty = self.subtree_has_dirty(old, pos) || self.subtree_has_dirty(new, pos);
-        if d_old.same_state(&d_new) && !dirty {
-            return Ok(());
-        }
-        for slot in 0..self.fanout() as usize {
-            let child = pos.child(self.fanout(), slot);
-            if child.is_data() {
-                self.diff_leaf(old, new, child, out)?;
-            } else {
-                self.diff_subtree(old, new, child, out)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// True when `p` has any dirty cached map chunk inside the subtree
-    /// rooted at `pos` (including `pos` itself).
-    fn subtree_has_dirty(&self, p: PartitionId, pos: Position) -> bool {
-        let fanout = u64::from(self.config.fanout);
-        self.map_cache.dirty_keys().into_iter().any(|(q, dp)| {
-            if q != p || dp.height > pos.height {
-                return false;
-            }
-            // Climb dp to pos.height; ancestor ranks divide by fanout per
-            // level.
-            let levels = u32::from(pos.height - dp.height);
-            dp.rank / fanout.saturating_pow(levels) == pos.rank
-        })
-    }
-
-    fn diff_leaf(
-        &mut self,
-        old: PartitionId,
-        new: PartitionId,
-        pos: Position,
-        out: &mut Vec<DiffEntry>,
-    ) -> Result<()> {
-        let d_old = self.get_descriptor(ChunkId::new(old, pos))?;
-        let d_new = self.get_descriptor(ChunkId::new(new, pos))?;
-        let change = match (d_old.is_written(), d_new.is_written()) {
-            (false, true) => Some(DiffChange::Created),
-            (true, false) => Some(DiffChange::Deallocated),
-            (true, true) if !d_old.same_state(&d_new) => Some(DiffChange::Updated),
-            _ => None,
-        };
-        if let Some(change) = change {
-            out.push(DiffEntry { pos, change });
-        }
-        Ok(())
-    }
-
-    pub(crate) fn written_ranks(&mut self, p: PartitionId) -> Result<Vec<u64>> {
-        let next = self.leader_entry(p)?.leader.next_rank;
-        let mut out = Vec::new();
-        for rank in 0..next {
-            let desc = self.get_descriptor(ChunkId::data(p, rank))?;
-            if desc.is_written() {
-                out.push(rank);
-            }
-        }
-        Ok(out)
-    }
-}
-
-/// Histogram bucket for a group-commit batch of `n` members: bucket `i`
-/// covers sizes in `(2^(i-1), 2^i]` (1, 2, 3–4, 5–8, …), capped at 7.
-fn batch_size_bucket(n: usize) -> usize {
-    if n <= 1 {
-        0
-    } else {
-        ((usize::BITS - (n - 1).leading_zeros()) as usize).min(7)
-    }
-}
-
-/// Demotes every `Ok` result at or past `durable` to [`CoreError::BatchAborted`]:
-/// those members were applied but never covered by a flush, so they must
-/// not be acknowledged.
-fn demote_unflushed(results: &mut [Result<()>], durable: usize, reason: &str) {
-    for r in results.iter_mut().skip(durable) {
-        if r.is_ok() {
-            *r = Err(CoreError::BatchAborted(reason.to_string()));
-        }
-    }
-}
-
-/// The direct-validation record kept in the tamper-resistant register.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct DirectRecord {
-    /// Chained hash over the residual log.
-    pub chain: HashValue,
-    /// Exact end of the validated log.
-    pub tail: u64,
-}
-
-impl DirectRecord {
-    pub(crate) fn encode(&self) -> Vec<u8> {
-        let mut e = Enc::with_capacity(self.chain.len() + 12);
-        e.bytes(self.chain.as_bytes());
-        e.u64(self.tail);
-        e.finish()
-    }
-
-    pub(crate) fn decode(buf: &[u8]) -> Result<DirectRecord> {
-        let mut d = Dec::new(buf);
-        let chain = HashValue::new(d.bytes()?);
-        let tail = d.u64()?;
-        d.expect_done("trusted direct record")?;
-        Ok(DirectRecord { chain, tail })
     }
 }
 

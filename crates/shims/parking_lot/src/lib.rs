@@ -242,6 +242,24 @@ impl Condvar {
             timed_out: result.timed_out(),
         }
     }
+
+    /// Waits until notified or `timeout` elapses, like parking_lot's
+    /// `wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard taken");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
 }
 
 impl Default for Condvar {

@@ -231,6 +231,33 @@ impl TrustedDbBuilder {
         self
     }
 
+    /// Runs cleaning and threshold checkpoints on a background maintenance
+    /// thread instead of inside commits and explicit `clean()` calls
+    /// (`false`, the default, keeps the paper's caller-driven behavior;
+    /// see [`ChunkStoreConfig::background_maintenance`]).
+    pub fn background_maintenance(mut self, on: bool) -> Self {
+        self.chunk_config.background_maintenance = on;
+        self
+    }
+
+    /// Caps how many segments the background cleaner processes per
+    /// engine-lock hold (see [`ChunkStoreConfig::clean_slice_segments`]).
+    pub fn clean_slice_segments(mut self, segments: usize) -> Self {
+        self.chunk_config.clean_slice_segments = segments;
+        self
+    }
+
+    /// Sets the free-segment watermarks of a bounded log: below `low`,
+    /// committers are throttled until the background cleaner frees space
+    /// (`0` disables throttling); below `high`, background cleaning runs
+    /// (see [`ChunkStoreConfig::clean_low_water`] and
+    /// [`ChunkStoreConfig::clean_high_water`]).
+    pub fn clean_watermarks(mut self, low: u32, high: u32) -> Self {
+        self.chunk_config.clean_low_water = low;
+        self.chunk_config.clean_high_water = high;
+        self
+    }
+
     /// Overrides the default partition's cryptographic parameters.
     pub fn partition_params(mut self, params: CryptoParams) -> Self {
         self.partition_params = Some(params);

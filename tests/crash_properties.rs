@@ -394,6 +394,181 @@ fn torn_within_single_write_sweep() {
     }
 }
 
+/// Builds a store whose early segments mix one current version with many
+/// obsolete ones, so `clean()` must relocate live data and reclaim space.
+/// Returns the chunk ids with their expected contents plus the one
+/// deallocated id that must never resurrect.
+#[allow(clippy::type_complexity)]
+fn cleanable_workload(
+    platform: &Platform,
+    untrusted: SharedUntrusted,
+) -> (
+    ChunkStore,
+    tdb_core::PartitionId,
+    Vec<(ChunkId, Vec<u8>)>,
+    ChunkId,
+) {
+    let store = ChunkStore::create(
+        untrusted,
+        platform.backend(),
+        platform.secret.clone(),
+        platform.config.clone(),
+    )
+    .unwrap();
+    let p = store.allocate_partition().unwrap();
+    store
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .unwrap();
+    let mut ids = Vec::new();
+    for i in 0..8u8 {
+        let c = store.allocate_chunk(p).unwrap();
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: c,
+                bytes: vec![0x10 + i; 500],
+            }])
+            .unwrap();
+        ids.push(c);
+    }
+    // Overwrite everything but chunk 0: its original version stays current
+    // inside a segment that is otherwise obsolete — a relocation target.
+    let mut expected = vec![(ids[0], vec![0x10u8; 500])];
+    for (i, &c) in ids.iter().enumerate().take(7).skip(1) {
+        let bytes = vec![0xA0 + i as u8; 500];
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: c,
+                bytes: bytes.clone(),
+            }])
+            .unwrap();
+        expected.push((c, bytes));
+    }
+    let dead = ids[7];
+    store
+        .commit(vec![CommitOp::DeallocChunk { id: dead }])
+        .unwrap();
+    // Checkpoint so the early segments leave the residual log and become
+    // cleanable.
+    store.checkpoint().unwrap();
+    (store, p, expected, dead)
+}
+
+/// Same tear sweep, but the interrupted operation is `clean()`: the torn
+/// writes are the cleaner's relocated versions, its commit chunk, and the
+/// leader update that reclaims segments. For every torn image, recovery
+/// must serve every current version — from its old location when the
+/// clean's writes were lost (reclaim is metadata-only, the bytes are still
+/// there) or from its relocated one when they landed — and a version made
+/// obsolete before the clean must never resurrect.
+#[test]
+fn torn_clean_write_sweep() {
+    let mut platform = Platform::new(ValidationMode::Counter {
+        delta_ut: 5,
+        delta_tu: 0,
+    });
+    platform.config.segment_size = 2048;
+    platform.config.checkpoint_threshold = 100; // Manual checkpoints only.
+    let crash = Arc::new(CrashStore::new(Arc::new(MemStore::new()) as SharedUntrusted).unwrap());
+    let pf = Arc::new(PlannedFaultStore::new(
+        Arc::clone(&crash) as SharedUntrusted,
+        FaultPlan::new(),
+    ));
+    let (store, p, expected, dead) =
+        cleanable_workload(&platform, Arc::clone(&pf) as SharedUntrusted);
+    let register_before = platform.register.image();
+
+    // Drop the clean's flush: the pass fails (never acknowledged) and its
+    // device writes stay pending in the crash journal.
+    pf.set_plan(FaultPlan::new().dropped_flush_at(pf.flush_ops()));
+    assert!(
+        store.clean(8).is_err(),
+        "a dropped flush means the clean never completed"
+    );
+    let pending = crash.pending_writes();
+    assert!(
+        pending >= 1,
+        "cleaning appends relocated versions and a commit chunk"
+    );
+
+    for complete in 0..=pending {
+        for split in [0usize, 7, 128, 400] {
+            let ctx = format!("clean torn at write {complete}, byte {split}");
+            let image = crash.crash_torn(complete, split);
+            platform.register.restore(register_before.clone());
+            let store = ChunkStore::open(
+                Arc::new(MemStore::from_bytes(image)) as SharedUntrusted,
+                platform.backend(),
+                platform.secret.clone(),
+                platform.config.clone(),
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+            // No relocated current version is ever lost...
+            for (c, bytes) in &expected {
+                assert_eq!(&store.read(*c).unwrap(), bytes, "{ctx}");
+            }
+            // ...and no obsolete version is ever resurrected.
+            assert!(
+                store.read(dead).is_err(),
+                "{ctx}: deallocated chunk resurfaced"
+            );
+            let c = store.allocate_chunk(p).unwrap();
+            store
+                .commit(vec![CommitOp::WriteChunk {
+                    id: c,
+                    bytes: b"post-recovery write".to_vec(),
+                }])
+                .unwrap_or_else(|e| panic!("{ctx}: recovered store rejects commits: {e}"));
+        }
+    }
+}
+
+/// A completed `clean()` followed by a crash that loses the write-back
+/// cache: the clean flushed at its durability point, so the reclaim and
+/// every relocated version must survive the lost cache intact.
+#[test]
+fn completed_clean_survives_lost_cache() {
+    let mut platform = Platform::new(ValidationMode::Counter {
+        delta_ut: 5,
+        delta_tu: 0,
+    });
+    platform.config.segment_size = 2048;
+    platform.config.checkpoint_threshold = 100;
+    let crash = Arc::new(CrashStore::new(Arc::new(MemStore::new()) as SharedUntrusted).unwrap());
+    let (store, p, expected, dead) =
+        cleanable_workload(&platform, Arc::clone(&crash) as SharedUntrusted);
+
+    let reclaimed = store.clean(8).unwrap();
+    assert!(reclaimed >= 1, "the workload left reclaimable segments");
+    let stats = store.stats();
+    assert!(
+        stats.chunks_relocated >= 1,
+        "the workload left a current version to relocate"
+    );
+
+    let image = crash.crash_lose_all();
+    let store = ChunkStore::open(
+        Arc::new(MemStore::from_bytes(image)) as SharedUntrusted,
+        platform.backend(),
+        platform.secret.clone(),
+        platform.config.clone(),
+    )
+    .unwrap();
+    for (c, bytes) in &expected {
+        assert_eq!(&store.read(*c).unwrap(), bytes);
+    }
+    assert!(store.read(dead).is_err(), "reclaimed version resurfaced");
+    let c = store.allocate_chunk(p).unwrap();
+    store
+        .commit(vec![CommitOp::WriteChunk {
+            id: c,
+            bytes: b"post-recovery write".to_vec(),
+        }])
+        .unwrap();
+}
+
 /// Same tear sweep, but the interrupted operation is a checkpoint: its
 /// leader, commit chunk, and superblock writes are the ones torn. The
 /// superblock's two checksummed slots make a torn slot write safe (the
