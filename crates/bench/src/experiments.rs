@@ -1150,3 +1150,237 @@ pub fn e15_cleaner() {
     std::fs::write(path, json).expect("write benchmark artifact");
     println!("  wrote {path}");
 }
+
+// ---------------------------------------------------------------------------
+// E16: shard scaling (fleet throughput and migration under load).
+// ---------------------------------------------------------------------------
+
+const E16_THREADS: usize = 8;
+const E16_CHUNK_BYTES: usize = 512;
+const E16_FLEETS: [usize; 3] = [1, 2, 4];
+
+/// A flush-dominated disk per shard: each shard's commit path is bound by
+/// its own device latency, so a fleet's aggregate throughput measures how
+/// well independent fault domains overlap their I/O, not CPU parallelism.
+fn e16_disk() -> tdb_storage::DiskModel {
+    tdb_storage::DiskModel {
+        seek: Duration::from_micros(50),
+        rotational: Duration::from_micros(25),
+        bandwidth: 200 * 1024 * 1024,
+        flush: Duration::from_millis(1),
+        flush_doubling_threshold: None,
+    }
+}
+
+/// Builds a `shards`-wide fleet, each shard over its own simulated disk,
+/// with one logical partition (and one pre-written chunk) per committer
+/// thread. The manager's least-loaded placement spreads the partitions
+/// evenly across shards.
+fn e16_fleet(shards: usize) -> (tdb::ShardManager, Vec<(tdb::LogicalId, u64)>) {
+    use tdb::{ShardManager, ShardOp, ShardSpec, TrustedBackend};
+    use tdb_storage::{
+        ArchivalStore, CounterOverTrusted, MemStore, MemTrustedStore, SharedUntrusted, SimClock,
+        SimDiskStore, TrustedStore,
+    };
+    let specs = (0..shards)
+        .map(|_| ShardSpec {
+            untrusted: Arc::new(SimDiskStore::new(
+                Arc::new(MemStore::new()) as SharedUntrusted,
+                e16_disk(),
+                Arc::new(SimClock::new(true)),
+            )) as SharedUntrusted,
+            trusted: TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(Arc::new(
+                MemTrustedStore::new(64),
+            )
+                as Arc<dyn TrustedStore>))),
+            // One flush per commit: the scaling signal is shard count, not
+            // batching.
+            config: ChunkStoreConfig {
+                group_commit: false,
+                ..paper_config()
+            },
+        })
+        .collect();
+    let mgr = ShardManager::create(
+        specs,
+        Arc::new(MemStore::new()) as SharedUntrusted,
+        Arc::new(MemArchive::new()) as Arc<dyn ArchivalStore>,
+        tdb_crypto::SecretKey::random(24),
+    )
+    .expect("create shard fleet");
+    let mut slots = Vec::with_capacity(E16_THREADS);
+    for t in 0..E16_THREADS {
+        let logical = mgr
+            .create_partition(CryptoParams::paper_default())
+            .expect("create logical partition");
+        let rank = mgr.allocate_chunk(logical).expect("allocate chunk");
+        mgr.commit(
+            logical,
+            vec![ShardOp::Write {
+                rank,
+                bytes: bytes(t as u64, E16_CHUNK_BYTES),
+            }],
+        )
+        .expect("seed chunk");
+        slots.push((logical, rank));
+    }
+    (mgr, slots)
+}
+
+/// Aggregate fleet throughput: one committer thread per logical partition,
+/// each rewriting its own chunk through the manager for `window`.
+fn e16_throughput(
+    mgr: &tdb::ShardManager,
+    slots: &[(tdb::LogicalId, u64)],
+    window: Duration,
+) -> f64 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (t, &(logical, rank)) in slots.iter().enumerate() {
+            let (stop, total) = (&stop, &total);
+            s.spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    mgr.commit(
+                        logical,
+                        vec![tdb::ShardOp::Write {
+                            rank,
+                            bytes: bytes(t as u64, E16_CHUNK_BYTES),
+                        }],
+                    )
+                    .expect("commit");
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let commits = total.load(std::sync::atomic::Ordering::Relaxed).max(1);
+    commits as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Commit latency while a partition migrates between shards under load:
+/// four writers keep committing (retrying transient `Busy` from the
+/// cutover pause) while the victim partition moves to the other shard.
+/// Returns (p50, p99, busy retries, migration wall time, outcome).
+fn e16_migration_under_load() -> (Duration, Duration, u64, Duration, &'static str) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use tdb_core::FaultClass;
+    let (mgr, slots) = e16_fleet(2);
+    let victim = slots[0].0;
+    let (src, _) = mgr.locate(victim).expect("locate victim");
+    let dst = tdb::ShardId(1 - src.0);
+    let stop = AtomicBool::new(false);
+    let busy = AtomicU64::new(0);
+    let latencies = std::sync::Mutex::new(Vec::new());
+    let mut outcome = "Pending";
+    let mut migration = Duration::ZERO;
+    let mgr = &mgr;
+    std::thread::scope(|s| {
+        for (t, &(logical, rank)) in slots.iter().take(4).enumerate() {
+            let (stop, busy, latencies) = (&stop, &busy, &latencies);
+            s.spawn(move || {
+                let mut mine = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let start = Instant::now();
+                    match mgr.commit(
+                        logical,
+                        vec![tdb::ShardOp::Write {
+                            rank,
+                            bytes: bytes(t as u64, E16_CHUNK_BYTES),
+                        }],
+                    ) {
+                        Ok(()) => mine.push(start.elapsed()),
+                        Err(e) if e.fault_class() == FaultClass::Transient => {
+                            busy.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                        Err(e) => panic!("commit under migration: {e}"),
+                    }
+                }
+                latencies.lock().expect("latencies").extend(mine);
+            });
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        let result = mgr.migrate(victim, dst).expect("migrate under load");
+        migration = start.elapsed();
+        outcome = match result {
+            tdb::MigrationOutcome::Completed => "Completed",
+            tdb::MigrationOutcome::RolledBack => "RolledBack",
+            tdb::MigrationOutcome::Pending => "Pending",
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let mut sorted = latencies.into_inner().expect("latencies");
+    sorted.sort();
+    let p50 = e15_percentile(&sorted, 0.50);
+    let p99 = e15_percentile(&sorted, 0.99);
+    mgr.close().expect("close fleet");
+    (p50, p99, busy.load(Ordering::Relaxed), migration, outcome)
+}
+
+/// Measures aggregate commit throughput at 1/2/4 shards (8 committer
+/// threads round-robined over the fleet by least-loaded placement) and
+/// commit latency during an online partition migration, recording
+/// everything in `BENCH_shard_scaling.json`.
+pub fn e16_shard_scaling() {
+    println!("== E16: shard scaling ==");
+    println!(
+        "workload: {E16_THREADS} threads, per-thread single-chunk commits of \
+         {E16_CHUNK_BYTES} B, flush-dominated simulated disk per shard"
+    );
+    let window = Duration::from_millis(300);
+    let mut rates = Vec::new();
+    for shards in E16_FLEETS {
+        let (mgr, slots) = e16_fleet(shards);
+        let rate = e16_throughput(&mgr, &slots, window);
+        println!("  {shards} shard(s): {rate:>7.0} commits/s");
+        mgr.close().expect("close fleet");
+        rates.push(rate);
+    }
+    let speedup = rates[2] / rates[0];
+    println!("  4-shard/1-shard aggregate: {speedup:.2}x");
+    let (p50, p99, busy, migration, outcome) = e16_migration_under_load();
+    println!(
+        "  migration under load: commit p50 {:.0} us, p99 {:.0} us, \
+         {busy} transient-busy retries, migration {:.0} ms ({outcome})",
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6,
+        migration.as_secs_f64() * 1e3,
+    );
+    let rows = E16_FLEETS
+        .iter()
+        .zip(&rates)
+        .map(|(s, r)| format!("\"{s}\": {r:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"experiment\": \"shard_scaling\",\n  \"threads\": {},\n  \
+         \"chunk_bytes\": {},\n  \"window_ms\": {},\n  \
+         \"commits_per_sec\": {{ {} }},\n  \"speedup_4_shards\": {:.2},\n  \
+         \"migration_under_load\": {{\n    \"writer_threads\": 4,\n    \
+         \"commit_p50_us\": {:.0},\n    \"commit_p99_us\": {:.0},\n    \
+         \"busy_retries\": {},\n    \"migration_ms\": {:.0},\n    \
+         \"outcome\": \"{}\"\n  }}\n}}\n",
+        E16_THREADS,
+        E16_CHUNK_BYTES,
+        window.as_millis(),
+        rows,
+        speedup,
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6,
+        busy,
+        migration.as_secs_f64() * 1e3,
+        outcome
+    );
+    let path = "BENCH_shard_scaling.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}

@@ -67,6 +67,10 @@ pub enum TamperKind {
     NoValidLeader,
     /// A backup stream failed signature or structure validation (§6.2).
     BadBackup(String),
+    /// The shard manager's routing journal failed signature or sequence
+    /// validation: the record framing was intact (so this is not a torn
+    /// write) but the contents are not what the trusted platform wrote.
+    BadManifest(String),
 }
 
 impl fmt::Display for TamperKind {
@@ -104,6 +108,9 @@ impl fmt::Display for TamperKind {
             }
             TamperKind::NoValidLeader => write!(f, "no valid leader found"),
             TamperKind::BadBackup(msg) => write!(f, "backup validation failed: {msg}"),
+            TamperKind::BadManifest(msg) => {
+                write!(f, "routing journal validation failed: {msg}")
+            }
         }
     }
 }
@@ -157,6 +164,10 @@ pub enum CoreError {
     /// failed closed; it must be reopened (revalidating from the trusted
     /// store) before any further use.
     Poisoned(String),
+    /// The resource is briefly unavailable — e.g. a partition whose writes
+    /// are paused for a migration cutover. Transient by construction: the
+    /// pause lasts one delta-drain, so retrying is the correct response.
+    Busy(String),
 }
 
 /// Coarse classification of a failure, used by retry and degradation policy.
@@ -207,6 +218,7 @@ impl fmt::Display for CoreError {
                 write!(f, "store degraded to read-only: {msg}")
             }
             CoreError::Poisoned(msg) => write!(f, "store poisoned: {msg}"),
+            CoreError::Busy(msg) => write!(f, "resource busy: {msg}"),
         }
     }
 }
@@ -244,6 +256,7 @@ impl CoreError {
         match self {
             CoreError::TamperDetected(_) | CoreError::Poisoned(_) => FaultClass::Integrity,
             CoreError::Store(e) if e.is_transient() => FaultClass::Transient,
+            CoreError::Busy(_) => FaultClass::Transient,
             _ => FaultClass::Permanent,
         }
     }

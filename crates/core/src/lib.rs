@@ -72,6 +72,7 @@ pub mod params;
 mod pipeline;
 mod readpath;
 mod recovery;
+pub mod shard;
 pub mod store;
 pub mod version;
 
@@ -79,6 +80,8 @@ pub use backup::{ApproveAll, BackupSetInfo, BackupSpec, BackupStore, RestorePoli
 pub use errors::{CoreError, FaultClass, Result, TamperKind};
 pub use ids::{ChunkId, PartitionId, Position};
 pub use params::CryptoParams;
+pub use shard::migration::{MigrationOutcome, MigrationState, MigrationStep};
+pub use shard::{LogicalId, ShardId, ShardManager, ShardOp, ShardSpec};
 pub use store::{
     ChunkStore, ChunkStoreConfig, ChunkStoreStats, CommitOp, DiffChange, DiffEntry, StoreHealth,
     TrustedBackend, ValidationMode,

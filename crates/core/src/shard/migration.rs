@@ -1,0 +1,186 @@
+//! Migration state machine types.
+//!
+//! A partition migration moves one logical partition from a source shard to
+//! a destination shard while the rest of the fleet keeps serving. The
+//! manager drives it through an explicit, journaled state machine:
+//!
+//! ```text
+//! Prepared ──► SnapshotShipped ──► DeltaDraining ──► CutOver ──► Completed
+//!     │               │                  │              │
+//!     └───────────────┴──────────────────┘              └─► (resume: finish
+//!                     │                                      cleanup, then
+//!                     ▼                                      Completed)
+//!                RolledBack
+//! ```
+//!
+//! Every arrow is crossed only after the corresponding journal record is
+//! durable, so a crash at any point leaves the journal naming exactly one
+//! consistent continuation: states before `CutOver` roll back (the source
+//! remains the authority and the partially installed copy is discarded);
+//! `CutOver` and later complete (the routing flip is already durable, so
+//! the destination is the authority and only garbage collection remains).
+
+use crate::errors::{CoreError, Result};
+use crate::ids::PartitionId;
+
+use super::{LogicalId, ShardId};
+
+/// The durable states of a partition migration, in journal order.
+///
+/// Only these five states are journaled; the finer-grained progress points
+/// a fault-injection test may want to interrupt at are [`MigrationStep`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MigrationState {
+    /// The migration is journaled: source, destination, and the
+    /// destination partition id are fixed. Nothing has shipped yet.
+    Prepared,
+    /// The full snapshot backup reached the transfer archive.
+    SnapshotShipped,
+    /// Writes to the logical partition are paused while the write delta
+    /// (snapshot → pause point) ships and installs.
+    DeltaDraining,
+    /// The routing flip is durable: the destination copy is the authority.
+    /// Only source-side garbage collection remains.
+    CutOver,
+    /// Terminal: the migration finished and its garbage was collected (or
+    /// collection was abandoned on an unreachable source shard).
+    Completed,
+    /// Terminal: the migration was abandoned before `CutOver`; the source
+    /// is untouched and the partial destination copy was discarded.
+    RolledBack,
+}
+
+impl MigrationState {
+    /// True for `Completed` and `RolledBack`.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, MigrationState::Completed | MigrationState::RolledBack)
+    }
+
+    pub(crate) fn encode(self) -> u8 {
+        match self {
+            MigrationState::Prepared => 0,
+            MigrationState::SnapshotShipped => 1,
+            MigrationState::DeltaDraining => 2,
+            MigrationState::CutOver => 3,
+            MigrationState::Completed => 4,
+            MigrationState::RolledBack => 5,
+        }
+    }
+
+    pub(crate) fn decode(v: u8) -> Result<MigrationState> {
+        Ok(match v {
+            0 => MigrationState::Prepared,
+            1 => MigrationState::SnapshotShipped,
+            2 => MigrationState::DeltaDraining,
+            3 => MigrationState::CutOver,
+            4 => MigrationState::Completed,
+            5 => MigrationState::RolledBack,
+            other => {
+                return Err(CoreError::Corrupt(format!(
+                    "unknown migration state code {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for MigrationState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MigrationState::Prepared => "Prepared",
+            MigrationState::SnapshotShipped => "SnapshotShipped",
+            MigrationState::DeltaDraining => "DeltaDraining",
+            MigrationState::CutOver => "CutOver",
+            MigrationState::Completed => "Completed",
+            MigrationState::RolledBack => "RolledBack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fine-grained progress points inside a running migration, in execution
+/// order. A [`MigrationObserver`] sees each one and may inject a failure
+/// there — the torture suite's handle for killing a migration at every
+/// step without reaching into the manager's internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MigrationStep {
+    /// `Prepared` is journaled.
+    Prepared,
+    /// The copy-on-write snapshot commit succeeded on the source.
+    SnapshotTaken,
+    /// The full backup reached the transfer archive (`SnapshotShipped`
+    /// journaled).
+    SnapshotShipped,
+    /// The full backup restored into the destination partition.
+    Restored,
+    /// Writes paused; `DeltaDraining` journaled.
+    DeltaDraining,
+    /// The delta backup reached the transfer archive.
+    DeltaShipped,
+    /// The delta applied on the destination.
+    DeltaApplied,
+    /// `CutOver` journaled and routing flipped.
+    CutOver,
+    /// `Completed` journaled after garbage collection.
+    Completed,
+}
+
+/// A hook called at every [`MigrationStep`] of a running migration.
+///
+/// Returning `Err(msg)` makes the migration fail at that step. If `msg`
+/// starts with `"crash"`, the manager performs *no* inline recovery —
+/// simulating the process dying at that instant — and the journaled state
+/// is left for [`super::ShardManager::resume_migrations`] (or a reopen) to
+/// pick up. Any other message aborts the step but lets the manager run its
+/// normal inline recovery (rollback before `CutOver`, completion after).
+pub type MigrationObserver =
+    dyn Fn(u64, MigrationStep) -> std::result::Result<(), String> + Send + Sync;
+
+/// How a migration (or a resume of one) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// The destination is the authority; the source copy is gone (or
+    /// abandoned on an unreachable shard).
+    Completed,
+    /// The source is the authority; the destination copy is gone.
+    RolledBack,
+    /// Recovery could not finish — typically because a shard needed for
+    /// cleanup is unavailable. The journaled state is unchanged and a
+    /// later [`super::ShardManager::resume_migrations`] will retry.
+    Pending,
+}
+
+/// The manager's in-memory record of one migration, reconstructed from the
+/// journal on open.
+#[derive(Debug, Clone)]
+pub struct MigrationRecord {
+    /// Journal-assigned migration id.
+    pub mid: u64,
+    /// The logical partition being moved.
+    pub logical: LogicalId,
+    /// Source shard.
+    pub src_shard: ShardId,
+    /// The partition id on the source shard.
+    pub src_pid: PartitionId,
+    /// Destination shard.
+    pub dst_shard: ShardId,
+    /// The partition id reserved on the destination shard.
+    pub dst_pid: PartitionId,
+    /// True for a degraded-source evacuation: the source is read-only, so
+    /// the stream reads the partition directly and there is no delta.
+    pub frozen: bool,
+    /// Copy-on-write snapshots taken on the source (garbage to collect).
+    pub snaps: Vec<PartitionId>,
+    /// Last journaled state.
+    pub state: MigrationState,
+}
+
+impl MigrationRecord {
+    /// Names of this migration's objects in the transfer archive.
+    pub(crate) fn transfer_names(&self) -> [String; 2] {
+        [
+            format!("mig-{}-full", self.mid),
+            format!("mig-{}-delta", self.mid),
+        ]
+    }
+}

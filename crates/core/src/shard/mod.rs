@@ -1,0 +1,1081 @@
+//! The shard manager: N independent chunk stores as isolated fault
+//! domains, with crash-safe online partition migration between them.
+//!
+//! The paper's store is a single fault domain — one poisoned
+//! [`ChunkStore`] takes the whole database down. The manager scales that
+//! out: each shard is a complete, independent store (its own trusted
+//! counter, log, read path, and maintenance thread, all sharing one
+//! platform secret), and callers address *logical* partitions
+//! ([`LogicalId`]) that the manager routes to a `(shard, partition)` pair.
+//! A shard entering `Degraded` or `Poisoned` (the PR-1 health machine)
+//! flips only its partitions to read-only or unavailable; every other
+//! shard keeps serving.
+//!
+//! Routing lives in a durable, tamper-evident [`journal::Journal`]; the
+//! in-memory table is replayed from it on open. Partition migration — the
+//! mechanism behind both load movement and degraded-shard evacuation — is
+//! an explicit journaled state machine (see [`migration`]) built on the
+//! backup store's validated snapshot streams: every shipped chunk is
+//! decrypted and signature-verified on ingest, so a tampered or truncated
+//! transfer is detected, never installed.
+
+pub mod journal;
+pub mod migration;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use tdb_crypto::SecretKey;
+use tdb_storage::{ArchivalStore, SharedUntrusted};
+
+use crate::backup::{ApproveAll, BackupSpec, BackupStore};
+use crate::errors::{CoreError, Result};
+use crate::ids::{ChunkId, PartitionId};
+use crate::metrics::{self, counters};
+use crate::params::CryptoParams;
+use crate::store::{
+    ChunkStore, ChunkStoreConfig, ChunkStoreStats, CommitOp, StoreHealth, TrustedBackend,
+};
+
+use journal::{Journal, JournalRecord};
+use migration::{
+    MigrationObserver, MigrationOutcome, MigrationRecord, MigrationState, MigrationStep,
+};
+
+/// Identifies one shard (one independent chunk store) in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// A logical partition id, stable across migrations. Callers hold these;
+/// the manager maps them to whatever `(shard, partition)` currently backs
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalId(pub u64);
+
+impl std::fmt::Display for LogicalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Everything needed to create or open one shard's store.
+pub struct ShardSpec {
+    /// The shard's untrusted store.
+    pub untrusted: SharedUntrusted,
+    /// The shard's own trusted counter or register.
+    pub trusted: TrustedBackend,
+    /// Store configuration. All shards must agree on the system cipher
+    /// and hash (one trusted platform signs for the whole fleet).
+    pub config: ChunkStoreConfig,
+}
+
+/// A mutation routed to a logical partition.
+#[derive(Debug, Clone)]
+pub enum ShardOp {
+    /// Set the chunk at `rank` to `bytes`.
+    Write {
+        /// Chunk rank within the logical partition.
+        rank: u64,
+        /// New chunk contents.
+        bytes: Vec<u8>,
+    },
+    /// Deallocate the chunk at `rank`.
+    Dealloc {
+        /// Chunk rank within the logical partition.
+        rank: u64,
+    },
+}
+
+/// One shard slot: an open store, or the reason it could not open. A
+/// failed open does not fail the manager — that is the whole point of
+/// fault isolation — it just makes that shard's partitions unavailable.
+enum ShardSlot {
+    Open {
+        store: Arc<ChunkStore>,
+        backups: BackupStore,
+    },
+    Failed(String),
+}
+
+/// Where a logical partition currently lives. Writers hold the read lock
+/// across their shard commit; a migration cutover takes the write lock to
+/// pause new writes (draining in-flight ones) and later to flip the route.
+struct RouteCell {
+    route: RwLock<Route>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    shard: ShardId,
+    pid: PartitionId,
+    /// True while a migration drains the write delta: commits return
+    /// [`CoreError::Busy`] (transient — retry after the cutover).
+    paused: bool,
+}
+
+/// In-memory routing and migration state, replayed from the journal.
+struct ManagerState {
+    routes: BTreeMap<u64, Arc<RouteCell>>,
+    next_logical: u64,
+    migrations: BTreeMap<u64, MigrationRecord>,
+    next_migration: u64,
+    /// Last observed health per shard, for transition counting.
+    last_health: Vec<StoreHealth>,
+}
+
+/// The shard manager. See the [module docs](self) for the architecture.
+pub struct ShardManager {
+    shards: Vec<ShardSlot>,
+    journal: Mutex<Journal>,
+    state: Mutex<ManagerState>,
+    /// Serializes migrations (one at a time keeps the journal's state
+    /// machine linear; migrations are rare, bulk operations).
+    migration_gate: Mutex<()>,
+    observer: Mutex<Option<Arc<MigrationObserver>>>,
+    transfer: Arc<dyn ArchivalStore>,
+}
+
+impl ShardManager {
+    /// Formats a fresh fleet: every shard store is created, and the
+    /// journal (which must be empty) is initialized.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any shard store cannot be created, configs disagree on
+    /// the system cipher/hash, or the journal is not empty.
+    pub fn create(
+        specs: Vec<ShardSpec>,
+        journal_store: SharedUntrusted,
+        transfer: Arc<dyn ArchivalStore>,
+        secret: SecretKey,
+    ) -> Result<ShardManager> {
+        check_specs(&specs)?;
+        let journal_crypto = journal_params(&specs[0].config, &secret).runtime()?;
+        let (journal, records) = Journal::open(journal_store, journal_crypto)?;
+        if !records.is_empty() {
+            return Err(CoreError::Corrupt(
+                "journal not empty when creating a fresh shard fleet".into(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let store = Arc::new(ChunkStore::create(
+                spec.untrusted,
+                spec.trusted,
+                secret.clone(),
+                spec.config,
+            )?);
+            let backups = BackupStore::new(Arc::clone(&store), Arc::clone(&transfer));
+            shards.push(ShardSlot::Open { store, backups });
+        }
+        let shard_count = shards.len();
+        Ok(ShardManager {
+            shards,
+            journal: Mutex::new(journal),
+            state: Mutex::new(ManagerState {
+                routes: BTreeMap::new(),
+                next_logical: 0,
+                migrations: BTreeMap::new(),
+                next_migration: 0,
+                last_health: vec![StoreHealth::Live; shard_count],
+            }),
+            migration_gate: Mutex::new(()),
+            observer: Mutex::new(None),
+            transfer,
+        })
+    }
+
+    /// Opens an existing fleet: each shard store runs crash recovery
+    /// independently — a shard that fails to open becomes an unavailable
+    /// fault domain, not a failed fleet — the journal is replayed into the
+    /// routing table, and interrupted migrations are resumed or rolled
+    /// back.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on journal errors (storage or tamper detection): the
+    /// journal is the root of routing trust, so it has no degraded mode.
+    pub fn open(
+        specs: Vec<ShardSpec>,
+        journal_store: SharedUntrusted,
+        transfer: Arc<dyn ArchivalStore>,
+        secret: SecretKey,
+    ) -> Result<ShardManager> {
+        check_specs(&specs)?;
+        let journal_crypto = journal_params(&specs[0].config, &secret).runtime()?;
+        let (journal, records) = Journal::open(journal_store, journal_crypto)?;
+        let mut shards = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            match ChunkStore::open(spec.untrusted, spec.trusted, secret.clone(), spec.config) {
+                Ok(store) => {
+                    let store = Arc::new(store);
+                    let backups = BackupStore::new(Arc::clone(&store), Arc::clone(&transfer));
+                    shards.push(ShardSlot::Open { store, backups });
+                }
+                Err(e) => {
+                    metrics::count_labeled(counters::SHARD_POISONED, i as u64);
+                    shards.push(ShardSlot::Failed(e.to_string()));
+                }
+            }
+        }
+        let mut state = ManagerState {
+            routes: BTreeMap::new(),
+            next_logical: 0,
+            migrations: BTreeMap::new(),
+            next_migration: 0,
+            last_health: shards
+                .iter()
+                .map(|s| match s {
+                    ShardSlot::Open { store, .. } => store.health(),
+                    ShardSlot::Failed(reason) => StoreHealth::Poisoned {
+                        reason: reason.clone(),
+                    },
+                })
+                .collect(),
+        };
+        replay(&mut state, &records)?;
+        let manager = ShardManager {
+            shards,
+            journal: Mutex::new(journal),
+            state: Mutex::new(state),
+            migration_gate: Mutex::new(()),
+            observer: Mutex::new(None),
+            transfer,
+        };
+        // Crash-safety: every non-terminal migration resumes (post-cutover)
+        // or rolls back (pre-cutover) right now; unreachable shards leave
+        // it Pending for a later resume_migrations().
+        manager.resume_migrations();
+        Ok(manager)
+    }
+
+    /// Installs (or clears) the migration fault-injection observer.
+    pub fn set_migration_observer(&self, observer: Option<Arc<MigrationObserver>>) {
+        *self.observer.lock() = observer;
+    }
+
+    /// Number of shard slots (including failed ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard's store, for tests and tooling.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the shard is out of range or failed to open.
+    pub fn shard_store(&self, shard: ShardId) -> Result<Arc<ChunkStore>> {
+        self.store(shard).cloned()
+    }
+
+    /// Creates a new logical partition, placed on the live shard with the
+    /// fewest partitions.
+    ///
+    /// Ordering is commit-then-journal: the partition is first created on
+    /// the shard, then the route is journaled. A crash between the two
+    /// leaves an unrouted (and therefore harmless, reclaimable) partition
+    /// on the shard — never a route pointing at nothing.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no live shard exists, or on shard/journal errors.
+    pub fn create_partition(&self, params: CryptoParams) -> Result<LogicalId> {
+        let shard = self.pick_live_shard(None)?;
+        let store = self.store(shard)?;
+        let pid = store.allocate_partition()?;
+        store.commit(vec![CommitOp::CreatePartition { id: pid, params }])?;
+        self.note_shard_health(shard);
+        let mut state = self.state.lock();
+        let logical = LogicalId(state.next_logical);
+        self.journal.lock().append(&JournalRecord::Assign {
+            logical,
+            shard,
+            pid,
+        })?;
+        state.next_logical += 1;
+        state.routes.insert(
+            logical.0,
+            Arc::new(RouteCell {
+                route: RwLock::new(Route {
+                    shard,
+                    pid,
+                    paused: false,
+                }),
+            }),
+        );
+        Ok(logical)
+    }
+
+    /// Allocates a chunk rank in the logical partition (§4.1 `Allocate`;
+    /// like the underlying store's, the allocation is session-only and
+    /// becomes persistent when written).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown logicals or if the owning shard is not live.
+    pub fn allocate_chunk(&self, logical: LogicalId) -> Result<u64> {
+        let cell = self.cell(logical)?;
+        let guard = cell.route.read();
+        let store = self.store(guard.shard)?;
+        let id = store.allocate_chunk(guard.pid)?;
+        Ok(id.pos.rank)
+    }
+
+    /// Atomically applies `ops` to the logical partition on whatever shard
+    /// currently backs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Busy`] (transient — retry) while a migration
+    /// cutover is draining this partition's writes; otherwise propagates
+    /// shard errors (`DegradedMode`/`Poisoned` when the owning shard is
+    /// down, which is the fault-isolation contract: only this shard's
+    /// partitions are affected).
+    pub fn commit(&self, logical: LogicalId, ops: Vec<ShardOp>) -> Result<()> {
+        let cell = self.cell(logical)?;
+        let guard = cell.route.read();
+        if guard.paused {
+            return Err(CoreError::Busy(format!(
+                "{logical} is cutting over to another shard"
+            )));
+        }
+        let (shard, pid) = (guard.shard, guard.pid);
+        let store = self.store(shard)?;
+        let ops = ops
+            .into_iter()
+            .map(|op| match op {
+                ShardOp::Write { rank, bytes } => CommitOp::WriteChunk {
+                    id: ChunkId::data(pid, rank),
+                    bytes,
+                },
+                ShardOp::Dealloc { rank } => CommitOp::DeallocChunk {
+                    id: ChunkId::data(pid, rank),
+                },
+            })
+            .collect();
+        let result = store.commit(ops);
+        drop(guard);
+        self.note_shard_health(shard);
+        result
+    }
+
+    /// Reads one validated chunk of the logical partition. Reads are
+    /// served even while a migration is draining (the source stays
+    /// readable until cutover) and on Degraded shards (read-only is
+    /// exactly what Degraded means).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown logicals, unwritten chunks, or shard errors.
+    pub fn read(&self, logical: LogicalId, rank: u64) -> Result<Vec<u8>> {
+        let cell = self.cell(logical)?;
+        let guard = cell.route.read();
+        let store = self.store(guard.shard)?;
+        store.read(ChunkId::data(guard.pid, rank))
+    }
+
+    /// Deallocates a logical partition and removes its route.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown logicals, a paused route ([`CoreError::Busy`]), or
+    /// shard/journal errors.
+    pub fn dealloc_partition(&self, logical: LogicalId) -> Result<()> {
+        let cell = self.cell(logical)?;
+        let guard = cell.route.read();
+        if guard.paused {
+            return Err(CoreError::Busy(format!("{logical} is cutting over")));
+        }
+        let (shard, pid) = (guard.shard, guard.pid);
+        let store = self.store(shard)?;
+        store.commit(vec![CommitOp::DeallocPartition { id: pid }])?;
+        drop(guard);
+        self.note_shard_health(shard);
+        let mut state = self.state.lock();
+        self.journal
+            .lock()
+            .append(&JournalRecord::Remove { logical })?;
+        state.routes.remove(&logical.0);
+        Ok(())
+    }
+
+    /// Current health of every shard slot (failed slots report
+    /// `Poisoned`). Polling this also drives the shard-level health
+    /// transition counters.
+    pub fn health_all(&self) -> Vec<(ShardId, StoreHealth)> {
+        (0..self.shards.len() as u32)
+            .map(|i| {
+                let shard = ShardId(i);
+                self.note_shard_health(shard);
+                (shard, self.health_of(shard))
+            })
+            .collect()
+    }
+
+    /// Attempts to heal one degraded shard back to live service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's [`ChunkStore::try_heal`] errors.
+    pub fn try_heal(&self, shard: ShardId) -> Result<()> {
+        let result = self.store(shard)?.try_heal();
+        self.note_shard_health(shard);
+        result
+    }
+
+    /// Per-shard store stats (`None` for failed slots).
+    pub fn shard_stats(&self) -> Vec<(ShardId, Option<ChunkStoreStats>)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let stats = match slot {
+                    ShardSlot::Open { store, .. } => Some(store.stats()),
+                    ShardSlot::Failed(_) => None,
+                };
+                (ShardId(i as u32), stats)
+            })
+            .collect()
+    }
+
+    /// The logical partitions currently routed to `shard`.
+    pub fn logicals_on(&self, shard: ShardId) -> Vec<LogicalId> {
+        let state = self.state.lock();
+        state
+            .routes
+            .iter()
+            .filter(|(_, cell)| cell.route.read().shard == shard)
+            .map(|(l, _)| LogicalId(*l))
+            .collect()
+    }
+
+    /// The `(shard, partition)` pair currently backing a logical
+    /// partition.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown logicals.
+    pub fn locate(&self, logical: LogicalId) -> Result<(ShardId, PartitionId)> {
+        let cell = self.cell(logical)?;
+        let guard = cell.route.read();
+        Ok((guard.shard, guard.pid))
+    }
+
+    /// Migrates a logical partition to `dst` through the journaled state
+    /// machine (see [`migration`]). One migration runs at a time.
+    ///
+    /// A live source drains its write delta under a brief pause; a
+    /// Degraded source is evacuated frozen (it is read-only, so there is
+    /// no delta). On an inline failure before cutover the migration is
+    /// rolled back immediately (best-effort — an unreachable shard leaves
+    /// it for [`ShardManager::resume_migrations`]); after cutover it is
+    /// completed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown logicals, a non-live destination, a poisoned
+    /// source, or shard/journal errors during the transfer.
+    pub fn migrate(&self, logical: LogicalId, dst: ShardId) -> Result<MigrationOutcome> {
+        let _gate = self.migration_gate.lock();
+        let cell = self.cell(logical)?;
+        let (src_shard, src_pid) = {
+            let guard = cell.route.read();
+            if guard.paused {
+                return Err(CoreError::Busy(format!("{logical} is already migrating")));
+            }
+            (guard.shard, guard.pid)
+        };
+        if src_shard == dst {
+            return Ok(MigrationOutcome::Completed);
+        }
+        let dst_store = self.store(dst)?;
+        if dst_store.health() != StoreHealth::Live {
+            return Err(CoreError::DegradedMode(format!(
+                "destination {dst} is not live"
+            )));
+        }
+        let frozen = match self.health_of(src_shard) {
+            StoreHealth::Live => false,
+            StoreHealth::Degraded { .. } => true,
+            StoreHealth::Poisoned { reason } => {
+                return Err(CoreError::Poisoned(format!(
+                    "source {src_shard} is poisoned: {reason}"
+                )))
+            }
+        };
+        let dst_pid = dst_store.allocate_partition()?;
+        let mid = {
+            let mut state = self.state.lock();
+            let mid = state.next_migration;
+            self.journal.lock().append(&JournalRecord::MigBegin {
+                mid,
+                logical,
+                src_shard,
+                src_pid,
+                dst_shard: dst,
+                dst_pid,
+                frozen,
+            })?;
+            state.next_migration += 1;
+            state.migrations.insert(
+                mid,
+                MigrationRecord {
+                    mid,
+                    logical,
+                    src_shard,
+                    src_pid,
+                    dst_shard: dst,
+                    dst_pid,
+                    frozen,
+                    snaps: Vec::new(),
+                    state: MigrationState::Prepared,
+                },
+            );
+            mid
+        };
+        metrics::count_labeled(counters::MIGRATIONS_STARTED, u64::from(src_shard.0));
+        let observer = self.observer.lock().clone();
+        let result = self.drive_migration(mid, &cell, observer.as_deref());
+        match result {
+            Ok(outcome) => Ok(outcome),
+            Err(e) => {
+                // A "crash…" observer message simulates process death: no
+                // inline recovery, the journal speaks for us on resume.
+                let simulated_crash = matches!(
+                    &e,
+                    CoreError::Store(tdb_storage::StoreError::Io(io))
+                        if io.to_string().starts_with("crash")
+                );
+                if !simulated_crash {
+                    self.recover_migration(mid);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Resumes or rolls back every non-terminal migration. Called
+    /// automatically by [`ShardManager::open`]; call it again to retry
+    /// migrations left `Pending` by unreachable shards.
+    pub fn resume_migrations(&self) -> Vec<(u64, MigrationOutcome)> {
+        let _gate = self.migration_gate.lock();
+        let pending: Vec<u64> = {
+            let state = self.state.lock();
+            state
+                .migrations
+                .iter()
+                .filter(|(_, r)| !r.state.is_terminal())
+                .map(|(mid, _)| *mid)
+                .collect()
+        };
+        pending
+            .into_iter()
+            .map(|mid| {
+                metrics::count_labeled(counters::MIGRATIONS_RESUMED, {
+                    let state = self.state.lock();
+                    u64::from(state.migrations[&mid].src_shard.0)
+                });
+                (mid, self.recover_migration(mid))
+            })
+            .collect()
+    }
+
+    /// Evacuates every logical partition off `shard` (typically because it
+    /// is Degraded), migrating each to the least-loaded live shard.
+    /// Individual failures leave that partition `Pending`/in place and the
+    /// evacuation continues — convergence comes from calling this (and
+    /// [`ShardManager::resume_migrations`]) again.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when no live destination shard exists at all.
+    pub fn evacuate(&self, shard: ShardId) -> Result<Vec<(LogicalId, MigrationOutcome)>> {
+        // Fail fast when there is nowhere to go.
+        self.pick_live_shard(Some(shard))?;
+        let logicals = self.logicals_on(shard);
+        let mut out = Vec::with_capacity(logicals.len());
+        for logical in logicals {
+            let outcome = match self.pick_live_shard(Some(shard)) {
+                Ok(dst) => self
+                    .migrate(logical, dst)
+                    .unwrap_or(MigrationOutcome::Pending),
+                Err(_) => MigrationOutcome::Pending,
+            };
+            out.push((logical, outcome));
+        }
+        Ok(out)
+    }
+
+    /// The migration records (for tests and tooling).
+    pub fn migrations(&self) -> Vec<MigrationRecord> {
+        self.state.lock().migrations.values().cloned().collect()
+    }
+
+    /// Checkpoints and flushes every live shard; best-effort on the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard error encountered (after attempting all).
+    pub fn close(&self) -> Result<()> {
+        let mut first_err = None;
+        for slot in &self.shards {
+            if let ShardSlot::Open { store, .. } = slot {
+                if store.health() == StoreHealth::Live {
+                    if let Err(e) = store.close() {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    // ---- internals ----
+
+    fn cell(&self, logical: LogicalId) -> Result<Arc<RouteCell>> {
+        self.state
+            .lock()
+            .routes
+            .get(&logical.0)
+            .cloned()
+            .ok_or_else(|| CoreError::Corrupt(format!("unknown logical partition {logical}")))
+    }
+
+    fn store(&self, shard: ShardId) -> Result<&Arc<ChunkStore>> {
+        match self.shards.get(shard.0 as usize) {
+            Some(ShardSlot::Open { store, .. }) => Ok(store),
+            Some(ShardSlot::Failed(reason)) => Err(CoreError::Poisoned(format!(
+                "{shard} failed to open: {reason}"
+            ))),
+            None => Err(CoreError::Corrupt(format!("no such shard: {shard}"))),
+        }
+    }
+
+    fn backups(&self, shard: ShardId) -> Result<&BackupStore> {
+        match self.shards.get(shard.0 as usize) {
+            Some(ShardSlot::Open { backups, .. }) => Ok(backups),
+            Some(ShardSlot::Failed(reason)) => Err(CoreError::Poisoned(format!(
+                "{shard} failed to open: {reason}"
+            ))),
+            None => Err(CoreError::Corrupt(format!("no such shard: {shard}"))),
+        }
+    }
+
+    fn health_of(&self, shard: ShardId) -> StoreHealth {
+        match self.shards.get(shard.0 as usize) {
+            Some(ShardSlot::Open { store, .. }) => store.health(),
+            Some(ShardSlot::Failed(reason)) => StoreHealth::Poisoned {
+                reason: reason.clone(),
+            },
+            None => StoreHealth::Poisoned {
+                reason: "no such shard".into(),
+            },
+        }
+    }
+
+    /// Records health transitions in the per-shard labelled counters.
+    fn note_shard_health(&self, shard: ShardId) {
+        let now = self.health_of(shard);
+        let mut state = self.state.lock();
+        let Some(prev) = state.last_health.get(shard.0 as usize) else {
+            return;
+        };
+        let label = u64::from(shard.0);
+        match (prev, &now) {
+            (StoreHealth::Live, StoreHealth::Degraded { .. }) => {
+                metrics::count_labeled(counters::SHARD_DEGRADED, label);
+            }
+            (StoreHealth::Live | StoreHealth::Degraded { .. }, StoreHealth::Poisoned { .. }) => {
+                metrics::count_labeled(counters::SHARD_POISONED, label);
+            }
+            (StoreHealth::Degraded { .. }, StoreHealth::Live) => {
+                metrics::count_labeled(counters::SHARD_HEALED, label);
+            }
+            _ => {}
+        }
+        state.last_health[shard.0 as usize] = now;
+    }
+
+    /// The live shard with the fewest routed partitions, excluding
+    /// `not_this`.
+    fn pick_live_shard(&self, not_this: Option<ShardId>) -> Result<ShardId> {
+        let mut loads: Vec<usize> = vec![0; self.shards.len()];
+        {
+            let state = self.state.lock();
+            for cell in state.routes.values() {
+                let s = cell.route.read().shard.0 as usize;
+                if s < loads.len() {
+                    loads[s] += 1;
+                }
+            }
+        }
+        let mut best: Option<(usize, ShardId)> = None;
+        for (i, &load) in loads.iter().enumerate() {
+            let shard = ShardId(i as u32);
+            if Some(shard) == not_this {
+                continue;
+            }
+            if self.health_of(shard) != StoreHealth::Live {
+                continue;
+            }
+            if best.map(|(best_load, _)| load < best_load).unwrap_or(true) {
+                best = Some((load, shard));
+            }
+        }
+        best.map(|(_, s)| s)
+            .ok_or_else(|| CoreError::DegradedMode("no live shard available for placement".into()))
+    }
+
+    fn journal_state(&self, mid: u64, to: MigrationState) -> Result<()> {
+        self.journal
+            .lock()
+            .append(&JournalRecord::MigState { mid, state: to })?;
+        if let Some(rec) = self.state.lock().migrations.get_mut(&mid) {
+            rec.state = to;
+        }
+        Ok(())
+    }
+
+    fn observe(observer: Option<&MigrationObserver>, mid: u64, step: MigrationStep) -> Result<()> {
+        if let Some(obs) = observer {
+            obs(mid, step).map_err(|msg| {
+                CoreError::Store(tdb_storage::StoreError::Io(std::io::Error::other(msg)))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Drives a freshly journaled migration from `Prepared` to
+    /// `Completed`. Any error propagates to [`ShardManager::migrate`],
+    /// which runs inline recovery.
+    fn drive_migration(
+        &self,
+        mid: u64,
+        cell: &RouteCell,
+        observer: Option<&MigrationObserver>,
+    ) -> Result<MigrationOutcome> {
+        let rec = self.state.lock().migrations[&mid].clone();
+        let src = self.store(rec.src_shard)?.clone();
+        let src_backups = self.backups(rec.src_shard)?;
+        let dst_backups = self.backups(rec.dst_shard)?;
+        let [full_name, delta_name] = rec.transfer_names();
+
+        Self::observe(observer, mid, MigrationStep::Prepared)?;
+
+        if rec.frozen {
+            // The source is read-only: pause route writes anyway (in case
+            // the shard heals mid-migration) and stream it directly.
+            cell.route.write().paused = true;
+            src_backups.backup_frozen(rec.src_pid, &full_name)?;
+            self.journal_state(mid, MigrationState::SnapshotShipped)?;
+            Self::observe(observer, mid, MigrationStep::SnapshotShipped)?;
+            dst_backups.restore_as(&[&full_name], &ApproveAll, rec.dst_pid)?;
+            Self::observe(observer, mid, MigrationStep::Restored)?;
+            // No delta exists, but the state machine stays uniform so
+            // recovery has one shape.
+            self.journal_state(mid, MigrationState::DeltaDraining)?;
+            Self::observe(observer, mid, MigrationStep::DeltaDraining)?;
+        } else {
+            // 1. Consistent copy-on-write snapshot of the source.
+            let snap = src.allocate_partition()?;
+            src.commit(vec![CommitOp::CopyPartition {
+                dst: snap,
+                src: rec.src_pid,
+            }])?;
+            self.journal
+                .lock()
+                .append(&JournalRecord::MigSnap { mid, snap })?;
+            if let Some(r) = self.state.lock().migrations.get_mut(&mid) {
+                r.snaps.push(snap);
+            }
+            Self::observe(observer, mid, MigrationStep::SnapshotTaken)?;
+
+            // 2. Ship the full backup; every chunk is validated on read
+            //    and signature-bound into the stream.
+            src_backups.backup_one(
+                &BackupSpec {
+                    source: rec.src_pid,
+                    base: None,
+                },
+                snap,
+                &full_name,
+            )?;
+            self.journal_state(mid, MigrationState::SnapshotShipped)?;
+            Self::observe(observer, mid, MigrationStep::SnapshotShipped)?;
+
+            // 3. Install on the destination (validates every chunk again
+            //    on ingest — a tampered transfer is detected here, before
+            //    anything is committed).
+            dst_backups.restore_as(&[&full_name], &ApproveAll, rec.dst_pid)?;
+            Self::observe(observer, mid, MigrationStep::Restored)?;
+
+            // 4. Pause new writes; in-flight commits drain as the write
+            //    lock is acquired.
+            cell.route.write().paused = true;
+            self.journal_state(mid, MigrationState::DeltaDraining)?;
+            Self::observe(observer, mid, MigrationStep::DeltaDraining)?;
+
+            // 5. Ship and apply the write delta (snapshot → pause point).
+            let snap2 = src.allocate_partition()?;
+            src.commit(vec![CommitOp::CopyPartition {
+                dst: snap2,
+                src: rec.src_pid,
+            }])?;
+            self.journal
+                .lock()
+                .append(&JournalRecord::MigSnap { mid, snap: snap2 })?;
+            if let Some(r) = self.state.lock().migrations.get_mut(&mid) {
+                r.snaps.push(snap2);
+            }
+            src_backups.backup_one(
+                &BackupSpec {
+                    source: rec.src_pid,
+                    base: Some(snap),
+                },
+                snap2,
+                &delta_name,
+            )?;
+            Self::observe(observer, mid, MigrationStep::DeltaShipped)?;
+            dst_backups.apply_incremental(&delta_name, &ApproveAll, rec.dst_pid)?;
+            Self::observe(observer, mid, MigrationStep::DeltaApplied)?;
+        }
+
+        // 6. Cutover: durable first, then the in-memory flip. From the
+        //    journal append on, the destination is the authority.
+        self.journal_state(mid, MigrationState::CutOver)?;
+        {
+            let mut route = cell.route.write();
+            route.shard = rec.dst_shard;
+            route.pid = rec.dst_pid;
+            route.paused = false;
+        }
+        Self::observe(observer, mid, MigrationStep::CutOver)?;
+
+        // 7. Garbage collection, then Completed.
+        let rec_now = self.state.lock().migrations[&mid].clone();
+        self.cleanup_source(&rec_now);
+        self.journal_state(mid, MigrationState::Completed)?;
+        metrics::count_labeled(counters::MIGRATIONS_COMPLETED, u64::from(rec.src_shard.0));
+        Self::observe(observer, mid, MigrationStep::Completed)?;
+        Ok(MigrationOutcome::Completed)
+    }
+
+    /// Best-effort source-side garbage collection: snapshots, the old
+    /// partition, and the transfer objects. Failures (e.g. a Degraded
+    /// source that cannot commit the deallocs) are tolerated — the space
+    /// is leaked on a failing shard, which reformatting reclaims.
+    fn cleanup_source(&self, rec: &MigrationRecord) {
+        if let Ok(src) = self.store(rec.src_shard) {
+            let mut ops = Vec::new();
+            for &snap in &rec.snaps {
+                if src.partition_exists(snap) {
+                    ops.push(CommitOp::DeallocPartition { id: snap });
+                }
+            }
+            if src.partition_exists(rec.src_pid) {
+                ops.push(CommitOp::DeallocPartition { id: rec.src_pid });
+            }
+            if !ops.is_empty() {
+                let _ = src.commit(ops);
+            }
+        }
+        for name in rec.transfer_names() {
+            let _ = self.transfer.delete(&name);
+        }
+    }
+
+    /// Brings one non-terminal migration to a consistent end: roll back
+    /// before `CutOver`, complete at or after it. Returns `Pending` when a
+    /// shard needed for the *essential* step (discarding the destination
+    /// copy on rollback) or the journal is unavailable.
+    fn recover_migration(&self, mid: u64) -> MigrationOutcome {
+        let Some(rec) = self.state.lock().migrations.get(&mid).cloned() else {
+            return MigrationOutcome::Pending;
+        };
+        match rec.state {
+            MigrationState::Completed => MigrationOutcome::Completed,
+            MigrationState::RolledBack => MigrationOutcome::RolledBack,
+            MigrationState::CutOver => {
+                // The flip is durable: make the in-memory route agree,
+                // collect garbage, and close the record.
+                if let Ok(cell) = self.cell(rec.logical) {
+                    let mut route = cell.route.write();
+                    route.shard = rec.dst_shard;
+                    route.pid = rec.dst_pid;
+                    route.paused = false;
+                }
+                self.cleanup_source(&rec);
+                if self.journal_state(mid, MigrationState::Completed).is_err() {
+                    return MigrationOutcome::Pending;
+                }
+                metrics::count_labeled(counters::MIGRATIONS_COMPLETED, u64::from(rec.src_shard.0));
+                MigrationOutcome::Completed
+            }
+            _ => {
+                // Pre-cutover: the source is the authority. Unpause it and
+                // discard the partial destination copy.
+                if let Ok(cell) = self.cell(rec.logical) {
+                    let mut route = cell.route.write();
+                    route.shard = rec.src_shard;
+                    route.pid = rec.src_pid;
+                    route.paused = false;
+                }
+                // Discarding the destination copy is the essential step: a
+                // future migration must be able to reuse the shard, and no
+                // unrouted replica may linger. An unreachable destination
+                // leaves the migration Pending for a later resume.
+                match self.store(rec.dst_shard) {
+                    Ok(dst) => {
+                        if dst.partition_exists(rec.dst_pid)
+                            && dst
+                                .commit(vec![CommitOp::DeallocPartition { id: rec.dst_pid }])
+                                .is_err()
+                        {
+                            self.note_shard_health(rec.dst_shard);
+                            return MigrationOutcome::Pending;
+                        }
+                    }
+                    Err(_) => return MigrationOutcome::Pending,
+                }
+                // Source-side snapshots and transfer objects are mere
+                // garbage; collect best-effort.
+                if let Ok(src) = self.store(rec.src_shard) {
+                    let ops: Vec<CommitOp> = rec
+                        .snaps
+                        .iter()
+                        .filter(|&&s| src.partition_exists(s))
+                        .map(|&s| CommitOp::DeallocPartition { id: s })
+                        .collect();
+                    if !ops.is_empty() {
+                        let _ = src.commit(ops);
+                    }
+                }
+                for name in rec.transfer_names() {
+                    let _ = self.transfer.delete(&name);
+                }
+                if self.journal_state(mid, MigrationState::RolledBack).is_err() {
+                    return MigrationOutcome::Pending;
+                }
+                metrics::count_labeled(
+                    counters::MIGRATIONS_ROLLED_BACK,
+                    u64::from(rec.src_shard.0),
+                );
+                MigrationOutcome::RolledBack
+            }
+        }
+    }
+}
+
+/// All shards must share the system cipher/hash: the fleet is one trusted
+/// platform with N fault domains, and migration streams are sealed under
+/// the system parameters.
+fn check_specs(specs: &[ShardSpec]) -> Result<()> {
+    let first = specs
+        .first()
+        .ok_or_else(|| CoreError::Corrupt("shard fleet needs at least one shard".into()))?;
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.config.system_cipher != first.config.system_cipher
+            || spec.config.system_hash != first.config.system_hash
+        {
+            return Err(CoreError::Corrupt(format!(
+                "shard {i} disagrees on system cipher/hash"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The journal signs with the same system parameters the shards use.
+fn journal_params(config: &ChunkStoreConfig, secret: &SecretKey) -> CryptoParams {
+    CryptoParams {
+        cipher: config.system_cipher,
+        hash: config.system_hash,
+        key: secret.clone(),
+    }
+}
+
+/// Rebuilds routing and migration state from the journal.
+fn replay(state: &mut ManagerState, records: &[JournalRecord]) -> Result<()> {
+    for rec in records {
+        match rec {
+            JournalRecord::Assign {
+                logical,
+                shard,
+                pid,
+            } => {
+                state.routes.insert(
+                    logical.0,
+                    Arc::new(RouteCell {
+                        route: RwLock::new(Route {
+                            shard: *shard,
+                            pid: *pid,
+                            paused: false,
+                        }),
+                    }),
+                );
+                state.next_logical = state.next_logical.max(logical.0 + 1);
+            }
+            JournalRecord::Remove { logical } => {
+                state.routes.remove(&logical.0);
+            }
+            JournalRecord::MigBegin {
+                mid,
+                logical,
+                src_shard,
+                src_pid,
+                dst_shard,
+                dst_pid,
+                frozen,
+            } => {
+                state.migrations.insert(
+                    *mid,
+                    MigrationRecord {
+                        mid: *mid,
+                        logical: *logical,
+                        src_shard: *src_shard,
+                        src_pid: *src_pid,
+                        dst_shard: *dst_shard,
+                        dst_pid: *dst_pid,
+                        frozen: *frozen,
+                        snaps: Vec::new(),
+                        state: MigrationState::Prepared,
+                    },
+                );
+                state.next_migration = state.next_migration.max(*mid + 1);
+            }
+            JournalRecord::MigSnap { mid, snap } => {
+                let r = state.migrations.get_mut(mid).ok_or_else(|| {
+                    CoreError::Corrupt(format!("journal snapshot for unknown migration {mid}"))
+                })?;
+                r.snaps.push(*snap);
+            }
+            JournalRecord::MigState { mid, state: to } => {
+                let r = state.migrations.get_mut(mid).ok_or_else(|| {
+                    CoreError::Corrupt(format!("journal state for unknown migration {mid}"))
+                })?;
+                r.state = *to;
+                if *to == MigrationState::CutOver {
+                    // The routing flip is durable from this record on.
+                    if let Some(cell) = state.routes.get(&r.logical.0) {
+                        let mut route = cell.route.write();
+                        route.shard = r.dst_shard;
+                        route.pid = r.dst_pid;
+                        route.paused = false;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -119,10 +119,13 @@ impl fmt::Display for StoreError {
 impl StoreError {
     /// True when the operation may succeed if simply retried.
     ///
-    /// Transient by convention: interrupted/timed-out I/O, and injected
-    /// faults whose message starts with `"transient"` (the [`faulty`]
-    /// wrappers use that prefix for faults that model passing conditions
-    /// such as a bus glitch or a briefly unreachable remote store).
+    /// Transient by convention: interrupted/timed-out I/O, dropped network
+    /// connections (a [`remote::RemoteStore`] transport hiccup — the
+    /// connection can be re-established, so `RetryStore` should retry
+    /// rather than surface a Permanent fault), and injected faults whose
+    /// message starts with `"transient"` (the [`faulty`] wrappers use that
+    /// prefix for faults that model passing conditions such as a bus glitch
+    /// or a briefly unreachable remote store).
     pub fn is_transient(&self) -> bool {
         match self {
             StoreError::Io(e) => matches!(
@@ -130,6 +133,10 @@ impl StoreError {
                 std::io::ErrorKind::Interrupted
                     | std::io::ErrorKind::TimedOut
                     | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::NotConnected
+                    | std::io::ErrorKind::BrokenPipe
             ),
             StoreError::InjectedFault(what) => what.starts_with("transient"),
             _ => false,

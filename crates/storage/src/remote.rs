@@ -13,6 +13,7 @@
 //! The `remote_batching` ablation bench quantifies the win.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,13 +22,23 @@ use parking_lot::Mutex;
 use crate::simdisk::SimClock;
 use crate::stats::StoreStats;
 use crate::untrusted::UntrustedStore;
-use crate::Result;
+use crate::{Result, StoreError};
 
 /// A latency wrapper charging one round trip per store operation.
+///
+/// Transport failures can be injected with [`RemoteStore::drop_connections`]:
+/// the next `n` round trips fail with a `ConnectionReset` I/O error, the
+/// canonical "network blinked" fault. Such errors classify as transient
+/// through [`StoreError::is_transient`] (and therefore as
+/// `FaultClass::Transient` through the core crate's `fault_class`), so a
+/// surrounding [`crate::RetryStore`] re-drives the operation instead of
+/// surfacing a permanent failure for a transfer hiccup.
 pub struct RemoteStore {
     inner: Arc<dyn UntrustedStore>,
     round_trip: Duration,
     clock: Arc<SimClock>,
+    /// Round trips remaining that fail with a connection reset.
+    drop_next: AtomicU64,
 }
 
 impl RemoteStore {
@@ -42,23 +53,54 @@ impl RemoteStore {
             inner,
             round_trip,
             clock,
+            drop_next: AtomicU64::new(0),
         }
+    }
+
+    /// Makes the next `n` round trips fail with a `ConnectionReset` error
+    /// (fault-injection hook; the latency is still charged, as a real
+    /// client only learns of the reset after the round trip).
+    pub fn drop_connections(&self, n: u64) {
+        self.drop_next.store(n, Ordering::SeqCst);
+    }
+
+    /// Charges the round trip and injects a pending connection reset.
+    fn round_trip(&self) -> Result<()> {
+        self.clock.charge(self.round_trip);
+        let mut remaining = self.drop_next.load(Ordering::SeqCst);
+        while remaining > 0 {
+            match self.drop_next.compare_exchange(
+                remaining,
+                remaining - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Err(StoreError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "remote store connection reset",
+                    )))
+                }
+                Err(actual) => remaining = actual,
+            }
+        }
+        Ok(())
     }
 }
 
 impl UntrustedStore for RemoteStore {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        self.clock.charge(self.round_trip);
+        self.round_trip()?;
         self.inner.read_at(offset, buf)
     }
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
-        self.clock.charge(self.round_trip);
+        self.round_trip()?;
         self.inner.write_at(offset, data)
     }
 
     fn flush(&self) -> Result<()> {
-        self.clock.charge(self.round_trip);
+        self.round_trip()?;
         self.inner.flush()
     }
 
@@ -67,7 +109,7 @@ impl UntrustedStore for RemoteStore {
     }
 
     fn set_len(&self, len: u64) -> Result<()> {
-        self.clock.charge(self.round_trip);
+        self.round_trip()?;
         self.inner.set_len(len)
     }
 
@@ -242,6 +284,52 @@ mod tests {
         remote.write_at(1, b"y").unwrap();
         remote.flush().unwrap();
         assert_eq!(clock.elapsed(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn transport_faults_classify_as_transient() {
+        let clock = Arc::new(SimClock::new(false));
+        let remote = RemoteStore::new(
+            Arc::new(MemStore::new()),
+            Duration::from_millis(1),
+            Arc::clone(&clock),
+        );
+        remote.drop_connections(1);
+        let err = remote.write_at(0, b"x").unwrap_err();
+        assert!(
+            err.is_transient(),
+            "connection reset must be retryable: {err}"
+        );
+        // The fault is consumed; the retry succeeds.
+        remote.write_at(0, b"x").unwrap();
+    }
+
+    #[test]
+    fn retry_store_rides_through_transport_faults() {
+        use crate::retry::{IoPolicy, NoDelay, RetryStore};
+        let clock = Arc::new(SimClock::new(false));
+        let mem = Arc::new(MemStore::new());
+        let remote = Arc::new(RemoteStore::new(
+            Arc::clone(&mem) as Arc<dyn UntrustedStore>,
+            Duration::from_millis(1),
+            Arc::clone(&clock),
+        ));
+        remote.drop_connections(2);
+        let retries = Arc::new(AtomicU64::new(0));
+        let observed = Arc::clone(&retries);
+        let store = RetryStore::new(
+            Arc::clone(&remote) as Arc<dyn UntrustedStore>,
+            IoPolicy::retries(3).with_clock(Arc::new(NoDelay)),
+        )
+        .with_observer(Box::new(move |_attempt| {
+            observed.fetch_add(1, Ordering::SeqCst);
+        }));
+        // Two resets, then success — all inside one logical write.
+        store.write_at(0, b"payload").unwrap();
+        assert_eq!(retries.load(Ordering::SeqCst), 2);
+        let mut buf = [0u8; 7];
+        mem.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"payload");
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub use tdb_collection::{
 pub use tdb_core::backup::{BackupDescriptor, BackupSetInfo, BackupSpec, RestorePolicy};
 pub use tdb_core::store::{ChunkStoreConfig, StoreHealth, TrustedBackend, ValidationMode};
 pub use tdb_core::{
-    ApproveAll, ChunkId, ChunkStore, CommitOp, CryptoParams, FaultClass, PartitionId,
+    ApproveAll, ChunkId, ChunkStore, CommitOp, CryptoParams, FaultClass, LogicalId,
+    MigrationOutcome, MigrationState, MigrationStep, PartitionId, ShardId, ShardManager, ShardOp,
+    ShardSpec,
 };
 pub use tdb_object::pickle::{downcast, StoredObject, TypeRegistry, Unpickler};
 pub use tdb_object::{ObjectId, ObjectStore, ObjectStoreConfig, Tx};
@@ -350,6 +352,38 @@ impl TrustedDbBuilder {
         )
     }
 
+    /// Creates a throwaway in-memory shard fleet of `n` independent chunk
+    /// stores behind a [`ShardManager`] (tests, examples, benches). Each
+    /// shard gets its own untrusted store and trusted counter, configured
+    /// from this builder's chunk configuration; the routing journal and
+    /// transfer archive are in-memory too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard formatting failures.
+    pub fn build_shards_in_memory(self, n: usize) -> Result<ShardManager> {
+        let secret = self
+            .secret
+            .unwrap_or_else(|| SecretKey::random(self.chunk_config.system_cipher.key_len()));
+        let specs = (0..n)
+            .map(|_| ShardSpec {
+                untrusted: Arc::new(MemStore::new()) as SharedUntrusted,
+                trusted: TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(Arc::new(
+                    MemTrustedStore::new(64),
+                )
+                    as Arc<dyn TrustedStore>))),
+                config: self.chunk_config.clone(),
+            })
+            .collect();
+        ShardManager::create(
+            specs,
+            Arc::new(MemStore::new()),
+            Arc::new(MemArchive::new()),
+            secret,
+        )
+        .map_err(Into::into)
+    }
+
     fn assemble(
         chunks: Arc<ChunkStore>,
         archive: Arc<dyn ArchivalStore>,
@@ -480,6 +514,21 @@ impl TrustedDb {
         let report = self.backups.restore(names, policy)?;
         self.objects.invalidate_cache();
         Ok(report)
+    }
+
+    /// Current health of the underlying chunk store: live, degraded
+    /// (read-only), or poisoned. The uniform polling point for callers and
+    /// the shard manager — prefer this over reaching through
+    /// [`TrustedDb::chunks`].
+    pub fn health(&self) -> StoreHealth {
+        self.chunks.health()
+    }
+
+    /// Lock-free estimate of the bounded log's free segments (`None` when
+    /// the log is unbounded); see
+    /// [`ChunkStore::free_segment_estimate`].
+    pub fn free_segment_estimate(&self) -> Option<u64> {
+        self.chunks.free_segment_estimate()
     }
 
     /// Checkpoints and flushes for a clean shutdown.

@@ -1,0 +1,295 @@
+//! Seeded-fault backup/restore roundtrips (ISSUE 6 satellite).
+//!
+//! Properties:
+//!
+//! - Restoring a snapshot into a *fresh* store under a seeded `FaultPlan`
+//!   either installs contents that verify exactly, or fails cleanly — and
+//!   a retry after the device heals restores bit-perfect state. Transient
+//!   faults never corrupt the archived snapshot.
+//! - A backup taken under seeded faults never ships a corrupt-but-
+//!   installable object: restore of whatever reached the archive either
+//!   fails or yields exactly the source contents.
+//! - A full + incremental chain survives the same treatment.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tdb::{
+    ChunkStore, ChunkStoreConfig, CommitOp, CryptoParams, PartitionId, TrustedBackend,
+    ValidationMode,
+};
+use tdb_core::backup::{ApproveAll, BackupSpec, BackupStore};
+use tdb_core::ChunkId;
+use tdb_crypto::SecretKey;
+use tdb_storage::{
+    ArchivalStore, CounterOverTrusted, FaultPlan, MemArchive, MemStore, MemTrustedStore,
+    PlannedFaultStore, SharedUntrusted, TrustedStore,
+};
+
+fn config() -> ChunkStoreConfig {
+    ChunkStoreConfig {
+        fanout: 4,
+        segment_size: 4096,
+        checkpoint_threshold: 8,
+        validation: ValidationMode::Counter {
+            delta_ut: 5,
+            delta_tu: 0,
+        },
+        ..ChunkStoreConfig::default()
+    }
+}
+
+fn store_over(untrusted: SharedUntrusted, secret: &SecretKey) -> Arc<ChunkStore> {
+    Arc::new(
+        ChunkStore::create(
+            untrusted,
+            TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+                Arc::new(MemTrustedStore::new(64)) as Arc<dyn TrustedStore>,
+            ))),
+            secret.clone(),
+            config(),
+        )
+        .unwrap(),
+    )
+}
+
+type Model = BTreeMap<u64, Vec<u8>>;
+
+fn fill_partition(store: &ChunkStore, p: PartitionId, n: u64) -> Model {
+    let mut model = Model::new();
+    for i in 0..n {
+        let c = store.allocate_chunk(p).unwrap();
+        let bytes = vec![(i % 240) as u8 + 7; 40 + (i as usize % 90)];
+        store
+            .commit(vec![CommitOp::WriteChunk {
+                id: c,
+                bytes: bytes.clone(),
+            }])
+            .unwrap();
+        model.insert(c.pos.rank, bytes);
+    }
+    model
+}
+
+fn assert_partition(store: &ChunkStore, p: PartitionId, model: &Model, ctx: &str) {
+    for (rank, bytes) in model {
+        assert_eq!(
+            &store
+                .read(ChunkId::data(p, *rank))
+                .unwrap_or_else(|e| panic!("{ctx}: read rank {rank}: {e}")),
+            bytes,
+            "{ctx}: rank {rank} content"
+        );
+    }
+}
+
+fn snapshot(store: &ChunkStore, p: PartitionId) -> PartitionId {
+    let snap = store.allocate_partition().unwrap();
+    store
+        .commit(vec![CommitOp::CopyPartition { dst: snap, src: p }])
+        .unwrap();
+    snap
+}
+
+#[test]
+fn seeded_faults_on_restore_never_accept_corrupt_state() {
+    let secret = SecretKey::random(24);
+    let archive = Arc::new(MemArchive::new());
+
+    // A clean source ships one pristine snapshot.
+    let src = store_over(Arc::new(MemStore::new()) as SharedUntrusted, &secret);
+    let p = src.allocate_partition().unwrap();
+    src.commit(vec![CommitOp::CreatePartition {
+        id: p,
+        params: CryptoParams::paper_default(),
+    }])
+    .unwrap();
+    let model = fill_partition(&src, p, 10);
+    let snap = snapshot(&src, p);
+    BackupStore::new(
+        Arc::clone(&src),
+        Arc::clone(&archive) as Arc<dyn ArchivalStore>,
+    )
+    .backup_one(
+        &BackupSpec {
+            source: p,
+            base: None,
+        },
+        snap,
+        "snap-full",
+    )
+    .unwrap();
+    let pristine = archive.size_of("snap-full").unwrap();
+
+    for seed in 0..24u64 {
+        let ctx = format!("restore seed {seed}");
+        let planned = Arc::new(PlannedFaultStore::new(
+            Arc::new(MemStore::new()),
+            FaultPlan::new(),
+        ));
+        let dst = store_over(Arc::clone(&planned) as SharedUntrusted, &secret);
+        let dst_backups = BackupStore::new(
+            Arc::clone(&dst),
+            Arc::clone(&archive) as Arc<dyn ArchivalStore>,
+        );
+        let target = dst.allocate_partition().unwrap();
+
+        planned.set_plan(FaultPlan::seeded(seed, 120, 3));
+        let result = dst_backups.restore_as(&["snap-full"], &ApproveAll, target);
+        planned.set_plan(FaultPlan::new());
+
+        if result.is_err() {
+            // Transient faults must leave a retryable store and an intact
+            // snapshot: after the device heals, the restore is bit-perfect.
+            let _ = dst.try_heal();
+            dst_backups
+                .restore_as(&["snap-full"], &ApproveAll, target)
+                .unwrap_or_else(|e| panic!("{ctx}: retry after heal: {e}"));
+        }
+        assert_partition(&dst, target, &model, &ctx);
+        // Destination-side faults can never corrupt the archived snapshot.
+        assert_eq!(archive.size_of("snap-full"), Some(pristine), "{ctx}");
+    }
+}
+
+#[test]
+fn seeded_faults_on_backup_never_ship_a_corrupt_snapshot() {
+    let secret = SecretKey::random(24);
+    for seed in 0..24u64 {
+        let ctx = format!("backup seed {seed}");
+        let archive = Arc::new(MemArchive::new());
+        let planned = Arc::new(PlannedFaultStore::new(
+            Arc::new(MemStore::new()),
+            FaultPlan::new(),
+        ));
+        let src = store_over(Arc::clone(&planned) as SharedUntrusted, &secret);
+        let src_backups = BackupStore::new(
+            Arc::clone(&src),
+            Arc::clone(&archive) as Arc<dyn ArchivalStore>,
+        );
+        let p = src.allocate_partition().unwrap();
+        src.commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .unwrap();
+        let model = fill_partition(&src, p, 8);
+        let snap = snapshot(&src, p);
+
+        planned.set_plan(FaultPlan::seeded(seed, 150, 3));
+        let shipped = src_backups.backup_one(
+            &BackupSpec {
+                source: p,
+                base: None,
+            },
+            snap,
+            "s",
+        );
+        planned.set_plan(FaultPlan::new());
+        let _ = src.try_heal();
+
+        // Whatever the fault did, the source still serves every
+        // acknowledged byte.
+        assert_partition(&src, p, &model, &ctx);
+
+        let dst = store_over(Arc::new(MemStore::new()) as SharedUntrusted, &secret);
+        let dst_backups = BackupStore::new(
+            Arc::clone(&dst),
+            Arc::clone(&archive) as Arc<dyn ArchivalStore>,
+        );
+        let target = dst.allocate_partition().unwrap();
+        match dst_backups.restore_as(&["s"], &ApproveAll, target) {
+            Ok(_) => {
+                // An accepted stream is a correct stream, shipped under
+                // faults or not.
+                assert_partition(&dst, target, &model, &ctx);
+            }
+            Err(_) => {
+                // A partial/absent object is rejected, never installed —
+                // acceptable only when the backup itself failed.
+                assert!(
+                    shipped.is_err(),
+                    "{ctx}: restore rejected a successfully shipped snapshot"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_chain_survives_seeded_restore_faults() {
+    let secret = SecretKey::random(24);
+    let archive = Arc::new(MemArchive::new());
+
+    let src = store_over(Arc::new(MemStore::new()) as SharedUntrusted, &secret);
+    let src_backups = BackupStore::new(
+        Arc::clone(&src),
+        Arc::clone(&archive) as Arc<dyn ArchivalStore>,
+    );
+    let p = src.allocate_partition().unwrap();
+    src.commit(vec![CommitOp::CreatePartition {
+        id: p,
+        params: CryptoParams::paper_default(),
+    }])
+    .unwrap();
+    let mut model = fill_partition(&src, p, 6);
+    let base = snapshot(&src, p);
+    src_backups
+        .backup_one(
+            &BackupSpec {
+                source: p,
+                base: None,
+            },
+            base,
+            "chain-full",
+        )
+        .unwrap();
+    // Mutate past the base, then ship the delta.
+    let extra = fill_partition(&src, p, 4);
+    model.extend(extra);
+    let head = snapshot(&src, p);
+    src_backups
+        .backup_one(
+            &BackupSpec {
+                source: p,
+                base: Some(base),
+            },
+            head,
+            "chain-delta",
+        )
+        .unwrap();
+
+    for seed in 0..12u64 {
+        let ctx = format!("chain seed {seed}");
+        let planned = Arc::new(PlannedFaultStore::new(
+            Arc::new(MemStore::new()),
+            FaultPlan::new(),
+        ));
+        let dst = store_over(Arc::clone(&planned) as SharedUntrusted, &secret);
+        let dst_backups = BackupStore::new(
+            Arc::clone(&dst),
+            Arc::clone(&archive) as Arc<dyn ArchivalStore>,
+        );
+        let target = dst.allocate_partition().unwrap();
+
+        planned.set_plan(FaultPlan::seeded(seed, 150, 3));
+        let full = dst_backups.restore_as(&["chain-full"], &ApproveAll, target);
+        let delta = match &full {
+            Ok(_) => dst_backups.apply_incremental("chain-delta", &ApproveAll, target),
+            Err(_) => Err(tdb_core::CoreError::Corrupt("full restore failed".into())),
+        };
+        planned.set_plan(FaultPlan::new());
+
+        if full.is_err() || delta.is_err() {
+            let _ = dst.try_heal();
+            dst_backups
+                .restore_as(&["chain-full"], &ApproveAll, target)
+                .unwrap_or_else(|e| panic!("{ctx}: full retry: {e}"));
+            dst_backups
+                .apply_incremental("chain-delta", &ApproveAll, target)
+                .map(|_| ())
+                .unwrap_or_else(|e| panic!("{ctx}: delta retry: {e}"));
+        }
+        assert_partition(&dst, target, &model, &ctx);
+    }
+}

@@ -1,0 +1,993 @@
+//! Shard-manager torture: crash-safe online partition migration and
+//! fault-isolated shards.
+//!
+//! The properties under test (ISSUE 6):
+//!
+//! - Killing either shard (or the whole process) at *every* migration step
+//!   loses no acknowledged write: on reopen the migration resumes past
+//!   `CutOver` or rolls back to a fully consistent source, and the routing
+//!   table always names exactly one authoritative copy.
+//! - Swept storage faults (planned write/read errors at every index,
+//!   seeded mixed plans) during a migration leave the fleet serviceable:
+//!   the migration completes or rolls back, and convergence is reached by
+//!   re-running heal + resume.
+//! - A tampered or truncated transfer stream is detected on ingest and
+//!   never installed.
+//! - A Degraded shard is an isolated fault domain: its partitions go
+//!   read-only while other shards keep serving, and evacuation migrates
+//!   its partitions off the frozen (read-only) source.
+//! - Commits racing a cutover see a *transient* [`CoreError::Busy`], never
+//!   a lost write.
+//! - The per-shard labelled counters fire on all of those paths.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tdb::{
+    ChunkStoreConfig, CryptoParams, LogicalId, MigrationOutcome, MigrationState, MigrationStep,
+    ShardId, ShardManager, ShardOp, ShardSpec, StoreHealth, TrustedBackend, ValidationMode,
+};
+use tdb_core::metrics::{self, counters};
+use tdb_core::{CoreError, FaultClass};
+use tdb_crypto::SecretKey;
+use tdb_storage::{
+    ArchivalStore, CounterOverTrusted, CrashStore, ErrorStore, FaultPlan, MemArchive, MemStore,
+    MemTrustedStore, PlannedFaultStore, SharedUntrusted, TrustedStore,
+};
+
+fn config() -> ChunkStoreConfig {
+    ChunkStoreConfig {
+        fanout: 4,
+        segment_size: 4096,
+        checkpoint_threshold: 8,
+        validation: ValidationMode::Counter {
+            delta_ut: 5,
+            delta_tu: 0,
+        },
+        ..ChunkStoreConfig::default()
+    }
+}
+
+fn counter_backend(register: &Arc<MemTrustedStore>) -> TrustedBackend {
+    TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+        Arc::clone(register) as Arc<dyn TrustedStore>
+    )))
+}
+
+/// Acknowledged writes only: rank → bytes, per logical partition.
+type Model = BTreeMap<u64, Vec<u8>>;
+
+fn seed_data(mgr: &ShardManager, logical: LogicalId, n: u64) -> Model {
+    let mut model = Model::new();
+    for i in 0..n {
+        let rank = mgr.allocate_chunk(logical).unwrap();
+        let bytes = vec![(i % 250) as u8 + 1; 48 + (i as usize % 80)];
+        mgr.commit(
+            logical,
+            vec![ShardOp::Write {
+                rank,
+                bytes: bytes.clone(),
+            }],
+        )
+        .unwrap();
+        model.insert(rank, bytes);
+    }
+    model
+}
+
+fn assert_model(mgr: &ShardManager, logical: LogicalId, model: &Model, ctx: &str) {
+    for (rank, bytes) in model {
+        assert_eq!(
+            &mgr.read(logical, *rank)
+                .unwrap_or_else(|e| panic!("{ctx}: read {logical} rank {rank}: {e}")),
+            bytes,
+            "{ctx}: {logical} rank {rank} content"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CrashStore fleet: power-loss simulation with per-shard disk images.
+// ---------------------------------------------------------------------------
+
+struct Fleet {
+    secret: SecretKey,
+    registers: Vec<Arc<MemTrustedStore>>,
+    shards: Vec<Arc<CrashStore>>,
+    journal: Arc<CrashStore>,
+    transfer: Arc<MemArchive>,
+}
+
+impl Fleet {
+    fn new(n: usize) -> (Fleet, ShardManager) {
+        let fleet = Fleet {
+            secret: SecretKey::random(24),
+            registers: (0..n).map(|_| Arc::new(MemTrustedStore::new(64))).collect(),
+            shards: (0..n)
+                .map(|_| Arc::new(CrashStore::new(Arc::new(MemStore::new())).unwrap()))
+                .collect(),
+            journal: Arc::new(CrashStore::new(Arc::new(MemStore::new())).unwrap()),
+            transfer: Arc::new(MemArchive::new()),
+        };
+        let manager = ShardManager::create(
+            fleet.specs(),
+            Arc::clone(&fleet.journal) as SharedUntrusted,
+            Arc::clone(&fleet.transfer) as Arc<dyn ArchivalStore>,
+            fleet.secret.clone(),
+        )
+        .unwrap();
+        (fleet, manager)
+    }
+
+    fn specs(&self) -> Vec<ShardSpec> {
+        self.shards
+            .iter()
+            .zip(&self.registers)
+            .map(|(s, r)| ShardSpec {
+                untrusted: Arc::clone(s) as SharedUntrusted,
+                trusted: counter_backend(r),
+                config: config(),
+            })
+            .collect()
+    }
+
+    /// Simulates a machine crash: the `kill` shard loses every unflushed
+    /// write, everyone else keeps theirs (acknowledged state is flushed
+    /// either way, so this spans both extremes of cache loss). The trusted
+    /// registers survive by definition — they are the trusted hardware.
+    fn crash(&mut self, kill: Option<usize>) {
+        let images: Vec<Vec<u8>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if Some(i) == kill {
+                    s.crash_lose_all()
+                } else {
+                    s.crash_keep_all()
+                }
+            })
+            .collect();
+        let journal_image = self.journal.crash_lose_all();
+        self.shards = images
+            .into_iter()
+            .map(|img| Arc::new(CrashStore::new(Arc::new(MemStore::from_bytes(img))).unwrap()))
+            .collect();
+        self.journal =
+            Arc::new(CrashStore::new(Arc::new(MemStore::from_bytes(journal_image))).unwrap());
+    }
+
+    fn reopen(&self) -> tdb_core::Result<ShardManager> {
+        ShardManager::open(
+            self.specs(),
+            Arc::clone(&self.journal) as SharedUntrusted,
+            Arc::clone(&self.transfer) as Arc<dyn ArchivalStore>,
+            self.secret.clone(),
+        )
+    }
+}
+
+const ALL_STEPS: [MigrationStep; 9] = [
+    MigrationStep::Prepared,
+    MigrationStep::SnapshotTaken,
+    MigrationStep::SnapshotShipped,
+    MigrationStep::Restored,
+    MigrationStep::DeltaDraining,
+    MigrationStep::DeltaShipped,
+    MigrationStep::DeltaApplied,
+    MigrationStep::CutOver,
+    MigrationStep::Completed,
+];
+
+#[test]
+fn migration_moves_partition_and_survives_reopen() {
+    let (mut fleet, mgr) = Fleet::new(2);
+    let l = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    let model = seed_data(&mgr, l, 12);
+    let (src, src_pid) = mgr.locate(l).unwrap();
+    assert_eq!(src, ShardId(0));
+
+    let before = metrics::snapshot();
+    assert_eq!(
+        mgr.migrate(l, ShardId(1)).unwrap(),
+        MigrationOutcome::Completed
+    );
+    let after = metrics::snapshot();
+    assert!(
+        after.labeled(counters::MIGRATIONS_STARTED, 0)
+            > before.labeled(counters::MIGRATIONS_STARTED, 0)
+    );
+    assert!(
+        after.labeled(counters::MIGRATIONS_COMPLETED, 0)
+            > before.labeled(counters::MIGRATIONS_COMPLETED, 0)
+    );
+
+    assert_eq!(mgr.locate(l).unwrap().0, ShardId(1));
+    assert_model(&mgr, l, &model, "after migrate");
+    // The source copy, its snapshots, and the transfer objects are gone.
+    assert!(!mgr
+        .shard_store(ShardId(0))
+        .unwrap()
+        .partition_exists(src_pid));
+    assert_eq!(fleet.transfer.size_of("mig-0-full"), None);
+    assert_eq!(fleet.transfer.size_of("mig-0-delta"), None);
+
+    // Post-migration writes land on the new shard and survive a crash.
+    let rank = mgr.allocate_chunk(l).unwrap();
+    mgr.commit(
+        l,
+        vec![ShardOp::Write {
+            rank,
+            bytes: b"after the move".to_vec(),
+        }],
+    )
+    .unwrap();
+    fleet.crash(None);
+    drop(mgr);
+    let mgr = fleet.reopen().unwrap();
+    assert_eq!(mgr.locate(l).unwrap().0, ShardId(1));
+    assert_model(&mgr, l, &model, "after reopen");
+    assert_eq!(mgr.read(l, rank).unwrap(), b"after the move");
+    assert!(mgr.migrations().iter().all(|r| r.state.is_terminal()));
+}
+
+#[test]
+fn inline_failure_at_every_step_rolls_back_or_completes() {
+    for &step in &ALL_STEPS {
+        let (_fleet, mgr) = Fleet::new(2);
+        let l = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+        let model = seed_data(&mgr, l, 6);
+        let (src, src_pid) = mgr.locate(l).unwrap();
+
+        mgr.set_migration_observer(Some(Arc::new(move |_mid, s| {
+            if s == step {
+                Err(format!("inline fault at {s:?}"))
+            } else {
+                Ok(())
+            }
+        })));
+        let err = mgr.migrate(l, ShardId(1)).unwrap_err();
+        assert!(
+            err.to_string().contains("inline fault"),
+            "step {step:?}: unexpected error {err}"
+        );
+        mgr.set_migration_observer(None);
+
+        // Inline recovery already ran: the record is terminal and routing
+        // names exactly one authoritative copy.
+        let recs = mgr.migrations();
+        assert_eq!(recs.len(), 1);
+        let rec = &recs[0];
+        assert!(
+            rec.state.is_terminal(),
+            "step {step:?}: left non-terminal state {}",
+            rec.state
+        );
+        let (now, now_pid) = mgr.locate(l).unwrap();
+        match rec.state {
+            MigrationState::RolledBack => {
+                assert_eq!((now, now_pid), (src, src_pid), "step {step:?}");
+                assert!(
+                    !mgr.shard_store(ShardId(1))
+                        .unwrap()
+                        .partition_exists(rec.dst_pid),
+                    "step {step:?}: rollback left a replica on the destination"
+                );
+            }
+            MigrationState::Completed => {
+                assert_eq!((now, now_pid), (ShardId(1), rec.dst_pid), "step {step:?}");
+                assert!(
+                    !mgr.shard_store(src).unwrap().partition_exists(src_pid),
+                    "step {step:?}: completion left the source copy behind"
+                );
+            }
+            other => panic!("step {step:?}: unexpected terminal state {other}"),
+        }
+        assert_model(&mgr, l, &model, &format!("step {step:?}"));
+
+        // Writes flow again (the pause never outlives the migration) and a
+        // clean retry finishes the move.
+        let rank = mgr.allocate_chunk(l).unwrap();
+        mgr.commit(
+            l,
+            vec![ShardOp::Write {
+                rank,
+                bytes: b"post-recovery".to_vec(),
+            }],
+        )
+        .unwrap();
+        if mgr.locate(l).unwrap().0 != ShardId(1) {
+            assert_eq!(
+                mgr.migrate(l, ShardId(1)).unwrap(),
+                MigrationOutcome::Completed,
+                "step {step:?}: retry"
+            );
+        }
+        assert_model(&mgr, l, &model, &format!("step {step:?} after retry"));
+        assert_eq!(mgr.read(l, rank).unwrap(), b"post-recovery");
+    }
+}
+
+/// One crash-sweep case: fail the migration with a simulated process death
+/// at `step` (no inline recovery), then power-cycle the fleet with `kill`
+/// losing its write cache, reopen, and check every invariant.
+fn crash_sweep_case(step: MigrationStep, kill: Option<usize>) {
+    let ctx = format!("step {step:?} kill {kill:?}");
+    let (mut fleet, mgr) = Fleet::new(2);
+    let l = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    let model = seed_data(&mgr, l, 8);
+    // A bystander partition on the destination shard: its writes must
+    // survive every crash too.
+    let l2 = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    let model2 = seed_data(&mgr, l2, 4);
+    assert_eq!(
+        mgr.locate(l2).unwrap().0,
+        ShardId(1),
+        "{ctx}: bystander placement"
+    );
+    let (src, src_pid) = mgr.locate(l).unwrap();
+    assert_eq!(src, ShardId(0), "{ctx}: source placement");
+
+    mgr.set_migration_observer(Some(Arc::new(move |_mid, s| {
+        if s == step {
+            Err(format!("crash at {s:?}"))
+        } else {
+            Ok(())
+        }
+    })));
+    let before = metrics::snapshot();
+    mgr.migrate(l, ShardId(1)).unwrap_err();
+
+    // Power loss: no inline recovery ran; the journal speaks on reopen.
+    fleet.crash(kill);
+    drop(mgr);
+    let mgr = fleet.reopen().unwrap();
+    // Converge anything a momentarily unreachable shard left Pending.
+    for _ in 0..3 {
+        mgr.resume_migrations();
+    }
+    let after = metrics::snapshot();
+
+    let recs = mgr.migrations();
+    assert_eq!(recs.len(), 1, "{ctx}");
+    let rec = &recs[0];
+    assert!(
+        rec.state.is_terminal(),
+        "{ctx}: stuck in {} after resume",
+        rec.state
+    );
+    if step != MigrationStep::Completed {
+        // A crash after the Completed record leaves nothing to resume.
+        assert!(
+            after.labeled(counters::MIGRATIONS_RESUMED, 0)
+                > before.labeled(counters::MIGRATIONS_RESUMED, 0),
+            "{ctx}: resume counter must fire"
+        );
+    }
+    let (now, now_pid) = mgr.locate(l).unwrap();
+    match rec.state {
+        MigrationState::Completed => {
+            assert_eq!((now, now_pid), (ShardId(1), rec.dst_pid), "{ctx}");
+            assert!(
+                !mgr.shard_store(src).unwrap().partition_exists(src_pid),
+                "{ctx}: completion left the source copy behind"
+            );
+        }
+        MigrationState::RolledBack => {
+            assert_eq!((now, now_pid), (src, src_pid), "{ctx}");
+            assert!(
+                !mgr.shard_store(ShardId(1))
+                    .unwrap()
+                    .partition_exists(rec.dst_pid),
+                "{ctx}: rollback left a replica on the destination"
+            );
+        }
+        other => panic!("{ctx}: unexpected terminal state {other}"),
+    }
+
+    // No acknowledged write lost, on the migrating partition or the
+    // bystander; every byte served went through chunk validation.
+    assert_model(&mgr, l, &model, &ctx);
+    assert_model(&mgr, l2, &model2, &ctx);
+
+    // The fleet is fully serviceable after recovery.
+    for logical in [l, l2] {
+        let rank = mgr.allocate_chunk(logical).unwrap();
+        mgr.commit(
+            logical,
+            vec![ShardOp::Write {
+                rank,
+                bytes: b"post-crash".to_vec(),
+            }],
+        )
+        .unwrap_or_else(|e| panic!("{ctx}: post-crash commit on {logical}: {e}"));
+    }
+    if mgr.locate(l).unwrap().0 != ShardId(1) {
+        assert_eq!(
+            mgr.migrate(l, ShardId(1)).unwrap(),
+            MigrationOutcome::Completed,
+            "{ctx}: clean retry"
+        );
+        assert_model(&mgr, l, &model, &format!("{ctx} after retry"));
+    }
+}
+
+#[test]
+fn crash_during_migration_small_sweep() {
+    for &step in &[
+        MigrationStep::SnapshotShipped,
+        MigrationStep::DeltaDraining,
+        MigrationStep::CutOver,
+    ] {
+        for kill in [None, Some(0), Some(1)] {
+            crash_sweep_case(step, kill);
+        }
+    }
+}
+
+#[test]
+#[ignore = "exhaustive migration kill sweep; run by the release migration-torture CI step"]
+fn crash_during_migration_full_sweep() {
+    for &step in &ALL_STEPS {
+        for kill in [None, Some(0), Some(1)] {
+            crash_sweep_case(step, kill);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planned-fault fleet: swept storage faults during a migration.
+// ---------------------------------------------------------------------------
+
+struct FaultFleet {
+    planned: Vec<Arc<PlannedFaultStore>>,
+}
+
+impl FaultFleet {
+    fn new(n: usize) -> (FaultFleet, ShardManager) {
+        let planned: Vec<Arc<PlannedFaultStore>> = (0..n)
+            .map(|_| {
+                Arc::new(PlannedFaultStore::new(
+                    Arc::new(MemStore::new()),
+                    FaultPlan::new(),
+                ))
+            })
+            .collect();
+        let specs = planned
+            .iter()
+            .map(|p| ShardSpec {
+                untrusted: Arc::clone(p) as SharedUntrusted,
+                trusted: counter_backend(&Arc::new(MemTrustedStore::new(64))),
+                config: config(),
+            })
+            .collect();
+        let manager = ShardManager::create(
+            specs,
+            Arc::new(MemStore::new()) as SharedUntrusted,
+            Arc::new(MemArchive::new()) as Arc<dyn ArchivalStore>,
+            SecretKey::random(24),
+        )
+        .unwrap();
+        (FaultFleet { planned }, manager)
+    }
+
+    fn clear_plans(&self) {
+        for p in &self.planned {
+            p.set_plan(FaultPlan::new());
+        }
+    }
+}
+
+/// Heal + resume until every migration record is terminal.
+fn converge(mgr: &ShardManager, ctx: &str) {
+    for _ in 0..5 {
+        for i in 0..mgr.shard_count() as u32 {
+            let _ = mgr.try_heal(ShardId(i));
+        }
+        mgr.resume_migrations();
+        if mgr.migrations().iter().all(|r| r.state.is_terminal()) {
+            return;
+        }
+    }
+    let states: Vec<String> = mgr
+        .migrations()
+        .iter()
+        .map(|r| r.state.to_string())
+        .collect();
+    panic!("{ctx}: migrations failed to converge: {states:?}");
+}
+
+/// One planned-fault case: arm `plan` on `target` (relative indices are
+/// rebased onto its current op counters by the caller), run a migration,
+/// then converge and check the invariants.
+fn fault_plan_case(
+    fleet: &FaultFleet,
+    mgr: &ShardManager,
+    target: usize,
+    plan: FaultPlan,
+    ctx: &str,
+) {
+    let l = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    let model = seed_data(mgr, l, 6);
+    let src = mgr.locate(l).unwrap().0;
+    let dst = ShardId(if src.0 == 0 { 1 } else { 0 });
+
+    fleet.planned[target].set_plan(plan);
+    let _ = mgr.migrate(l, dst); // Ok, or Err with inline recovery run.
+    fleet.clear_plans();
+    converge(mgr, ctx);
+
+    // Acknowledged data survived the faulted migration, wherever it lives.
+    assert_model(mgr, l, &model, ctx);
+
+    // Some degradations (a counter left ahead by a failed checkpoint)
+    // cannot heal in place and need a reopen; the fleet still converges by
+    // evacuating the read-only shard — reads never stopped either way.
+    let here = mgr.locate(l).unwrap().0;
+    if !shard_live(mgr, here) {
+        for (el, outcome) in mgr.evacuate(here).unwrap() {
+            assert_eq!(
+                outcome,
+                MigrationOutcome::Completed,
+                "{ctx}: evacuating {el} off the unhealable shard"
+            );
+        }
+        assert_model(mgr, l, &model, &format!("{ctx} after evacuation"));
+    }
+
+    // The partition is writable again on a live home, and converges to the
+    // requested placement whenever that destination is live.
+    let rank = mgr.allocate_chunk(l).unwrap();
+    mgr.commit(
+        l,
+        vec![ShardOp::Write {
+            rank,
+            bytes: b"post-fault".to_vec(),
+        }],
+    )
+    .unwrap_or_else(|e| panic!("{ctx}: post-fault commit: {e}"));
+    if shard_live(mgr, dst) && mgr.locate(l).unwrap().0 != dst {
+        assert_eq!(
+            mgr.migrate(l, dst).unwrap(),
+            MigrationOutcome::Completed,
+            "{ctx}: clean retry"
+        );
+        assert_model(mgr, l, &model, &format!("{ctx} after retry"));
+    }
+    // Retire the partition so per-case state stays bounded in sweeps.
+    mgr.dealloc_partition(l).unwrap();
+}
+
+fn shard_live(mgr: &ShardManager, s: ShardId) -> bool {
+    mgr.shard_store(s)
+        .map(|st| st.health() == StoreHealth::Live)
+        .unwrap_or(false)
+}
+
+fn fleet_fully_live(mgr: &ShardManager) -> bool {
+    (0..mgr.shard_count() as u32).all(|i| shard_live(mgr, ShardId(i)))
+}
+
+fn write_fault_sweep(indices: std::ops::Range<u64>) {
+    for target in [0usize, 1usize] {
+        let (mut fleet, mut mgr) = FaultFleet::new(2);
+        for i in indices.clone() {
+            let base = fleet.planned[target].write_ops();
+            let plan = FaultPlan::new().write_error_at(base + i);
+            fault_plan_case(
+                &fleet,
+                &mgr,
+                target,
+                plan,
+                &format!("write fault at +{i} on shard{target}"),
+            );
+            if !fleet_fully_live(&mgr) {
+                // A shard that needs a reopen to heal was evacuated above;
+                // start the next case from a fresh, fully live fleet.
+                let (f, m) = FaultFleet::new(2);
+                fleet = f;
+                mgr = m;
+            }
+        }
+    }
+}
+
+#[test]
+fn write_faults_during_migration_small_sweep() {
+    write_fault_sweep(0..8);
+}
+
+#[test]
+#[ignore = "exhaustive write-index sweep; run by the release migration-torture CI step"]
+fn write_faults_during_migration_full_sweep() {
+    write_fault_sweep(0..48);
+}
+
+#[test]
+#[ignore = "seeded mixed-fault sweep; run by the release migration-torture CI step"]
+fn seeded_faults_during_migration_sweep() {
+    for target in [0usize, 1usize] {
+        let (mut fleet, mut mgr) = FaultFleet::new(2);
+        for seed in 0..16u64 {
+            // Mixed-kind plan, rebased onto the live op counters so every
+            // case lands inside its own migration's op window.
+            let base_w = fleet.planned[target].write_ops();
+            let plan = FaultPlan::new()
+                .write_error_at(base_w + (seed * 7) % 60)
+                .torn_write_at(base_w + (seed * 11) % 60 + 1, (seed % 97) as u32)
+                .transient_window(fleet.planned[target].total_ops() + seed * 13 % 150, 2);
+            fault_plan_case(
+                &fleet,
+                &mgr,
+                target,
+                plan,
+                &format!("seeded plan {seed} on shard{target}"),
+            );
+            if !fleet_fully_live(&mgr) {
+                let (f, m) = FaultFleet::new(2);
+                fleet = f;
+                mgr = m;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transfer-stream integrity: tampered or truncated shipments never install.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tampered_transfer_is_detected_and_rolled_back() {
+    for truncate in [false, true] {
+        let (fleet, mgr) = Fleet::new(2);
+        let l = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+        let model = seed_data(&mgr, l, 8);
+        let (src, src_pid) = mgr.locate(l).unwrap();
+
+        let transfer = Arc::clone(&fleet.transfer);
+        mgr.set_migration_observer(Some(Arc::new(move |mid, step| {
+            if step == MigrationStep::SnapshotShipped {
+                let name = format!("mig-{mid}-full");
+                let size = transfer.size_of(&name).expect("shipped object exists");
+                if truncate {
+                    assert!(transfer.truncate(&name, size / 2));
+                } else {
+                    assert!(transfer.tamper(&name, size / 2, 0x40));
+                }
+            }
+            Ok(())
+        })));
+        let err = mgr.migrate(l, ShardId(1)).unwrap_err();
+        mgr.set_migration_observer(None);
+        assert!(
+            !matches!(err, CoreError::Busy(_)),
+            "truncate={truncate}: unexpected error {err}"
+        );
+
+        // The corrupt stream was rejected before anything installed; the
+        // migration rolled back and the source still serves every byte.
+        let recs = mgr.migrations();
+        assert_eq!(
+            recs[0].state,
+            MigrationState::RolledBack,
+            "truncate={truncate}"
+        );
+        assert!(
+            !mgr.shard_store(ShardId(1))
+                .unwrap()
+                .partition_exists(recs[0].dst_pid),
+            "truncate={truncate}: corrupt transfer must never install"
+        );
+        assert_eq!(mgr.locate(l).unwrap(), (src, src_pid));
+        assert_model(&mgr, l, &model, "after tampered transfer");
+
+        // An honest retry succeeds.
+        assert_eq!(
+            mgr.migrate(l, ShardId(1)).unwrap(),
+            MigrationOutcome::Completed
+        );
+        assert_model(&mgr, l, &model, "after honest retry");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cutover pause: racing commits see a transient Busy, never a lost write.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn commits_during_cutover_see_transient_busy() {
+    let (_fleet, mgr) = Fleet::new(2);
+    let mgr = Arc::new(mgr);
+    let l = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    let model = seed_data(&mgr, l, 4);
+
+    let reached = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    {
+        let reached = Arc::clone(&reached);
+        let release = Arc::clone(&release);
+        mgr.set_migration_observer(Some(Arc::new(move |_mid, step| {
+            if step == MigrationStep::DeltaDraining {
+                reached.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            Ok(())
+        })));
+    }
+
+    let mgr2 = Arc::clone(&mgr);
+    let migration = std::thread::spawn(move || mgr2.migrate(l, ShardId(1)));
+    while !reached.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // The route is paused mid-drain: commits are refused with a transient
+    // Busy (so RetryStore-style callers just try again), reads still serve.
+    let err = mgr
+        .commit(
+            l,
+            vec![ShardOp::Write {
+                rank: 0,
+                bytes: b"racer".to_vec(),
+            }],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Busy(_)), "got {err}");
+    assert_eq!(err.fault_class(), FaultClass::Transient);
+    assert_model(&mgr, l, &model, "during drain");
+
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(
+        migration.join().unwrap().unwrap(),
+        MigrationOutcome::Completed
+    );
+    mgr.set_migration_observer(None);
+
+    // The retried write lands on the new shard.
+    mgr.commit(
+        l,
+        vec![ShardOp::Write {
+            rank: 0,
+            bytes: b"retried".to_vec(),
+        }],
+    )
+    .unwrap();
+    assert_eq!(mgr.locate(l).unwrap().0, ShardId(1));
+    assert_eq!(mgr.read(l, 0).unwrap(), b"retried");
+}
+
+#[test]
+fn writes_landing_mid_migration_ship_in_the_delta() {
+    let (_fleet, mgr) = Fleet::new(2);
+    let mgr = Arc::new(mgr);
+    let l = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    let mut model = seed_data(&mgr, l, 4);
+
+    // Hold the migration between the full restore and the drain pause, and
+    // commit fresh chunks to the source in that window: they exist only in
+    // the write delta, at ranks the snapshot never shipped.
+    let reached = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    {
+        let reached = Arc::clone(&reached);
+        let release = Arc::clone(&release);
+        mgr.set_migration_observer(Some(Arc::new(move |_mid, step| {
+            if step == MigrationStep::Restored {
+                reached.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            Ok(())
+        })));
+    }
+    let mgr2 = Arc::clone(&mgr);
+    let migration = std::thread::spawn(move || mgr2.migrate(l, ShardId(1)));
+    while !reached.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    for i in 0..3u8 {
+        let rank = mgr.allocate_chunk(l).unwrap();
+        let bytes = vec![0xD0 + i; 100];
+        mgr.commit(
+            l,
+            vec![ShardOp::Write {
+                rank,
+                bytes: bytes.clone(),
+            }],
+        )
+        .unwrap();
+        model.insert(rank, bytes);
+    }
+    release.store(true, Ordering::SeqCst);
+    assert_eq!(
+        migration.join().unwrap().unwrap(),
+        MigrationOutcome::Completed
+    );
+    mgr.set_migration_observer(None);
+
+    // Every mid-migration write arrived on the destination via the delta.
+    assert_eq!(mgr.locate(l).unwrap().0, ShardId(1));
+    assert_model(&mgr, l, &model, "delta-shipped writes");
+}
+
+// ---------------------------------------------------------------------------
+// Fault isolation and degraded-shard evacuation.
+// ---------------------------------------------------------------------------
+
+struct IsolationRig {
+    injector: Arc<ErrorStore>,
+}
+
+fn isolation_fleet() -> (IsolationRig, ShardManager) {
+    let injector = Arc::new(ErrorStore::new(Arc::new(MemStore::new())));
+    let specs = vec![
+        ShardSpec {
+            untrusted: Arc::clone(&injector) as SharedUntrusted,
+            trusted: counter_backend(&Arc::new(MemTrustedStore::new(64))),
+            config: config(),
+        },
+        ShardSpec {
+            untrusted: Arc::new(MemStore::new()) as SharedUntrusted,
+            trusted: counter_backend(&Arc::new(MemTrustedStore::new(64))),
+            config: config(),
+        },
+    ];
+    let manager = ShardManager::create(
+        specs,
+        Arc::new(MemStore::new()) as SharedUntrusted,
+        Arc::new(MemArchive::new()) as Arc<dyn ArchivalStore>,
+        SecretKey::random(24),
+    )
+    .unwrap();
+    (IsolationRig { injector }, manager)
+}
+
+/// Drives shard 0 into Degraded by failing writes mid-commit, then heals
+/// the device (the store stays read-only until `try_heal`).
+fn degrade_shard0(rig: &IsolationRig, mgr: &ShardManager, victim: LogicalId) {
+    for fail_at in 0..64u64 {
+        rig.injector.fail_after_writes(fail_at);
+        let rank = mgr.allocate_chunk(victim).unwrap();
+        let result = mgr.commit(
+            victim,
+            vec![ShardOp::Write {
+                rank,
+                bytes: vec![0xAB; 256],
+            }],
+        );
+        rig.injector.heal();
+        if result.is_err() && matches!(mgr.health_all()[0].1, StoreHealth::Degraded { .. }) {
+            return;
+        }
+    }
+    panic!("the write-failure sweep never degraded shard 0");
+}
+
+#[test]
+fn degraded_shard_is_isolated_and_evacuation_converges() {
+    let (rig, mgr) = isolation_fleet();
+    // Alternating placement: l0/l2 on shard0, l1/l3 on shard1.
+    let logicals: Vec<LogicalId> = (0..4)
+        .map(|_| mgr.create_partition(CryptoParams::paper_default()).unwrap())
+        .collect();
+    let models: Vec<Model> = logicals.iter().map(|&l| seed_data(&mgr, l, 5)).collect();
+    assert_eq!(mgr.locate(logicals[0]).unwrap().0, ShardId(0));
+    assert_eq!(mgr.locate(logicals[1]).unwrap().0, ShardId(1));
+
+    let before = metrics::snapshot();
+    degrade_shard0(&rig, &mgr, logicals[0]);
+    let after = metrics::snapshot();
+    assert!(
+        after.labeled(counters::SHARD_DEGRADED, 0) > before.labeled(counters::SHARD_DEGRADED, 0),
+        "degraded counter must fire for shard 0"
+    );
+    assert_eq!(
+        after.labeled(counters::SHARD_DEGRADED, 1),
+        before.labeled(counters::SHARD_DEGRADED, 1),
+        "shard 1 never degraded"
+    );
+
+    // Fault isolation: shard 0's partitions are read-only, shard 1 serves
+    // reads AND writes, untouched.
+    let health = mgr.health_all();
+    assert!(matches!(health[0].1, StoreHealth::Degraded { .. }));
+    assert_eq!(health[1].1, StoreHealth::Live);
+    let err = mgr
+        .commit(
+            logicals[0],
+            vec![ShardOp::Write {
+                rank: 0,
+                bytes: b"refused".to_vec(),
+            }],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::DegradedMode(_)), "got {err}");
+    for (l, m) in logicals.iter().zip(&models) {
+        assert_model(&mgr, *l, m, "degraded fleet");
+    }
+    let rank = mgr.allocate_chunk(logicals[1]).unwrap();
+    mgr.commit(
+        logicals[1],
+        vec![ShardOp::Write {
+            rank,
+            bytes: b"unaffected".to_vec(),
+        }],
+    )
+    .unwrap();
+
+    // Evacuation: every partition leaves the frozen shard; data intact and
+    // writable on the new home.
+    let outcomes = mgr.evacuate(ShardId(0)).unwrap();
+    assert_eq!(outcomes.len(), 2);
+    for (l, outcome) in &outcomes {
+        assert_eq!(*outcome, MigrationOutcome::Completed, "evacuating {l}");
+    }
+    assert!(mgr.logicals_on(ShardId(0)).is_empty());
+    for (l, m) in logicals.iter().zip(&models) {
+        assert_model(&mgr, *l, m, "after evacuation");
+        let rank = mgr.allocate_chunk(*l).unwrap();
+        mgr.commit(
+            *l,
+            vec![ShardOp::Write {
+                rank,
+                bytes: b"writable again".to_vec(),
+            }],
+        )
+        .unwrap();
+    }
+    let evac = metrics::snapshot();
+    assert!(
+        evac.labeled(counters::MIGRATIONS_COMPLETED, 0)
+            >= after.labeled(counters::MIGRATIONS_COMPLETED, 0) + 2,
+        "evacuations must count as completed migrations from shard 0"
+    );
+
+    // The healed shard rejoins the fleet and takes new placements.
+    mgr.try_heal(ShardId(0)).unwrap();
+    assert_eq!(mgr.health_all()[0].1, StoreHealth::Live);
+    assert!(
+        metrics::snapshot().labeled(counters::SHARD_HEALED, 0)
+            > before.labeled(counters::SHARD_HEALED, 0),
+        "heal counter must fire for shard 0"
+    );
+    let back = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    assert_eq!(mgr.locate(back).unwrap().0, ShardId(0));
+}
+
+#[test]
+fn poisoned_open_isolates_the_failed_shard() {
+    let (mut fleet, mgr) = Fleet::new(2);
+    let l0 = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    let _m0 = seed_data(&mgr, l0, 4);
+    let l1 = mgr.create_partition(CryptoParams::paper_default()).unwrap();
+    let m1 = seed_data(&mgr, l1, 4);
+    fleet.crash(None);
+    drop(mgr);
+
+    // Wreck shard 0's image wholesale: its open fails, the fleet's doesn't.
+    fleet.shards[0] =
+        Arc::new(CrashStore::new(Arc::new(MemStore::from_bytes(vec![0xFF; 512]))).unwrap());
+    let mgr = fleet.reopen().unwrap();
+    let health = mgr.health_all();
+    assert!(matches!(health[0].1, StoreHealth::Poisoned { .. }));
+    assert_eq!(health[1].1, StoreHealth::Live);
+
+    // Shard 1 still serves reads and writes; shard 0's partitions fail
+    // with Poisoned, not silently.
+    assert_model(&mgr, l1, &m1, "poisoned sibling");
+    let rank = mgr.allocate_chunk(l1).unwrap();
+    mgr.commit(
+        l1,
+        vec![ShardOp::Write {
+            rank,
+            bytes: b"still serving".to_vec(),
+        }],
+    )
+    .unwrap();
+    let err = mgr.read(l0, 0).unwrap_err();
+    assert!(matches!(err, CoreError::Poisoned(_)), "got {err}");
+}
