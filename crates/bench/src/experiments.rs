@@ -1384,3 +1384,197 @@ pub fn e16_shard_scaling() {
     std::fs::write(path, json).expect("write benchmark artifact");
     println!("  wrote {path}");
 }
+
+// ---------------------------------------------------------------------------
+// E17: MVCC snapshot-isolation transaction throughput vs the paper's
+// single-writer object layer (§7 has one transaction at a time; MVCC lets
+// non-conflicting transactions prepare concurrently and ride one group
+// commit).
+// ---------------------------------------------------------------------------
+
+const E17_THREADS: [usize; 4] = [1, 2, 4, 8];
+const E17_PAYLOAD: usize = 256;
+
+/// An object store over the flush-dominated simulated disk, group commit
+/// on, with one pre-committed object per potential committer thread.
+fn e17_objects(mvcc: bool) -> (Arc<tdb::ObjectStore>, Vec<tdb::ObjectId>) {
+    use tdb::{ObjectStore, ObjectStoreConfig, TypeRegistry};
+    use tdb_storage::{
+        CounterOverTrusted, MemStore, MemTrustedStore, SharedUntrusted, SimClock, SimDiskStore,
+        TrustedStore,
+    };
+
+    use crate::workload::{unpickle_rec, Rec, REC_TAG};
+
+    let disk: SharedUntrusted = Arc::new(SimDiskStore::new(
+        Arc::new(MemStore::new()) as SharedUntrusted,
+        e14_disk(),
+        Arc::new(SimClock::new(true)),
+    ));
+    let backend = tdb::TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(Arc::new(
+        MemTrustedStore::new(64),
+    )
+        as Arc<dyn TrustedStore>)));
+    let chunks = Arc::new(
+        ChunkStore::create(
+            disk,
+            backend,
+            tdb_crypto::SecretKey::random(24),
+            ChunkStoreConfig {
+                group_commit: true,
+                ..paper_config()
+            },
+        )
+        .expect("create chunk store"),
+    );
+    let p = chunks.allocate_partition().expect("allocate partition");
+    chunks
+        .commit(vec![CommitOp::CreatePartition {
+            id: p,
+            params: CryptoParams::paper_default(),
+        }])
+        .expect("create partition");
+    let mut registry = TypeRegistry::new();
+    registry.register(REC_TAG, unpickle_rec);
+    let objects = Arc::new(ObjectStore::new(
+        chunks,
+        registry,
+        ObjectStoreConfig {
+            mvcc,
+            ..ObjectStoreConfig::default()
+        },
+    ));
+    let max_threads = *E17_THREADS.iter().max().expect("non-empty");
+    let mut ids = Vec::with_capacity(max_threads);
+    for t in 0..max_threads {
+        let rec = Arc::new(Rec {
+            collection: t as u8,
+            payload: bytes(t as u64, E17_PAYLOAD),
+        });
+        let id = objects
+            .run(|tx| tx.create(p, Arc::clone(&rec) as _))
+            .expect("seed object");
+        ids.push(id);
+    }
+    (objects, ids)
+}
+
+/// Transactions/s with `threads` committers, each rewriting its own
+/// object for `window`. `single_writer_lock` models the paper's §7
+/// discipline: one transaction system-wide, serialized externally.
+fn e17_throughput(
+    objects: &tdb::ObjectStore,
+    ids: &[tdb::ObjectId],
+    threads: usize,
+    window: Duration,
+    single_writer_lock: Option<&std::sync::Mutex<()>>,
+) -> f64 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use crate::workload::Rec;
+
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (t, &id) in ids.iter().enumerate().take(threads) {
+            let (stop, total) = (&stop, &total);
+            s.spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let rec = Arc::new(Rec {
+                        collection: t as u8,
+                        payload: bytes(n ^ (t as u64) << 32, E17_PAYLOAD),
+                    });
+                    match single_writer_lock {
+                        Some(lock) => {
+                            let _guard = lock.lock().expect("single-writer lock");
+                            objects
+                                .run(|tx| tx.put(id, Arc::clone(&rec) as _))
+                                .expect("single-writer commit");
+                        }
+                        None => {
+                            objects
+                                .run_mvcc(|tx| tx.put(id, Arc::clone(&rec) as _))
+                                .expect("mvcc commit");
+                        }
+                    }
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed();
+    total.load(std::sync::atomic::Ordering::Relaxed).max(1) as f64 / elapsed.as_secs_f64()
+}
+
+/// Measures transactions/s at 1/2/4/8 threads for the externally
+/// serialized single-writer path and for concurrent MVCC transactions on
+/// the same store shape, printing the scaling table and recording it in
+/// `BENCH_mvcc.json`.
+pub fn e17_mvcc() {
+    println!("== E17: MVCC transaction throughput ==");
+    println!(
+        "workload: per-thread single-object transactions of {E17_PAYLOAD} B, \
+         flush-dominated simulated disk, group commit on"
+    );
+    let window = Duration::from_millis(300);
+
+    let (objects, ids) = e17_objects(false);
+    let lock = std::sync::Mutex::new(());
+    let single: Vec<f64> = E17_THREADS
+        .iter()
+        .map(|&t| e17_throughput(&objects, &ids, t, window, Some(&lock)))
+        .collect();
+    drop(objects);
+
+    let (objects, ids) = e17_objects(true);
+    let mvcc: Vec<f64> = E17_THREADS
+        .iter()
+        .map(|&t| e17_throughput(&objects, &ids, t, window, None))
+        .collect();
+    let stats = objects.mvcc_stats().expect("mvcc stats");
+    drop(objects);
+
+    for (name, rows) in [("single writer", &single), ("mvcc", &mvcc)] {
+        println!(
+            "  {:14} txns/s at 1/2/4/8 threads: {:>7.0} {:>7.0} {:>7.0} {:>7.0}",
+            name, rows[0], rows[1], rows[2], rows[3]
+        );
+    }
+    let speedup = mvcc[3] / single[3];
+    println!(
+        "  mvcc/single-writer aggregate at 8 threads: {speedup:.2}x \
+         ({} commits, {} conflicts)",
+        stats.committed, stats.conflicts
+    );
+    let row = |rows: &[f64]| {
+        E17_THREADS
+            .iter()
+            .zip(rows)
+            .map(|(t, r)| format!("\"{t}\": {r:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"mvcc_throughput\",\n  \"payload_bytes\": {},\n  \
+         \"window_ms\": {},\n  \
+         \"txns_per_sec\": {{\n    \"single_writer\": {{ {} }},\n    \
+         \"mvcc\": {{ {} }}\n  }},\n  \
+         \"mvcc_commits\": {},\n  \"mvcc_conflicts\": {},\n  \
+         \"speedup_8_threads\": {:.2}\n}}\n",
+        E17_PAYLOAD,
+        window.as_millis(),
+        row(&single),
+        row(&mvcc),
+        stats.committed,
+        stats.conflicts,
+        speedup
+    );
+    let path = "BENCH_mvcc.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}

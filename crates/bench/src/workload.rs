@@ -164,7 +164,8 @@ impl StoredObject for Rec {
     }
 }
 
-fn unpickle_rec(body: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
+/// Decodes a [`Rec`] body (shared with the E17 MVCC experiment).
+pub fn unpickle_rec(body: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
     if body.is_empty() {
         return Err(tdb_object::errors::ObjectError::BadPickle("rec".into()));
     }

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use tdb_core::PartitionId;
 use tdb_object::errors::{ObjectError, Result};
 use tdb_object::pickle::{StoredObject, TypeRegistry};
-use tdb_object::{ObjectId, Tx};
+use tdb_object::{ObjectId, Transactional};
 
 /// Reserved type tag for B-tree nodes.
 pub(crate) const BTREE_NODE_TAG: u32 = 0xF000_0002;
@@ -130,16 +130,16 @@ impl BTree {
         ObjectId::from_parts(self.partition, rank)
     }
 
-    fn read(&self, tx: &mut Tx<'_>, rank: u64) -> Result<Arc<BTreeNode>> {
+    fn read(&self, tx: &mut impl Transactional, rank: u64) -> Result<Arc<BTreeNode>> {
         tx.get::<BTreeNode>(self.node_id(rank))
     }
 
-    fn write(&self, tx: &mut Tx<'_>, rank: u64, node: BTreeNode) -> Result<()> {
+    fn write(&self, tx: &mut impl Transactional, rank: u64, node: BTreeNode) -> Result<()> {
         tx.put(self.node_id(rank), Arc::new(node))
     }
 
     /// Creates a fresh empty tree in `partition`, returning its handle.
-    pub fn create(tx: &mut Tx<'_>, partition: PartitionId) -> Result<BTree> {
+    pub fn create(tx: &mut impl Transactional, partition: PartitionId) -> Result<BTree> {
         let id = tx.create(partition, Arc::new(BTreeNode::empty_leaf()))?;
         Ok(BTree {
             partition,
@@ -148,7 +148,7 @@ impl BTree {
     }
 
     /// Inserts `(key, value)`. Duplicate pairs are idempotent.
-    pub fn insert(&self, tx: &mut Tx<'_>, key: &[u8], value: u64) -> Result<()> {
+    pub fn insert(&self, tx: &mut impl Transactional, key: &[u8], value: u64) -> Result<()> {
         if let Some((sep, new_child)) = self.insert_rec(tx, self.root, key, value)? {
             // The root split: move the root's current content into a fresh
             // left sibling; the root becomes internal over [left, right].
@@ -173,7 +173,7 @@ impl BTree {
     /// the visited node split.
     fn insert_rec(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         rank: u64,
         key: &[u8],
         value: u64,
@@ -232,7 +232,7 @@ impl BTree {
     }
 
     /// Removes `(key, value)`; returns whether it was present.
-    pub fn remove(&self, tx: &mut Tx<'_>, key: &[u8], value: u64) -> Result<bool> {
+    pub fn remove(&self, tx: &mut impl Transactional, key: &[u8], value: u64) -> Result<bool> {
         let removed = self.remove_rec(tx, self.root, key, value)?;
         if removed {
             // Collapse a childless-chain root: an internal root with no
@@ -252,7 +252,13 @@ impl BTree {
         Ok(removed)
     }
 
-    fn remove_rec(&self, tx: &mut Tx<'_>, rank: u64, key: &[u8], value: u64) -> Result<bool> {
+    fn remove_rec(
+        &self,
+        tx: &mut impl Transactional,
+        rank: u64,
+        key: &[u8],
+        value: u64,
+    ) -> Result<bool> {
         let node = self.read(tx, rank)?;
         let mut node = (*node).clone();
         if node.leaf {
@@ -291,7 +297,7 @@ impl BTree {
     /// `hi = None` means unbounded), in order.
     pub fn range(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
     ) -> Result<Vec<Entry>> {
@@ -302,7 +308,7 @@ impl BTree {
 
     fn range_rec(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         rank: u64,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
@@ -348,7 +354,7 @@ impl BTree {
     }
 
     /// All values whose key equals `key` exactly.
-    pub fn lookup(&self, tx: &mut Tx<'_>, key: &[u8]) -> Result<Vec<u64>> {
+    pub fn lookup(&self, tx: &mut impl Transactional, key: &[u8]) -> Result<Vec<u64>> {
         let mut hi = key.to_vec();
         hi.push(0);
         Ok(self
@@ -360,16 +366,16 @@ impl BTree {
     }
 
     /// Every entry, in order.
-    pub fn scan(&self, tx: &mut Tx<'_>) -> Result<Vec<Entry>> {
+    pub fn scan(&self, tx: &mut impl Transactional) -> Result<Vec<Entry>> {
         self.range(tx, None, None)
     }
 
     /// Deletes every node object of this tree (index drop).
-    pub fn destroy(&self, tx: &mut Tx<'_>) -> Result<()> {
+    pub fn destroy(&self, tx: &mut impl Transactional) -> Result<()> {
         self.destroy_rec(tx, self.root)
     }
 
-    fn destroy_rec(&self, tx: &mut Tx<'_>, rank: u64) -> Result<()> {
+    fn destroy_rec(&self, tx: &mut impl Transactional, rank: u64) -> Result<()> {
         let node = self.read(tx, rank)?;
         let children = node.children.clone();
         for c in children {

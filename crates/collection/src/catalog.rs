@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use tdb_object::errors::{ObjectError, Result};
 use tdb_object::pickle::{StoredObject, TypeRegistry};
-use tdb_object::{ObjectId, Tx};
+use tdb_object::{ObjectId, Transactional};
 
 use crate::CollectionId;
 
@@ -92,7 +92,10 @@ impl Catalog {
     /// # Errors
     ///
     /// Propagates object-store failures.
-    pub fn create(tx: &mut Tx<'_>, partition: tdb_core::PartitionId) -> Result<Catalog> {
+    pub fn create(
+        tx: &mut impl Transactional,
+        partition: tdb_core::PartitionId,
+    ) -> Result<Catalog> {
         Ok(Catalog(
             tx.create(partition, Arc::new(CatalogObj::default()))?,
         ))
@@ -103,12 +106,12 @@ impl Catalog {
     /// # Errors
     ///
     /// Fails if the object is missing or not a catalog.
-    pub fn open(tx: &mut Tx<'_>, id: ObjectId) -> Result<Catalog> {
+    pub fn open(tx: &mut impl Transactional, id: ObjectId) -> Result<Catalog> {
         let _: Arc<CatalogObj> = tx.get(id)?;
         Ok(Catalog(id))
     }
 
-    fn load(&self, tx: &mut Tx<'_>) -> Result<Arc<CatalogObj>> {
+    fn load(&self, tx: &mut impl Transactional) -> Result<Arc<CatalogObj>> {
         tx.get(self.0)
     }
 
@@ -117,7 +120,12 @@ impl Catalog {
     /// # Errors
     ///
     /// Propagates object-store failures.
-    pub fn put(&self, tx: &mut Tx<'_>, name: &str, collection: CollectionId) -> Result<()> {
+    pub fn put(
+        &self,
+        tx: &mut impl Transactional,
+        name: &str,
+        collection: CollectionId,
+    ) -> Result<()> {
         let mut obj = (*self.load(tx)?).clone();
         match obj.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
             Ok(i) => obj.entries[i].1 = collection.0.rank(),
@@ -133,7 +141,7 @@ impl Catalog {
     /// # Errors
     ///
     /// Propagates object-store failures.
-    pub fn get(&self, tx: &mut Tx<'_>, name: &str) -> Result<Option<CollectionId>> {
+    pub fn get(&self, tx: &mut impl Transactional, name: &str) -> Result<Option<CollectionId>> {
         let obj = self.load(tx)?;
         Ok(obj
             .entries
@@ -147,7 +155,7 @@ impl Catalog {
     /// # Errors
     ///
     /// Propagates object-store failures.
-    pub fn remove(&self, tx: &mut Tx<'_>, name: &str) -> Result<bool> {
+    pub fn remove(&self, tx: &mut impl Transactional, name: &str) -> Result<bool> {
         let mut obj = (*self.load(tx)?).clone();
         match obj.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
             Ok(i) => {
@@ -164,7 +172,7 @@ impl Catalog {
     /// # Errors
     ///
     /// Propagates object-store failures.
-    pub fn names(&self, tx: &mut Tx<'_>) -> Result<Vec<String>> {
+    pub fn names(&self, tx: &mut impl Transactional) -> Result<Vec<String>> {
         Ok(self
             .load(tx)?
             .entries

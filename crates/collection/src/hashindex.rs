@@ -11,7 +11,7 @@ use std::sync::Arc;
 use tdb_core::PartitionId;
 use tdb_object::errors::{ObjectError, Result};
 use tdb_object::pickle::{StoredObject, TypeRegistry};
-use tdb_object::{ObjectId, Tx};
+use tdb_object::{ObjectId, Transactional};
 
 /// Reserved type tag for hash-index directory objects.
 pub(crate) const HASH_DIR_TAG: u32 = 0xF000_0003;
@@ -141,7 +141,7 @@ impl HashIndex {
     }
 
     /// Creates an empty index.
-    pub fn create(tx: &mut Tx<'_>, partition: PartitionId) -> Result<HashIndex> {
+    pub fn create(tx: &mut impl Transactional, partition: PartitionId) -> Result<HashIndex> {
         let dir = HashDir {
             buckets: vec![0; BUCKETS],
         };
@@ -153,7 +153,7 @@ impl HashIndex {
     }
 
     /// Inserts `(key, value)` (idempotent on duplicates).
-    pub fn insert(&self, tx: &mut Tx<'_>, key: &[u8], value: u64) -> Result<()> {
+    pub fn insert(&self, tx: &mut impl Transactional, key: &[u8], value: u64) -> Result<()> {
         let dir = tx.get::<HashDir>(self.oid(self.root))?;
         let slot = bucket_of(key);
         let bucket_rank = dir.buckets[slot];
@@ -177,7 +177,7 @@ impl HashIndex {
     }
 
     /// Removes `(key, value)`; returns whether it was present.
-    pub fn remove(&self, tx: &mut Tx<'_>, key: &[u8], value: u64) -> Result<bool> {
+    pub fn remove(&self, tx: &mut impl Transactional, key: &[u8], value: u64) -> Result<bool> {
         let dir = tx.get::<HashDir>(self.oid(self.root))?;
         let bucket_rank = dir.buckets[bucket_of(key)];
         if bucket_rank == 0 {
@@ -198,7 +198,7 @@ impl HashIndex {
     }
 
     /// Every value stored under `key`.
-    pub fn lookup(&self, tx: &mut Tx<'_>, key: &[u8]) -> Result<Vec<u64>> {
+    pub fn lookup(&self, tx: &mut impl Transactional, key: &[u8]) -> Result<Vec<u64>> {
         let dir = tx.get::<HashDir>(self.oid(self.root))?;
         let bucket_rank = dir.buckets[bucket_of(key)];
         if bucket_rank == 0 {
@@ -214,7 +214,7 @@ impl HashIndex {
     }
 
     /// Every `(key, value)` pair, in no particular order.
-    pub fn scan(&self, tx: &mut Tx<'_>) -> Result<Vec<(Vec<u8>, u64)>> {
+    pub fn scan(&self, tx: &mut impl Transactional) -> Result<Vec<(Vec<u8>, u64)>> {
         let dir = tx.get::<HashDir>(self.oid(self.root))?;
         let buckets = dir.buckets.clone();
         let mut out = Vec::new();
@@ -228,7 +228,7 @@ impl HashIndex {
     }
 
     /// Deletes the directory and every bucket (index drop).
-    pub fn destroy(&self, tx: &mut Tx<'_>) -> Result<()> {
+    pub fn destroy(&self, tx: &mut impl Transactional) -> Result<()> {
         let dir = tx.get::<HashDir>(self.oid(self.root))?;
         let buckets = dir.buckets.clone();
         for rank in buckets {

@@ -31,7 +31,7 @@ use tdb_core::metrics::{self, modules};
 use tdb_core::PartitionId;
 use tdb_object::errors::{ObjectError, Result};
 use tdb_object::pickle::{StoredObject, TypeRegistry};
-use tdb_object::{ObjectId, Tx};
+use tdb_object::{ObjectId, Transactional};
 
 use btree::BTree;
 pub use catalog::Catalog;
@@ -215,11 +215,16 @@ impl CollectionStore {
         CollectionStore { extractors }
     }
 
-    fn load(&self, tx: &mut Tx<'_>, coll: CollectionId) -> Result<Arc<CollectionObj>> {
+    fn load(&self, tx: &mut impl Transactional, coll: CollectionId) -> Result<Arc<CollectionObj>> {
         tx.get::<CollectionObj>(coll.0)
     }
 
-    fn save(&self, tx: &mut Tx<'_>, coll: CollectionId, obj: CollectionObj) -> Result<()> {
+    fn save(
+        &self,
+        tx: &mut impl Transactional,
+        coll: CollectionId,
+        obj: CollectionObj,
+    ) -> Result<()> {
         tx.put(coll.0, Arc::new(obj))
     }
 
@@ -241,7 +246,7 @@ impl CollectionStore {
     /// Propagates object-store failures.
     pub fn create_collection(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         partition: PartitionId,
         name: &str,
     ) -> Result<CollectionId> {
@@ -261,7 +266,7 @@ impl CollectionStore {
     /// # Errors
     ///
     /// Fails if the collection does not exist.
-    pub fn name(&self, tx: &mut Tx<'_>, coll: CollectionId) -> Result<String> {
+    pub fn name(&self, tx: &mut impl Transactional, coll: CollectionId) -> Result<String> {
         Ok(self.load(tx, coll)?.name.clone())
     }
 
@@ -270,7 +275,7 @@ impl CollectionStore {
     /// # Errors
     ///
     /// Fails if the collection does not exist.
-    pub fn len(&self, tx: &mut Tx<'_>, coll: CollectionId) -> Result<u64> {
+    pub fn len(&self, tx: &mut impl Transactional, coll: CollectionId) -> Result<u64> {
         Ok(self.load(tx, coll)?.count)
     }
 
@@ -282,7 +287,7 @@ impl CollectionStore {
     /// Propagates object-store failures.
     pub fn insert(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         coll: CollectionId,
         object: Arc<dyn StoredObject>,
     ) -> Result<ObjectId> {
@@ -297,7 +302,7 @@ impl CollectionStore {
     /// # Errors
     ///
     /// Fails if the object does not exist.
-    pub fn add(&self, tx: &mut Tx<'_>, coll: CollectionId, id: ObjectId) -> Result<()> {
+    pub fn add(&self, tx: &mut impl Transactional, coll: CollectionId, id: ObjectId) -> Result<()> {
         let _t = metrics::span(modules::COLLECTION_STORE);
         let object = tx.get_dyn(id)?;
         self.link(tx, coll, id, object.as_ref())
@@ -305,7 +310,7 @@ impl CollectionStore {
 
     fn link(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         coll: CollectionId,
         id: ObjectId,
         object: &dyn StoredObject,
@@ -333,7 +338,7 @@ impl CollectionStore {
     /// Fails if the object is not a member.
     pub fn update(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         coll: CollectionId,
         id: ObjectId,
         new_object: Arc<dyn StoredObject>,
@@ -367,7 +372,12 @@ impl CollectionStore {
     /// # Errors
     ///
     /// Fails if the object is not a member.
-    pub fn remove(&self, tx: &mut Tx<'_>, coll: CollectionId, id: ObjectId) -> Result<()> {
+    pub fn remove(
+        &self,
+        tx: &mut impl Transactional,
+        coll: CollectionId,
+        id: ObjectId,
+    ) -> Result<()> {
         let _t = metrics::span(modules::COLLECTION_STORE);
         self.unlink(tx, coll, id)?;
         tx.delete(id)
@@ -378,7 +388,12 @@ impl CollectionStore {
     /// # Errors
     ///
     /// Fails if the object is not a member.
-    pub fn unlink(&self, tx: &mut Tx<'_>, coll: CollectionId, id: ObjectId) -> Result<()> {
+    pub fn unlink(
+        &self,
+        tx: &mut impl Transactional,
+        coll: CollectionId,
+        id: ObjectId,
+    ) -> Result<()> {
         let _t = metrics::span(modules::COLLECTION_STORE);
         let meta = self.load(tx, coll)?;
         let members = self.members(coll.0.partition(), &meta);
@@ -405,7 +420,7 @@ impl CollectionStore {
     /// Fails on a duplicate index name or unknown extractor.
     pub fn add_index(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         coll: CollectionId,
         index_name: &str,
         extractor_name: &str,
@@ -448,7 +463,12 @@ impl CollectionStore {
     /// # Errors
     ///
     /// Fails if the index does not exist.
-    pub fn drop_index(&self, tx: &mut Tx<'_>, coll: CollectionId, index_name: &str) -> Result<()> {
+    pub fn drop_index(
+        &self,
+        tx: &mut impl Transactional,
+        coll: CollectionId,
+        index_name: &str,
+    ) -> Result<()> {
         let _t = metrics::span(modules::COLLECTION_STORE);
         let meta = self.load(tx, coll)?;
         let Some(pos) = meta.indexes.iter().position(|i| i.name == index_name) else {
@@ -480,7 +500,11 @@ impl CollectionStore {
     /// # Errors
     ///
     /// Fails if the collection does not exist.
-    pub fn index_names(&self, tx: &mut Tx<'_>, coll: CollectionId) -> Result<Vec<String>> {
+    pub fn index_names(
+        &self,
+        tx: &mut impl Transactional,
+        coll: CollectionId,
+    ) -> Result<Vec<String>> {
         Ok(self
             .load(tx, coll)?
             .indexes
@@ -494,7 +518,7 @@ impl CollectionStore {
     /// # Errors
     ///
     /// Fails if the collection does not exist.
-    pub fn scan(&self, tx: &mut Tx<'_>, coll: CollectionId) -> Result<Vec<ObjectId>> {
+    pub fn scan(&self, tx: &mut impl Transactional, coll: CollectionId) -> Result<Vec<ObjectId>> {
         let _t = metrics::span(modules::COLLECTION_STORE);
         let meta = self.load(tx, coll)?;
         let members = self.members(coll.0.partition(), &meta);
@@ -512,7 +536,7 @@ impl CollectionStore {
     /// Fails on unknown index names.
     pub fn lookup(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         coll: CollectionId,
         index_name: &str,
         key: &[u8],
@@ -546,7 +570,7 @@ impl CollectionStore {
     /// Fails on unknown or unsorted indexes.
     pub fn range(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         coll: CollectionId,
         index_name: &str,
         lo: Option<&[u8]>,
@@ -580,7 +604,7 @@ impl CollectionStore {
     /// Fails on unknown index names.
     pub fn scan_index(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         coll: CollectionId,
         index_name: &str,
     ) -> Result<Vec<(Vec<u8>, ObjectId)>> {
@@ -615,7 +639,7 @@ impl CollectionStore {
 
     fn index_insert(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         partition: PartitionId,
         idx: &IndexMeta,
         key: &[u8],
@@ -637,7 +661,7 @@ impl CollectionStore {
 
     fn index_remove(
         &self,
-        tx: &mut Tx<'_>,
+        tx: &mut impl Transactional,
         partition: PartitionId,
         idx: &IndexMeta,
         key: &[u8],

@@ -35,7 +35,7 @@ impl Inner {
 
     /// Ensures the map chunk at `(p, pos)` is decoded in the cache,
     /// validating it against its descriptor on the way in.
-    fn ensure_map_chunk(&mut self, p: PartitionId, pos: Position) -> Result<()> {
+    pub(crate) fn ensure_map_chunk(&mut self, p: PartitionId, pos: Position) -> Result<()> {
         if self.map_cache.contains(p, pos) {
             return Ok(());
         }

@@ -20,8 +20,12 @@
 //! Every module extends the same `pub(crate) Inner` with `impl` blocks; no
 //! on-disk format or locking change is implied by the decomposition.
 
+//! - [`proof`] — client-verifiable read proofs: effective (dirty-aware)
+//!   map bodies, root digests, and Merkle-path extraction.
+
 pub(crate) mod checkpoint;
 pub(crate) mod commit;
 pub(crate) mod maintenance;
 pub(crate) mod map;
 pub(crate) mod partitions;
+pub(crate) mod proof;

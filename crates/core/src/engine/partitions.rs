@@ -303,7 +303,7 @@ impl Inner {
 
     /// True when `p` has any dirty cached map chunk inside the subtree
     /// rooted at `pos` (including `pos` itself).
-    fn subtree_has_dirty(&self, p: PartitionId, pos: Position) -> bool {
+    pub(crate) fn subtree_has_dirty(&self, p: PartitionId, pos: Position) -> bool {
         let fanout = u64::from(self.config.fanout);
         self.map_cache.dirty_keys().into_iter().any(|(q, dp)| {
             if q != p || dp.height > pos.height {

@@ -70,6 +70,7 @@ mod maintenance;
 pub mod metrics;
 pub mod params;
 mod pipeline;
+pub mod proof;
 mod readpath;
 mod recovery;
 pub mod shard;
@@ -80,6 +81,7 @@ pub use backup::{ApproveAll, BackupSetInfo, BackupSpec, BackupStore, RestorePoli
 pub use errors::{CoreError, FaultClass, Result, TamperKind};
 pub use ids::{ChunkId, PartitionId, Position};
 pub use params::CryptoParams;
+pub use proof::{verify_read_proof, ProofLevel, ReadProof};
 pub use shard::migration::{MigrationOutcome, MigrationState, MigrationStep};
 pub use shard::{LogicalId, ShardId, ShardManager, ShardOp, ShardSpec};
 pub use store::{

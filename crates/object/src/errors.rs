@@ -25,6 +25,12 @@ pub enum ObjectError {
     /// A lock could not be acquired within the timeout. The paper breaks
     /// deadlocks with timeouts (§7); the transaction should abort and retry.
     LockTimeout(ObjectId),
+    /// First-committer-wins: another transaction committed this object
+    /// after the failing transaction's snapshot. Retry the transaction.
+    WriteConflict(ObjectId),
+    /// An MVCC transaction was requested but the store was built without
+    /// the `mvcc` knob.
+    MvccDisabled,
     /// The transaction was already finished.
     TxFinished,
 }
@@ -50,6 +56,15 @@ impl fmt::Display for ObjectError {
                     f,
                     "lock timeout on {id} (possible deadlock; abort and retry)"
                 )
+            }
+            ObjectError::WriteConflict(id) => {
+                write!(
+                    f,
+                    "write conflict on {id}: a newer version committed after this snapshot"
+                )
+            }
+            ObjectError::MvccDisabled => {
+                write!(f, "mvcc transactions are disabled for this store")
             }
             ObjectError::TxFinished => write!(f, "transaction already committed or aborted"),
         }

@@ -16,11 +16,15 @@
 //!   ([`cache`]);
 //! - transactions with two-phase shared/exclusive locking and
 //!   timeout-based deadlock breaking ([`locks`]), no-steal buffering of
-//!   dirty objects, and atomic group commit through the chunk store.
+//!   dirty objects, and atomic group commit through the chunk store;
+//! - optional snapshot-isolation MVCC transactions ([`mvcc`]) with
+//!   first-committer-wins conflict detection and client-verifiable
+//!   proof-carrying reads.
 
 pub mod cache;
 pub mod errors;
 pub mod locks;
+pub mod mvcc;
 pub mod pickle;
 
 use std::fmt;
@@ -37,6 +41,8 @@ use tdb_core::{ChunkId, PartitionId};
 use cache::ShardedObjectCache;
 use errors::{ObjectError, Result};
 use locks::{LockManager, LockMode, TxId};
+use mvcc::MvccManager;
+pub use mvcc::{MvccStats, MvccTx, VerifiedRead};
 use pickle::{downcast, StoredObject, TypeRegistry};
 
 /// A stable object name: the chunk id holding the object's pickle.
@@ -85,6 +91,10 @@ pub struct ObjectStoreConfig {
     /// and reloaded at commit. `usize::MAX` disables stealing (the paper's
     /// default no-steal policy).
     pub steal_threshold_bytes: usize,
+    /// Enables snapshot-isolation MVCC transactions ([`ObjectStore::begin_mvcc`]).
+    /// Off by default: the paper's object store is single-writer two-phase
+    /// locking, and the off path is byte-for-byte unchanged.
+    pub mvcc: bool,
 }
 
 impl Default for ObjectStoreConfig {
@@ -94,6 +104,7 @@ impl Default for ObjectStoreConfig {
             cache_shards: 8,
             lock_timeout: Duration::from_millis(500),
             steal_threshold_bytes: usize::MAX,
+            mvcc: false,
         }
     }
 }
@@ -109,6 +120,8 @@ pub struct ObjectStore {
     /// Scratch partition for spilled (stolen) dirty objects, created
     /// lazily and reclaimed on drop.
     spill: Mutex<Option<PartitionId>>,
+    /// MVCC coordinator, present when the `mvcc` knob is on.
+    mvcc: Option<MvccManager>,
 }
 
 impl ObjectStore {
@@ -126,6 +139,7 @@ impl ObjectStore {
             next_tx: AtomicU64::new(1),
             steal_threshold: config.steal_threshold_bytes,
             spill: Mutex::new(None),
+            mvcc: config.mvcc.then(MvccManager::new),
         }
     }
 
@@ -191,6 +205,57 @@ impl ObjectStore {
                 }
             }
         }
+    }
+
+    /// True when MVCC transactions are enabled.
+    pub fn mvcc_enabled(&self) -> bool {
+        self.mvcc.is_some()
+    }
+
+    /// Begins a snapshot-isolation MVCC transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectError::MvccDisabled`] unless the store was built with
+    /// [`ObjectStoreConfig::mvcc`].
+    pub fn begin_mvcc(&self) -> Result<MvccTx<'_>> {
+        let _t = metrics::span(modules::OBJECT_STORE);
+        let mgr = self.mvcc.as_ref().ok_or(ObjectError::MvccDisabled)?;
+        Ok(MvccTx::begin(self, mgr))
+    }
+
+    /// Runs `f` inside an MVCC transaction, committing on `Ok` and
+    /// aborting on `Err`. Write conflicts restart the transaction on a
+    /// fresh snapshot, up to 8 attempts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error, commit failures, or the final
+    /// [`ObjectError::WriteConflict`] once retries are exhausted.
+    pub fn run_mvcc<R>(&self, mut f: impl FnMut(&mut MvccTx<'_>) -> Result<R>) -> Result<R> {
+        let mut attempts = 0;
+        loop {
+            let mut tx = self.begin_mvcc()?;
+            match f(&mut tx).and_then(|value| tx.commit().map(|()| value)) {
+                Err(ObjectError::WriteConflict(_)) if attempts < 8 => attempts += 1,
+                other => return other,
+            }
+        }
+    }
+
+    /// MVCC counters, when enabled.
+    pub fn mvcc_stats(&self) -> Option<MvccStats> {
+        self.mvcc.as_ref().map(MvccManager::stats)
+    }
+
+    /// The partition's current committed root digest — the trust anchor a
+    /// client pins to verify [`VerifiedRead`]s.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition does not exist or the store is failed.
+    pub fn snapshot_root(&self, partition: PartitionId) -> Result<tdb_crypto::HashValue> {
+        Ok(self.chunks.snapshot_root(partition)?)
     }
 
     /// (hits, misses) of the object cache.
@@ -585,5 +650,85 @@ impl Drop for Tx<'_> {
             // An abandoned transaction aborts implicitly.
             self.store.locks.release_all(self.id);
         }
+    }
+}
+
+/// The common transactional surface of [`Tx`] (two-phase locking) and
+/// [`MvccTx`] (snapshot isolation). Code layered on the object store —
+/// collections, catalogs — takes `&mut impl Transactional` and runs
+/// unchanged under either concurrency control scheme.
+pub trait Transactional {
+    /// Creates a new object in `partition`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition does not exist.
+    fn create(&mut self, partition: PartitionId, object: Arc<dyn StoredObject>)
+        -> Result<ObjectId>;
+
+    /// Reads an object, dynamically typed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object is missing (at the transaction's view) or on
+    /// lock timeout.
+    fn get_dyn(&mut self, id: ObjectId) -> Result<Arc<dyn StoredObject>>;
+
+    /// Reads an object for a read-modify-write sequence: an exclusive
+    /// lock under two-phase locking, a plain snapshot read under MVCC
+    /// (the write conflict surfaces at commit).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Transactional::get`].
+    fn get_for_update<T: StoredObject>(&mut self, id: ObjectId) -> Result<Arc<T>>;
+
+    /// Replaces an object's state (buffered until commit).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist or on lock timeout.
+    fn put(&mut self, id: ObjectId, object: Arc<dyn StoredObject>) -> Result<()>;
+
+    /// Deletes an object (buffered until commit).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist or on lock timeout.
+    fn delete(&mut self, id: ObjectId) -> Result<()>;
+
+    /// Reads an object, checking its type.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Transactional::get_dyn`], or on type mismatch.
+    fn get<T: StoredObject>(&mut self, id: ObjectId) -> Result<Arc<T>> {
+        downcast(self.get_dyn(id)?)
+    }
+}
+
+impl Transactional for Tx<'_> {
+    fn create(
+        &mut self,
+        partition: PartitionId,
+        object: Arc<dyn StoredObject>,
+    ) -> Result<ObjectId> {
+        Tx::create(self, partition, object)
+    }
+
+    fn get_dyn(&mut self, id: ObjectId) -> Result<Arc<dyn StoredObject>> {
+        Tx::get_dyn(self, id)
+    }
+
+    fn get_for_update<T: StoredObject>(&mut self, id: ObjectId) -> Result<Arc<T>> {
+        Tx::get_for_update(self, id)
+    }
+
+    fn put(&mut self, id: ObjectId, object: Arc<dyn StoredObject>) -> Result<()> {
+        Tx::put(self, id, object)
+    }
+
+    fn delete(&mut self, id: ObjectId) -> Result<()> {
+        Tx::delete(self, id)
     }
 }

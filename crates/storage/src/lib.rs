@@ -41,7 +41,7 @@ pub use faulty::{
 pub use remote::{BatchingStore, RemoteStore};
 pub use retry::{IoPolicy, NoDelay, RetryClock, RetryObserver, RetryStore, SleepBackoff};
 pub use simdisk::{DiskModel, SimClock, SimDiskStore};
-pub use stats::StoreStats;
+pub use stats::{StatsSnapshot, StoreStats};
 pub use trusted::{
     CounterOverTrusted, FileTrustedStore, MemTrustedStore, MonotonicCounter, TrustedStore,
 };

@@ -63,13 +63,16 @@ pub use tdb_collection::{
 };
 pub use tdb_core::backup::{BackupDescriptor, BackupSetInfo, BackupSpec, RestorePolicy};
 pub use tdb_core::store::{ChunkStoreConfig, StoreHealth, TrustedBackend, ValidationMode};
+pub use tdb_core::{verify_read_proof, ReadProof};
 pub use tdb_core::{
     ApproveAll, ChunkId, ChunkStore, CommitOp, CryptoParams, FaultClass, LogicalId,
     MigrationOutcome, MigrationState, MigrationStep, PartitionId, ShardId, ShardManager, ShardOp,
     ShardSpec,
 };
 pub use tdb_object::pickle::{downcast, StoredObject, TypeRegistry, Unpickler};
-pub use tdb_object::{ObjectId, ObjectStore, ObjectStoreConfig, Tx};
+pub use tdb_object::{
+    MvccStats, MvccTx, ObjectId, ObjectStore, ObjectStoreConfig, Transactional, Tx, VerifiedRead,
+};
 
 use tdb_core::backup::BackupStore;
 use tdb_crypto::SecretKey;
@@ -191,6 +194,15 @@ impl TrustedDbBuilder {
     /// Overrides the object store configuration.
     pub fn object_config(mut self, config: ObjectStoreConfig) -> Self {
         self.object_config = config;
+        self
+    }
+
+    /// Enables snapshot-isolation MVCC transactions
+    /// ([`TrustedDb::begin_mvcc`], [`TrustedDb::run_mvcc`]). Off by
+    /// default: the paper's object store is single-writer two-phase
+    /// locking, and with the knob off the commit path is unchanged.
+    pub fn mvcc(mut self, on: bool) -> Self {
+        self.object_config.mvcc = on;
         self
     }
 
@@ -457,6 +469,42 @@ impl TrustedDb {
     /// Propagates the closure's error or commit failures.
     pub fn run<R>(&self, f: impl FnMut(&mut Tx<'_>) -> tdb_object::errors::Result<R>) -> Result<R> {
         self.objects.run(f).map_err(Into::into)
+    }
+
+    /// Begins a snapshot-isolation MVCC transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the database was built with
+    /// [`TrustedDbBuilder::mvcc`].
+    pub fn begin_mvcc(&self) -> Result<MvccTx<'_>> {
+        self.objects.begin_mvcc().map_err(Into::into)
+    }
+
+    /// Runs a closure in an MVCC transaction (commit on `Ok`, abort on
+    /// `Err`, write conflicts retried on fresh snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error, commit failures, or an unresolved
+    /// write conflict.
+    pub fn run_mvcc<R>(
+        &self,
+        f: impl FnMut(&mut MvccTx<'_>) -> tdb_object::errors::Result<R>,
+    ) -> Result<R> {
+        self.objects.run_mvcc(f).map_err(Into::into)
+    }
+
+    /// The default partition's current committed root digest — the trust
+    /// anchor clients pin to verify [`VerifiedRead`]s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chunk-store failures.
+    pub fn snapshot_root(&self) -> Result<tdb_crypto::HashValue> {
+        self.objects
+            .snapshot_root(self.partition)
+            .map_err(Into::into)
     }
 
     /// Creates an additional partition with its own cryptographic

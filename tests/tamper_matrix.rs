@@ -292,3 +292,187 @@ fn superblock_corruption_fails_closed() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The read-proof tamper matrix (ISSUE 7): a client holding only the root
+// digest must reject every single-byte perturbation of a `ReadProof` — the
+// record body, any path sibling (level body), the embedded root, and the
+// pinned root itself.
+// ---------------------------------------------------------------------------
+
+mod proof_tamper {
+    use super::*;
+    use tdb_core::{verify_read_proof, ReadProof};
+    use tdb_crypto::HashValue;
+
+    struct Proven {
+        body: Vec<u8>,
+        proof: ReadProof,
+        root: HashValue,
+    }
+
+    /// Writes a tree several levels deep and extracts a proof per chunk.
+    fn proven_reads() -> Vec<Proven> {
+        let register = Arc::new(MemTrustedStore::new(64));
+        let config = ChunkStoreConfig {
+            fanout: 4,
+            segment_size: 4096,
+            validation: ValidationMode::Counter {
+                delta_ut: 5,
+                delta_tu: 0,
+            },
+            ..ChunkStoreConfig::default()
+        };
+        let store = ChunkStore::create(
+            Arc::new(MemStore::new()) as SharedUntrusted,
+            backend_for(&config, &register),
+            SecretKey::random(24),
+            config,
+        )
+        .unwrap();
+        let p = store.allocate_partition().unwrap();
+        store
+            .commit(vec![CommitOp::CreatePartition {
+                id: p,
+                params: CryptoParams::paper_default(),
+            }])
+            .unwrap();
+        let mut ids = Vec::new();
+        for i in 0..9u32 {
+            let c = store.allocate_chunk(p).unwrap();
+            store
+                .commit(vec![CommitOp::WriteChunk {
+                    id: c,
+                    bytes: format!("proven record {i}: {}", "y".repeat(i as usize * 11))
+                        .into_bytes(),
+                }])
+                .unwrap();
+            ids.push(c);
+        }
+        let root = store.snapshot_root(p).unwrap();
+        ids.into_iter()
+            .map(|id| {
+                let (body, proof) = store.read_with_proof(id).unwrap();
+                Proven { body, proof, root }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intact_proofs_verify() {
+        for pr in proven_reads() {
+            assert!(
+                pr.proof.levels.len() >= 2,
+                "tree too shallow to exercise paths"
+            );
+            assert!(verify_read_proof(&pr.proof, &pr.body, &pr.root));
+        }
+    }
+
+    #[test]
+    fn every_record_byte_flip_rejected() {
+        for pr in proven_reads() {
+            for i in 0..pr.body.len() {
+                let mut body = pr.body.clone();
+                body[i] ^= 0x01;
+                assert!(
+                    !verify_read_proof(&pr.proof, &body, &pr.root),
+                    "flipped record byte {i} still verified"
+                );
+            }
+            // Truncation and extension: the leaf descriptor pins the size.
+            assert!(!verify_read_proof(
+                &pr.proof,
+                &pr.body[..pr.body.len() - 1],
+                &pr.root
+            ));
+            let mut longer = pr.body.clone();
+            longer.push(0);
+            assert!(!verify_read_proof(&pr.proof, &longer, &pr.root));
+        }
+    }
+
+    #[test]
+    fn every_path_sibling_byte_flip_rejected() {
+        for pr in proven_reads() {
+            for level in 0..pr.proof.levels.len() {
+                for i in 0..pr.proof.levels[level].body.len() {
+                    let mut proof = pr.proof.clone();
+                    proof.levels[level].body[i] ^= 0x01;
+                    assert!(
+                        !verify_read_proof(&proof, &pr.body, &pr.root),
+                        "flipped byte {i} of level {level} body still verified"
+                    );
+                }
+                // A redirected slot index must not verify either.
+                let mut proof = pr.proof.clone();
+                proof.levels[level].slot = (proof.levels[level].slot + 1) % 4;
+                assert!(!verify_read_proof(&proof, &pr.body, &pr.root));
+            }
+        }
+    }
+
+    #[test]
+    fn every_root_byte_flip_rejected() {
+        for pr in proven_reads() {
+            // The root embedded in the proof…
+            for i in 0..pr.proof.root.as_bytes().len() {
+                let mut bytes = pr.proof.root.as_bytes().to_vec();
+                bytes[i] ^= 0x01;
+                let mut proof = pr.proof.clone();
+                proof.root = HashValue::new(&bytes);
+                assert!(
+                    !verify_read_proof(&proof, &pr.body, &pr.root),
+                    "flipped embedded-root byte {i} still verified"
+                );
+            }
+            // …and the digest the client pinned.
+            for i in 0..pr.root.as_bytes().len() {
+                let mut bytes = pr.root.as_bytes().to_vec();
+                bytes[i] ^= 0x01;
+                assert!(
+                    !verify_read_proof(&pr.proof, &pr.body, &HashValue::new(&bytes)),
+                    "flipped pinned-root byte {i} still verified"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_cannot_vouch_for_an_aliased_rank() {
+        // Slot indices are the rank's base-fanout digits, so rank
+        // r + fanout^levels walks the same path; the verifier must reject
+        // the alias by requiring the walk to end at the root.
+        for pr in proven_reads() {
+            let mut proof = pr.proof.clone();
+            proof.id.pos.rank += 4u64.pow(proof.levels.len() as u32);
+            assert!(
+                !verify_read_proof(&proof, &pr.body, &pr.root),
+                "out-of-range alias rank verified"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_proof_byte_flips_never_vouch_for_the_claimed_id() {
+        // Sweep the wire form: each flip must fail to decode, fail to
+        // verify, or change the claimed id (which callers compare against
+        // the id they requested).
+        let pr = &proven_reads()[3];
+        let encoded = pr.proof.encode();
+        for i in 0..encoded.len() {
+            let mut bytes = encoded.clone();
+            bytes[i] ^= 0x01;
+            let Ok(decoded) = ReadProof::decode(&bytes) else {
+                continue;
+            };
+            if decoded.id != pr.proof.id {
+                continue;
+            }
+            assert!(
+                !verify_read_proof(&decoded, &pr.body, &pr.root),
+                "flipped encoded byte {i} still verified for the claimed id"
+            );
+        }
+    }
+}
