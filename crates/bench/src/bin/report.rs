@@ -27,10 +27,10 @@ fn main() {
             selected.push(arg.to_lowercase());
         }
     }
-    const KNOWN: [&str; 28] = [
+    const KNOWN: [&str; 30] = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "fig9", "fig10", "fig11", "fig12", "conc", "commit", "clean", "shard",
-        "mvcc", "all", "micro",
+        "e15", "e16", "e17", "e18", "fig9", "fig10", "fig11", "fig12", "conc", "commit", "clean",
+        "shard", "mvcc", "validate", "all", "micro",
     ];
     for name in &selected {
         if !KNOWN.contains(&name.as_str()) {
@@ -44,7 +44,7 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "usage: report [--runs N] <experiments...>\n\
-             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 e13|conc e14|commit e15|clean e16|shard e17|mvcc | all | micro"
+             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 e13|conc e14|commit e15|clean e16|shard e17|mvcc e18|validate | all | micro"
         );
         std::process::exit(2);
     }
@@ -107,5 +107,8 @@ fn main() {
     }
     if want("e17", &["mvcc"]) {
         experiments::e17_mvcc();
+    }
+    if want("e18", &["validate"]) {
+        experiments::e18_validation_overhead();
     }
 }

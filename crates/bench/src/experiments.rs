@@ -1578,3 +1578,146 @@ pub fn e17_mvcc() {
     std::fs::write(path, json).expect("write benchmark artifact");
     println!("  wrote {path}");
 }
+
+// ---------------------------------------------------------------------------
+// E18: validation overhead — lazy vs eager Merkle materialization.
+// ---------------------------------------------------------------------------
+
+const E18_CHUNKS: u64 = 1024;
+const E18_CHUNK_BYTES: usize = 128;
+const E18_ITERS: usize = 30;
+const E18_QUERIES: usize = 6;
+
+/// Builds a store (lazy or eager) holding `E18_CHUNKS` committed,
+/// *uncheckpointed* chunks, so every root/proof query walks a fully dirty
+/// tree — the worst case the accumulator attacks.
+fn e18_store(lazy: bool, sealed: bool) -> (Arc<ChunkStore>, tdb::PartitionId, Vec<ChunkId>) {
+    let platform = Platform::new(IoMode::Raw);
+    let config = ChunkStoreConfig {
+        // Never checkpoint during the run: the dirty tree must persist.
+        checkpoint_threshold: 10_000_000,
+        lazy_integrity: lazy,
+        ..paper_config()
+    };
+    let store = Arc::new(
+        ChunkStore::create(
+            Arc::clone(&platform.untrusted),
+            platform.counter_backend(),
+            platform.secret.clone(),
+            config,
+        )
+        .expect("create chunk store"),
+    );
+    let p = store.allocate_partition().expect("allocate partition");
+    let params = if sealed {
+        CryptoParams::generate(CipherKind::Des, HashKind::Sha1)
+    } else {
+        CryptoParams::generate(CipherKind::Null, HashKind::Null)
+    };
+    store
+        .commit(vec![CommitOp::CreatePartition { id: p, params }])
+        .expect("create partition");
+    for _ in 0..E18_CHUNKS {
+        store.allocate_chunk(p).expect("allocate");
+    }
+    let ops = (0..E18_CHUNKS)
+        .map(|rank| CommitOp::WriteChunk {
+            id: ChunkId::data(p, rank),
+            bytes: bytes(rank, E18_CHUNK_BYTES),
+        })
+        .collect();
+    store.commit(ops).expect("commit");
+    let ids = (0..E18_CHUNKS).map(|rank| ChunkId::data(p, rank)).collect();
+    (store, p, ids)
+}
+
+/// Iterations/s of the proof-heavy loop: one small overwrite commit
+/// followed by `E18_QUERIES` root + proof queries against the dirty tree.
+fn e18_throughput(store: &ChunkStore, p: tdb::PartitionId, ids: &[ChunkId]) -> f64 {
+    let run = |iters: usize, offset: usize| {
+        for i in offset..offset + iters {
+            store
+                .commit(vec![CommitOp::WriteChunk {
+                    id: ids[i % ids.len()],
+                    bytes: bytes(i as u64, E18_CHUNK_BYTES),
+                }])
+                .expect("commit");
+            for q in 0..E18_QUERIES {
+                let root = store.snapshot_root(p).expect("root");
+                let pair = store
+                    .read_with_proof(ids[(i * E18_QUERIES + q) % ids.len()])
+                    .expect("proof");
+                std::hint::black_box((root, pair));
+            }
+        }
+    };
+    run(2, 0); // Warm caches (map chunks, memo) outside the window.
+    let start = Instant::now();
+    run(E18_ITERS, 2);
+    E18_ITERS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures the sealed-vs-plaintext throughput gap of a proof-heavy
+/// workload under eager and lazy integrity, printing the comparison and
+/// recording it in `BENCH_validation_overhead.json`. The headline number
+/// is `gap_eager / gap_lazy`: how much of the validation overhead the
+/// accumulator makes disappear.
+pub fn e18_validation_overhead() {
+    println!("== E18: validation overhead (lazy Merkle materialization) ==");
+    println!(
+        "workload: {} chunks x {} B, {} iterations of 1 commit + {} root/proof \
+         queries on a dirty tree, in-memory store",
+        E18_CHUNKS, E18_CHUNK_BYTES, E18_ITERS, E18_QUERIES
+    );
+    let mut tput = std::collections::BTreeMap::new();
+    let mut lazy_counters = (0u64, 0u64);
+    for lazy in [false, true] {
+        for sealed in [false, true] {
+            let (store, p, ids) = e18_store(lazy, sealed);
+            let rate = e18_throughput(&store, p, &ids);
+            let mode = if lazy { "lazy" } else { "eager" };
+            let prot = if sealed { "sealed" } else { "plain" };
+            println!("  {mode:5} {prot:6} {rate:>8.1} iters/s");
+            if lazy && sealed {
+                let stats = store.stats();
+                lazy_counters = (stats.lazy_hash_hits, stats.lazy_hash_recomputes);
+            }
+            tput.insert(format!("{mode}_{prot}"), rate);
+            store.close().expect("close");
+        }
+    }
+    let gap_eager = tput["eager_plain"] / tput["eager_sealed"];
+    let gap_lazy = tput["lazy_plain"] / tput["lazy_sealed"];
+    let improvement = gap_eager / gap_lazy;
+    println!("  sealed-vs-plaintext gap: eager {gap_eager:.2}x, lazy {gap_lazy:.2}x");
+    println!(
+        "  validation-gap shrink (eager/lazy): {improvement:.2}x \
+         (memo hits {}, recomputes {})",
+        lazy_counters.0, lazy_counters.1
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"validation_overhead\",\n  \"chunks\": {},\n  \
+         \"chunk_bytes\": {},\n  \"iterations\": {},\n  \"queries_per_commit\": {},\n  \
+         \"iters_per_sec\": {{\n    \"eager_plain\": {:.1},\n    \"eager_sealed\": {:.1},\n    \
+         \"lazy_plain\": {:.1},\n    \"lazy_sealed\": {:.1}\n  }},\n  \
+         \"gap_eager\": {:.3},\n  \"gap_lazy\": {:.3},\n  \
+         \"gap_improvement\": {:.3},\n  \
+         \"lazy_hash_hits\": {},\n  \"lazy_hash_recomputes\": {}\n}}\n",
+        E18_CHUNKS,
+        E18_CHUNK_BYTES,
+        E18_ITERS,
+        E18_QUERIES,
+        tput["eager_plain"],
+        tput["eager_sealed"],
+        tput["lazy_plain"],
+        tput["lazy_sealed"],
+        gap_eager,
+        gap_lazy,
+        improvement,
+        lazy_counters.0,
+        lazy_counters.1
+    );
+    let path = "BENCH_validation_overhead.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}

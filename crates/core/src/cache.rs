@@ -140,6 +140,28 @@ impl MapCache {
         }
     }
 
+    /// True when any dirty entry of `partition` lies inside the subtree
+    /// rooted at `pos` (including `pos` itself).
+    ///
+    /// Dirty positions at height `h ≤ pos.height` fall under `pos` exactly
+    /// when their rank is in `[pos.rank·F^(pos.height−h),
+    /// (pos.rank+1)·F^(pos.height−h))`, and the index orders entries by
+    /// (partition, height, rank) — so each level is one O(log n) range
+    /// probe instead of a scan of every dirty key.
+    pub fn subtree_dirty(&self, partition: PartitionId, pos: Position, fanout: u64) -> bool {
+        for height in 1..=pos.height {
+            let span = fanout.saturating_pow(u32::from(pos.height - height));
+            let lo = pos.rank.saturating_mul(span);
+            let hi = lo.saturating_add(span - 1);
+            let start = (partition, Position::map(height, lo));
+            let end = (partition, Position::map(height, hi));
+            if self.dirty.range(start..=end).next().is_some() {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Number of dirty entries (drives checkpoint triggering, §4.7: "when
     /// the cache becomes too large because of dirty descriptors"). O(1)
     /// via the dirty index.
@@ -363,6 +385,51 @@ mod tests {
         cache.insert(p(2), Position::map(1, 0), mc(4, 5), true);
         cache.purge_partition(p(2));
         assert_eq!(cache.dirty_count(), 0);
+    }
+
+    #[test]
+    fn subtree_dirty_matches_linear_scan() {
+        let fanout = 4u64;
+        let mut cache = MapCache::new(256);
+        // A mix of dirty and clean chunks across partitions and levels.
+        for (part, height, rank, dirty) in [
+            (1u32, 1u8, 0u64, true),
+            (1, 1, 5, true),
+            (1, 2, 1, false),
+            (1, 3, 0, true),
+            (2, 1, 3, true),
+            (2, 2, 0, false),
+            (3, 1, 15, true),
+        ] {
+            cache.insert(
+                p(part),
+                Position::map(height, rank),
+                mc(4, rank as u8),
+                dirty,
+            );
+        }
+        // The reference semantics: climb each dirty key to pos.height by
+        // rank division (what the old O(dirty) scan computed).
+        let reference = |part: PartitionId, pos: Position| {
+            cache.dirty_keys().into_iter().any(|(q, dp)| {
+                q == part && dp.height <= pos.height && {
+                    let levels = u32::from(pos.height - dp.height);
+                    dp.rank / fanout.saturating_pow(levels) == pos.rank
+                }
+            })
+        };
+        for part in [1u32, 2, 3, 4] {
+            for height in 1u8..=4 {
+                for rank in 0u64..20 {
+                    let pos = Position::map(height, rank);
+                    assert_eq!(
+                        cache.subtree_dirty(p(part), pos, fanout),
+                        reference(p(part), pos),
+                        "partition {part} pos ({height},{rank})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,13 @@ impl Enc {
         }
     }
 
+    /// Creates an encoder that reuses `buf`'s allocation, clearing any
+    /// existing contents.
+    pub fn reusing(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Enc { buf }
+    }
+
     /// Finishes, returning the encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf

@@ -15,6 +15,10 @@ use tdb_crypto::HashValue;
 use crate::codec::{Dec, Enc};
 use crate::errors::{CoreError, Result};
 
+/// Zero padding written in place of the hash for non-written slots; sized
+/// for the largest supported digest (SHA-256).
+const ZERO_HASH: [u8; 32] = [0u8; 32];
+
 /// Allocation status of a chunk id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChunkStatus {
@@ -122,6 +126,9 @@ impl Descriptor {
         if self.status == ChunkStatus::Written {
             debug_assert_eq!(self.hash.len(), hash_len);
             e.raw(self.hash.as_bytes());
+        } else if hash_len <= ZERO_HASH.len() {
+            // Every supported digest fits; no heap allocation per slot.
+            e.raw(&ZERO_HASH[..hash_len]);
         } else {
             e.raw(&vec![0u8; hash_len]);
         }
@@ -171,11 +178,20 @@ impl MapChunk {
 
     /// Serializes the map chunk body.
     pub fn encode(&self, hash_len: usize) -> Vec<u8> {
-        let mut e = Enc::with_capacity(self.slots.len() * Descriptor::encoded_len(hash_len));
+        let mut out = Vec::with_capacity(self.slots.len() * Descriptor::encoded_len(hash_len));
+        self.encode_into(hash_len, &mut out);
+        out
+    }
+
+    /// Serializes into `out` (cleared first), reusing its allocation — the
+    /// checkpoint writer encodes thousands of map chunks back to back and
+    /// keeps one scratch buffer across them.
+    pub fn encode_into(&self, hash_len: usize, out: &mut Vec<u8>) {
+        let mut e = Enc::reusing(std::mem::take(out));
         for slot in &self.slots {
             slot.encode(&mut e, hash_len);
         }
-        e.finish()
+        *out = e.finish();
     }
 
     /// Inverse of [`MapChunk::encode`].

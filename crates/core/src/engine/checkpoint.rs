@@ -131,7 +131,7 @@ impl Inner {
             ValidationMode::Counter { .. } => {
                 let set_hash = self.hashes.end_set();
                 let count = self.commit_count + 1;
-                let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
+                let body = CommitRecord::encode_signed(&self.system, count, set_hash.as_bytes());
                 let sealed = {
                     let _t = metrics::span(modules::ENCRYPTION);
                     seal_version(
@@ -139,7 +139,7 @@ impl Inner {
                         &self.system,
                         VersionKind::Commit,
                         VersionHeader::unnamed_id(),
-                        &record.encode(),
+                        &body,
                     )
                 };
                 self.append(&sealed)?;
@@ -187,8 +187,11 @@ impl Inner {
     fn write_map_level(&mut self, keys: &[(PartitionId, Position)]) -> Result<()> {
         let workers = pipeline::resolve_workers(self.config.crypto_workers);
         if workers < 2 || keys.len() < 2 {
+            // One scratch buffer serves the whole level: each chunk's body
+            // is encoded, sealed, and appended before the next is encoded.
+            let mut scratch = Vec::new();
             for (p, pos) in keys {
-                self.write_map_chunk(*p, *pos)?;
+                self.write_map_chunk(*p, *pos, &mut scratch)?;
             }
             return Ok(());
         }
@@ -234,15 +237,19 @@ impl Inner {
         Ok(())
     }
 
-    fn write_map_chunk(&mut self, p: PartitionId, pos: Position) -> Result<()> {
+    fn write_map_chunk(
+        &mut self,
+        p: PartitionId,
+        pos: Position,
+        scratch: &mut Vec<u8>,
+    ) -> Result<()> {
         let hash_len = self.crypto_for(p)?.hash_kind().digest_len();
-        let body = self
-            .map_cache
+        self.map_cache
             .get(p, pos)
             .expect("dirty chunk must be cached")
-            .encode(hash_len);
+            .encode_into(hash_len, scratch);
         let id = ChunkId::new(p, pos);
-        let desc = self.write_named(VersionKind::Named, id, &body)?;
+        let desc = self.write_named(VersionKind::Named, id, scratch)?;
         self.set_descriptor(id, desc)?;
         self.map_cache.mark_clean(p, pos);
         Ok(())

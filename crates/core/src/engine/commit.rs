@@ -125,6 +125,10 @@ impl Inner {
         self.leader_version = snap.leader_version;
         self.superblock = snap.superblock;
         self.stats = snap.stats;
+        // The restored map cache may differ from the state the memoized
+        // effective hashes were computed against; drop them wholesale
+        // (rollback is rare, correctness beats precision here).
+        self.lazy.clear();
     }
 }
 
@@ -476,6 +480,9 @@ impl Inner {
                 // Clone buffered (dirty) map state so dst sees post-
                 // checkpoint updates of src (§5.3).
                 self.map_cache.clone_dirty(src, dst);
+                // dst's effective tree is rebuilt from src's state; any
+                // memoized hashes for a previous incarnation of dst are void.
+                self.lazy.invalidate_partition(dst);
             }
             CommitOp::DeallocPartition { id } => {
                 self.dealloc_partition(id, dealloc_ids)?;
@@ -485,7 +492,8 @@ impl Inner {
     }
 
     fn append_dealloc_chunk(&mut self, ids: &[ChunkId]) -> Result<()> {
-        let record = DeallocRecord { ids: ids.to_vec() };
+        // Encode straight from the borrowed id list; no owned record copy.
+        let body = DeallocRecord::encode_ids(ids);
         let sealed = {
             let _t = metrics::span(modules::ENCRYPTION);
             seal_version(
@@ -493,7 +501,7 @@ impl Inner {
                 &self.system,
                 VersionKind::Dealloc,
                 VersionHeader::unnamed_id(),
-                &record.encode(),
+                &body,
             )
         };
         self.append(&sealed)?;
@@ -516,7 +524,7 @@ impl Inner {
                 )?;
                 let set_hash = self.hashes.end_set();
                 let count = self.commit_count + 1;
-                let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
+                let body = CommitRecord::encode_signed(&self.system, count, set_hash.as_bytes());
                 let sealed = {
                     let _t = metrics::span(modules::ENCRYPTION);
                     seal_version(
@@ -524,7 +532,7 @@ impl Inner {
                         &self.system,
                         VersionKind::Commit,
                         VersionHeader::unnamed_id(),
-                        &record.encode(),
+                        &body,
                     )
                 };
                 self.append(&sealed)?;
@@ -563,7 +571,7 @@ impl Inner {
             )?;
             let set_hash = self.hashes.end_set();
             let count = self.commit_count + 1;
-            let record = CommitRecord::signed(&self.system, count, set_hash.as_bytes());
+            let body = CommitRecord::encode_signed(&self.system, count, set_hash.as_bytes());
             let sealed = {
                 let _t = metrics::span(modules::ENCRYPTION);
                 seal_version(
@@ -571,7 +579,7 @@ impl Inner {
                     &self.system,
                     VersionKind::Commit,
                     VersionHeader::unnamed_id(),
-                    &record.encode(),
+                    &body,
                 )
             };
             self.append(&sealed)?;

@@ -75,6 +75,11 @@ impl Inner {
             id.pos.height < height || (id.pos.height == height && id.pos.rank == 0),
             "descriptor write outside tree: {id} at height {height}"
         );
+        // Lazy integrity: every map ancestor's effective body changes, so
+        // the memoized spine above this write is stale. O(height) removals;
+        // the hashes are recomputed only when a root/proof query needs them.
+        self.lazy
+            .invalidate_spine(id.partition, id.pos, height, self.fanout());
         if id.pos.height == height && id.pos.rank == 0 {
             return self.set_root_descriptor(id.partition, desc);
         }
@@ -100,6 +105,9 @@ impl Inner {
             let new_height = height + 1;
             let mut chunk = MapChunk::empty(self.fanout() as usize);
             chunk.slots[0] = old_root;
+            // Growth rewires the whole spine; drop the partition's memo
+            // wholesale (rare, conservative).
+            self.lazy.invalidate_partition(p);
             self.map_cache
                 .insert(p, Position::map(new_height, 0), chunk, true);
             if p.is_system() {

@@ -16,6 +16,9 @@
 //! - [`maintenance`] — the log cleaner (§4.9.5, §5.5), including the
 //!   bounded-slice variant driven by the background maintenance runtime
 //!   ([`crate::maintenance`]).
+//! - [`dirty`] — the dirty-tree accumulator behind the `lazy_integrity`
+//!   knob: memoized effective subtree hashes with O(height) spine
+//!   invalidation per descriptor write.
 //!
 //! Every module extends the same `pub(crate) Inner` with `impl` blocks; no
 //! on-disk format or locking change is implied by the decomposition.
@@ -25,6 +28,7 @@
 
 pub(crate) mod checkpoint;
 pub(crate) mod commit;
+pub(crate) mod dirty;
 pub(crate) mod maintenance;
 pub(crate) mod map;
 pub(crate) mod partitions;

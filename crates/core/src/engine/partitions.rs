@@ -246,6 +246,7 @@ impl Inner {
             self.sys_alloc_free.push(id.pos.rank);
             self.leaders.remove(&q);
             self.map_cache.purge_partition(q);
+            self.lazy.invalidate_partition(q);
         }
         Ok(())
     }
@@ -302,18 +303,11 @@ impl Inner {
     }
 
     /// True when `p` has any dirty cached map chunk inside the subtree
-    /// rooted at `pos` (including `pos` itself).
+    /// rooted at `pos` (including `pos` itself). One ordered range probe
+    /// per level of the dirty index — O(height · log dirty) — instead of
+    /// scanning every dirty key per call.
     pub(crate) fn subtree_has_dirty(&self, p: PartitionId, pos: Position) -> bool {
-        let fanout = u64::from(self.config.fanout);
-        self.map_cache.dirty_keys().into_iter().any(|(q, dp)| {
-            if q != p || dp.height > pos.height {
-                return false;
-            }
-            // Climb dp to pos.height; ancestor ranks divide by fanout per
-            // level.
-            let levels = u32::from(pos.height - dp.height);
-            dp.rank / fanout.saturating_pow(levels) == pos.rank
-        })
+        self.map_cache.subtree_dirty(p, pos, self.fanout())
     }
 
     fn diff_leaf(

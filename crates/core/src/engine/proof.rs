@@ -38,9 +38,19 @@ impl Inner {
         Ok(chunk.encode(hash_len))
     }
 
+    /// Effective hash of the map chunk at `(p, pos)`. With `lazy_integrity`
+    /// on, unchanged subtrees are served from the dirty-tree accumulator:
+    /// only the spine invalidated by descriptor writes since the last query
+    /// is re-encoded and re-hashed, so K batched commits cost roughly one
+    /// spine recompute instead of K full-subtree recomputes.
     fn effective_map_hash(&mut self, p: PartitionId, pos: Position) -> Result<HashValue> {
+        if let Some(hash) = self.lazy.get(p, pos) {
+            return Ok(hash);
+        }
         let body = self.effective_map_body(p, pos)?;
-        Ok(self.crypto_for(p)?.hash(&body))
+        let hash = self.crypto_for(p)?.hash(&body);
+        self.lazy.put(p, pos, hash);
+        Ok(hash)
     }
 
     /// The partition's effective root digest: what the root descriptor's

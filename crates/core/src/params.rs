@@ -9,7 +9,7 @@
 //! every chunk.
 
 use tdb_crypto::cbc::Cbc;
-use tdb_crypto::hmac::Hmac;
+use tdb_crypto::hmac::HmacKey;
 use tdb_crypto::{CipherKind, HashKind, HashValue, SecretKey};
 
 use crate::codec::{Dec, Enc};
@@ -93,10 +93,17 @@ impl CryptoParams {
     /// Fails if the key does not match the cipher's key length.
     pub fn runtime(&self) -> Result<PartitionCrypto> {
         let cbc = Cbc::new(self.cipher.new_cipher(self.key.as_bytes())?);
+        // The null hash falls back to SHA-256 so a signature always exists
+        // (§4.8.2.2); the pad midstates are derived once here, not per MAC.
+        let sign_kind = if self.hash == HashKind::Null {
+            HashKind::Sha256
+        } else {
+            self.hash
+        };
         Ok(PartitionCrypto {
             cipher: self.cipher,
             hash: self.hash,
-            mac_key: self.key.clone(),
+            mac_key: HmacKey::new(sign_kind, self.key.as_bytes()),
             cbc,
         })
     }
@@ -113,7 +120,9 @@ impl std::fmt::Debug for CryptoParams {
 pub struct PartitionCrypto {
     cipher: CipherKind,
     hash: HashKind,
-    mac_key: SecretKey,
+    /// Cached HMAC pad midstates under the partition key (the signing
+    /// analogue of the cipher's cached key schedule).
+    mac_key: HmacKey,
     cbc: Cbc,
 }
 
@@ -188,14 +197,9 @@ impl PartitionCrypto {
     /// Used for commit chunks and backup signatures; "the signature need not
     /// be publicly verifiable, so it may be based on symmetric-key
     /// encryption" (§4.8.2.2). The null hash falls back to SHA-256 so a
-    /// signature always exists.
+    /// signature always exists (the fallback is chosen at keying time).
     pub fn sign(&self, parts: &[&[u8]]) -> HashValue {
-        let kind = if self.hash == HashKind::Null {
-            HashKind::Sha256
-        } else {
-            self.hash
-        };
-        Hmac::mac_parts(kind, self.mac_key.as_bytes(), parts)
+        self.mac_key.mac_parts(parts)
     }
 
     /// Verifies a signature produced by [`PartitionCrypto::sign`].

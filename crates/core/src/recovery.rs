@@ -160,6 +160,7 @@ fn recover_from(
 
     let mut inner = Inner {
         map_cache: MapCache::new(config.map_cache_capacity),
+        lazy: crate::engine::dirty::DirtyTreeAccumulator::new(config.lazy_integrity),
         system: Arc::clone(&system),
         trusted,
         log,

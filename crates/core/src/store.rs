@@ -130,6 +130,13 @@ pub struct ChunkStoreConfig {
     /// Free-segment high-water mark of a bounded log: the background
     /// cleaner runs while free segments are below it.
     pub clean_high_water: u32,
+    /// Lazy Merkle materialization: memoize effective subtree hashes in a
+    /// dirty-tree accumulator so `snapshot_root` / `read_with_proof` only
+    /// recompute the spine invalidated since the last query, instead of
+    /// re-hashing every dirty subtree eagerly on every call. Pure CPU-side
+    /// memoization — results and device traffic are identical either way.
+    /// `false` (the default) reproduces the paper's eager recompute.
+    pub lazy_integrity: bool,
 }
 
 impl Default for ChunkStoreConfig {
@@ -156,6 +163,7 @@ impl Default for ChunkStoreConfig {
             clean_slice_segments: 2,
             clean_low_water: 2,
             clean_high_water: 4,
+            lazy_integrity: false,
         }
     }
 }
@@ -219,6 +227,14 @@ pub struct ChunkStoreStats {
     /// Map-tree levels a checkpoint skipped because nothing in them was
     /// dirty (incremental checkpointing).
     pub dirty_map_levels_skipped: u64,
+    /// Effective-subtree-hash lookups served from the lazy-integrity memo
+    /// (no re-encode, no re-hash).
+    pub lazy_hash_hits: u64,
+    /// Effective-subtree-hash lookups that recomputed and filled the memo.
+    pub lazy_hash_recomputes: u64,
+    /// Lazy-integrity memo entries dropped by spine or partition
+    /// invalidation (descriptor writes, growth, dealloc, restore).
+    pub lazy_invalidations: u64,
 }
 
 /// Externally visible health of the engine.
@@ -296,6 +312,9 @@ pub(crate) struct Inner {
     /// distinguishes "failed before any durable append" (roll back and stay
     /// live) from "failed after a partial append" (degrade).
     pub wrote_log: bool,
+    /// Dirty-tree accumulator for lazy Merkle materialization (no-op when
+    /// `config.lazy_integrity` is off).
+    pub lazy: crate::engine::dirty::DirtyTreeAccumulator,
 }
 
 /// The sharable core of a chunk store: the engine behind its mutex, the
@@ -380,6 +399,7 @@ impl ChunkStore {
         };
         let mut inner = Inner {
             map_cache: MapCache::new(config.map_cache_capacity),
+            lazy: crate::engine::dirty::DirtyTreeAccumulator::new(config.lazy_integrity),
             config,
             system,
             trusted,
@@ -667,6 +687,9 @@ impl ChunkStore {
             let (appends, runs, bytes) = inner.log.coalesce_counters();
             stats.log_coalesced_bytes = bytes;
             stats.log_writes_coalesced = appends.saturating_sub(runs);
+            stats.lazy_hash_hits = inner.lazy.hits;
+            stats.lazy_hash_recomputes = inner.lazy.recomputes;
+            stats.lazy_invalidations = inner.lazy.invalidations;
             stats
         };
         let (hits, fallbacks, contention) = self.reads.counters();

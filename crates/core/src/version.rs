@@ -104,15 +104,17 @@ impl VersionHeader {
         )
     }
 
-    fn encode(&self) -> Vec<u8> {
-        let mut e = Enc::with_capacity(22);
-        e.u8(self.kind.tag());
-        e.u32(self.id.partition.0);
-        e.u8(self.id.pos.height);
-        e.u64(self.id.pos.rank);
-        e.u32(self.body_len);
-        e.u32(self.body_ct_len);
-        e.finish()
+    fn encode(&self) -> [u8; 22] {
+        // Fixed 22-byte layout; a stack array keeps the (hot) seal path
+        // free of a per-version heap allocation.
+        let mut out = [0u8; 22];
+        out[0] = self.kind.tag();
+        out[1..5].copy_from_slice(&self.id.partition.0.to_le_bytes());
+        out[5] = self.id.pos.height;
+        out[6..14].copy_from_slice(&self.id.pos.rank.to_le_bytes());
+        out[14..18].copy_from_slice(&self.body_len.to_le_bytes());
+        out[18..22].copy_from_slice(&self.body_ct_len.to_le_bytes());
+        out
     }
 
     fn decode(buf: &[u8]) -> Result<VersionHeader> {
@@ -261,9 +263,16 @@ pub struct DeallocRecord {
 impl DeallocRecord {
     /// Serializes the record.
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Enc::new();
-        e.u32(self.ids.len() as u32);
-        for id in &self.ids {
+        DeallocRecord::encode_ids(&self.ids)
+    }
+
+    /// Encodes a dealloc record straight from a borrowed id list — the
+    /// same bytes as `DeallocRecord { ids: ids.to_vec() }.encode()` without
+    /// materializing the owned record.
+    pub fn encode_ids(ids: &[ChunkId]) -> Vec<u8> {
+        let mut e = Enc::with_capacity(4 + ids.len() * 13);
+        e.u32(ids.len() as u32);
+        for id in ids {
             e.u32(id.partition.0);
             e.u8(id.pos.height);
             e.u64(id.pos.rank);
@@ -327,6 +336,19 @@ impl CommitRecord {
         e.u64(self.count);
         e.bytes(&self.set_hash);
         e.bytes(&self.mac);
+        e.finish()
+    }
+
+    /// Builds, signs, and serializes in one pass — the same bytes as
+    /// `CommitRecord::signed(system, count, set_hash).encode()` without the
+    /// intermediate owned record (the commit hot path calls this once per
+    /// commit).
+    pub fn encode_signed(system: &PartitionCrypto, count: u64, set_hash: &[u8]) -> Vec<u8> {
+        let mac = system.sign(&[&count.to_le_bytes(), set_hash]);
+        let mut e = Enc::with_capacity(8 + 4 + set_hash.len() + 4 + mac.len());
+        e.u64(count);
+        e.bytes(set_hash);
+        e.bytes(mac.as_bytes());
         e.finish()
     }
 
@@ -531,6 +553,21 @@ mod tests {
             ],
         };
         assert_eq!(DeallocRecord::decode(&rec.encode()).unwrap(), rec);
+        assert_eq!(DeallocRecord::encode_ids(&rec.ids), rec.encode());
+        assert_eq!(
+            DeallocRecord::encode_ids(&[]),
+            (DeallocRecord { ids: vec![] }).encode()
+        );
+    }
+
+    #[test]
+    fn encode_signed_matches_two_step() {
+        let sys = system();
+        let set_hash = [0xABu8; 20];
+        let direct = CommitRecord::encode_signed(&sys, 91, &set_hash);
+        let two_step = CommitRecord::signed(&sys, 91, &set_hash).encode();
+        assert_eq!(direct, two_step);
+        assert!(CommitRecord::decode(&direct).unwrap().verify(&sys));
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Lazy-vs-eager equivalence (ISSUE 8): a store with `lazy_integrity` on
+//! is driven through arbitrary interleavings of commits, overwrites,
+//! deallocations, checkpoints, root queries, proof extractions, and
+//! crash/recovery reopens, in lockstep with an eager twin. After every
+//! step the two must agree on the effective root digest, and every proof
+//! must be identical across the twins and verify against the shared root.
+//!
+//! This pins the accumulator's memo invariant end to end: if any mutation
+//! path forgets to invalidate, the lazy store serves a stale hash and the
+//! roots diverge.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tdb_core::params::CryptoParams;
+use tdb_core::proof::verify_read_proof;
+use tdb_core::store::{ChunkStore, ChunkStoreConfig, CommitOp, TrustedBackend, ValidationMode};
+use tdb_core::{ChunkId, PartitionId};
+use tdb_crypto::{CipherKind, HashKind, SecretKey};
+use tdb_storage::{CounterOverTrusted, MemStore, MemTrustedStore, TrustedStore};
+
+fn config(lazy: bool) -> ChunkStoreConfig {
+    ChunkStoreConfig {
+        fanout: 4,
+        segment_size: 8192,
+        validation: ValidationMode::Counter {
+            delta_ut: 3,
+            delta_tu: 0,
+        },
+        // Queries must exercise the dirty (effective) tree; checkpoints
+        // happen only when the op sequence asks for one.
+        checkpoint_threshold: 100_000,
+        lazy_integrity: lazy,
+        ..ChunkStoreConfig::default()
+    }
+}
+
+/// One store plus the handles needed to crash-reopen it.
+struct Twin {
+    store: Option<ChunkStore>,
+    untrusted: Arc<MemStore>,
+    trusted: Arc<MemTrustedStore>,
+    secret: SecretKey,
+    lazy: bool,
+}
+
+impl Twin {
+    fn create(lazy: bool) -> Twin {
+        let untrusted = Arc::new(MemStore::new());
+        let trusted = Arc::new(MemTrustedStore::new(16));
+        let secret = SecretKey::new(vec![11u8; 24]);
+        let counter = Arc::new(CounterOverTrusted::new(
+            Arc::clone(&trusted) as Arc<dyn TrustedStore>
+        ));
+        let store = ChunkStore::create(
+            Arc::clone(&untrusted) as _,
+            TrustedBackend::Counter(counter),
+            secret.clone(),
+            config(lazy),
+        )
+        .unwrap();
+        Twin {
+            store: Some(store),
+            untrusted,
+            trusted,
+            secret,
+            lazy,
+        }
+    }
+
+    fn store(&self) -> &ChunkStore {
+        self.store.as_ref().expect("store is open")
+    }
+
+    /// Crash (drop without close) and recover from the persisted state.
+    fn reopen(&mut self) {
+        self.store = None;
+        let counter = Arc::new(CounterOverTrusted::new(
+            Arc::clone(&self.trusted) as Arc<dyn TrustedStore>
+        ));
+        self.store = Some(
+            ChunkStore::open(
+                Arc::clone(&self.untrusted) as _,
+                TrustedBackend::Counter(counter),
+                self.secret.clone(),
+                config(self.lazy),
+            )
+            .unwrap(),
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Allocate a fresh chunk and write it.
+    Write { payload: u8 },
+    /// Overwrite an already-written chunk (picked by index, modulo).
+    Overwrite { pick: usize, payload: u8 },
+    /// Deallocate an already-written chunk.
+    Dealloc { pick: usize },
+    /// Explicit checkpoint on both twins.
+    Checkpoint,
+    /// Extract and cross-check a proof for a written chunk.
+    Proof { pick: usize },
+    /// Crash both twins and recover.
+    Reopen,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        5 => any::<u8>().prop_map(|payload| Step::Write { payload }),
+        3 => (0usize..64, any::<u8>())
+            .prop_map(|(pick, payload)| Step::Overwrite { pick, payload }),
+        2 => (0usize..64).prop_map(|pick| Step::Dealloc { pick }),
+        1 => Just(Step::Checkpoint),
+        3 => (0usize..64).prop_map(|pick| Step::Proof { pick }),
+        1 => Just(Step::Reopen),
+    ]
+}
+
+fn run_steps(steps: Vec<Step>) {
+    let mut eager = Twin::create(false);
+    let mut lazy = Twin::create(true);
+
+    // A shared partition created identically on both twins. Fixed params:
+    // CryptoParams::generate draws random keys, and the twins must match.
+    let params = CryptoParams {
+        cipher: CipherKind::Des,
+        hash: HashKind::Sha1,
+        key: SecretKey::new(vec![42u8; CipherKind::Des.key_len()]),
+    };
+    let mut p = PartitionId(0);
+    for twin in [&eager, &lazy] {
+        p = twin.store().allocate_partition().unwrap();
+        twin.store()
+            .commit(vec![CommitOp::CreatePartition {
+                id: p,
+                params: params.clone(),
+            }])
+            .unwrap();
+    }
+
+    let mut written: Vec<ChunkId> = Vec::new();
+    for step in steps {
+        match step {
+            Step::Write { payload } => {
+                let a = eager.store().allocate_chunk(p).unwrap();
+                let b = lazy.store().allocate_chunk(p).unwrap();
+                assert_eq!(a, b, "twins diverged on allocation");
+                for twin in [&eager, &lazy] {
+                    twin.store()
+                        .commit(vec![CommitOp::WriteChunk {
+                            id: a,
+                            bytes: vec![payload; 1 + usize::from(payload) % 48],
+                        }])
+                        .unwrap();
+                }
+                written.push(a);
+            }
+            Step::Overwrite { pick, payload } => {
+                if written.is_empty() {
+                    continue;
+                }
+                let id = written[pick % written.len()];
+                for twin in [&eager, &lazy] {
+                    twin.store()
+                        .commit(vec![CommitOp::WriteChunk {
+                            id,
+                            bytes: vec![payload; 1 + usize::from(payload) % 32],
+                        }])
+                        .unwrap();
+                }
+            }
+            Step::Dealloc { pick } => {
+                if written.is_empty() {
+                    continue;
+                }
+                let id = written.remove(pick % written.len());
+                for twin in [&eager, &lazy] {
+                    twin.store()
+                        .commit(vec![CommitOp::DeallocChunk { id }])
+                        .unwrap();
+                }
+            }
+            Step::Checkpoint => {
+                eager.store().checkpoint().unwrap();
+                lazy.store().checkpoint().unwrap();
+            }
+            Step::Proof { pick } => {
+                if written.is_empty() {
+                    continue;
+                }
+                let id = written[pick % written.len()];
+                let root = eager.store().snapshot_root(p).unwrap();
+                let (body_e, proof_e) = eager.store().read_with_proof(id).unwrap();
+                let (body_l, proof_l) = lazy.store().read_with_proof(id).unwrap();
+                assert_eq!(body_e, body_l);
+                assert_eq!(proof_e, proof_l, "lazy proof differs for {id}");
+                assert!(verify_read_proof(&proof_l, &body_l, &root));
+            }
+            Step::Reopen => {
+                eager.reopen();
+                lazy.reopen();
+            }
+        }
+        // The invariant under test: after *every* step the lazy twin's
+        // effective root equals the eager recompute.
+        let root_e = eager.store().snapshot_root(p).unwrap();
+        let root_l = lazy.store().snapshot_root(p).unwrap();
+        assert_eq!(root_e, root_l, "roots diverged after {step:?}");
+    }
+    // The memoized store must have actually memoized on any non-trivial
+    // sequence with root queries (every step queries the root above).
+    let stats = lazy.store().stats();
+    assert!(
+        stats.lazy_hash_recomputes > 0,
+        "lazy twin never exercised the accumulator"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn lazy_root_equals_eager_root(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+        run_steps(steps);
+    }
+}
+
+/// Deterministic smoke covering every step kind in one sequence, so the
+/// equivalence holds even if the random sampler never lines them up.
+#[test]
+fn regression_all_steps_interleaved() {
+    run_steps(vec![
+        Step::Write { payload: 1 },
+        Step::Write { payload: 2 },
+        Step::Proof { pick: 0 },
+        Step::Write { payload: 3 },
+        Step::Overwrite {
+            pick: 1,
+            payload: 9,
+        },
+        Step::Checkpoint,
+        Step::Proof { pick: 2 },
+        Step::Dealloc { pick: 0 },
+        Step::Reopen,
+        Step::Write { payload: 4 },
+        Step::Proof { pick: 1 },
+        Step::Overwrite {
+            pick: 0,
+            payload: 7,
+        },
+        Step::Checkpoint,
+        Step::Reopen,
+        Step::Proof { pick: 0 },
+    ]);
+}
+
+/// Tree growth crosses a map level mid-sequence (fanout 4: ranks 0..=3 are
+/// height-1, rank 4 forces height 2, rank 16 forces height 3) — growth
+/// must drop the partition's memo wholesale.
+#[test]
+fn regression_growth_across_levels() {
+    let mut steps = Vec::new();
+    for i in 0..20 {
+        steps.push(Step::Write { payload: i });
+        steps.push(Step::Proof { pick: 0 });
+    }
+    run_steps(steps);
+}

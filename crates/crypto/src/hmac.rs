@@ -4,7 +4,7 @@
 //! signature need not be publicly verifiable, so it may be based on
 //! symmetric-key encryption") and on backup signatures (§6.2).
 
-use crate::{HashKind, HashValue};
+use crate::{HashKind, HashValue, InlineHasher};
 
 /// Block size (in bytes) of the compression function for `kind`.
 ///
@@ -16,34 +16,100 @@ fn block_len(kind: HashKind) -> usize {
     }
 }
 
+/// A reusable HMAC key: the inner and outer hash states with their pad
+/// blocks already absorbed.
+///
+/// Deriving ipad/opad and compressing one block of each costs two
+/// compressions plus two 64-byte key expansions per MAC when done eagerly
+/// (as [`Hmac::new`] used to on every call). `HmacKey` pays that once at
+/// construction and every subsequent [`HmacKey::mac`] resumes from the
+/// cloned midstates — mirroring the cached AES key schedule on the cipher
+/// side.
+#[derive(Clone)]
+pub struct HmacKey {
+    kind: HashKind,
+    /// Hash state after absorbing `key ^ ipad` (one block).
+    inner: InlineHasher,
+    /// Hash state after absorbing `key ^ opad` (one block).
+    outer: InlineHasher,
+}
+
+impl HmacKey {
+    /// Derives the pad midstates for `key`.
+    ///
+    /// Keys longer than the hash block size are hashed first, per RFC 2104.
+    pub fn new(kind: HashKind, key: &[u8]) -> Self {
+        let bl = block_len(kind);
+        debug_assert!(bl <= 64);
+        let mut k = [0u8; 64];
+        if key.len() > bl {
+            let digest = kind.hash(key);
+            k[..digest.len()].copy_from_slice(digest.as_bytes());
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; 64];
+        let mut opad = [0u8; 64];
+        for i in 0..bl {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = InlineHasher::new(kind);
+        inner.update(&ipad[..bl]);
+        let mut outer = InlineHasher::new(kind);
+        outer.update(&opad[..bl]);
+        HmacKey { kind, inner, outer }
+    }
+
+    /// The underlying hash kind.
+    pub fn kind(&self) -> HashKind {
+        self.kind
+    }
+
+    /// Begins an incremental MAC resuming from the cached midstates.
+    pub fn begin(&self) -> Hmac {
+        Hmac {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
+
+    /// One-shot MAC of `data`.
+    pub fn mac(&self, data: &[u8]) -> HashValue {
+        let mut h = self.begin();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot MAC over several segments.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> HashValue {
+        let mut h = self.begin();
+        for p in parts {
+            h.update(p);
+        }
+        h.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` in constant time.
+    pub fn verify(&self, data: &[u8], tag: &HashValue) -> bool {
+        self.mac(data).ct_eq(tag)
+    }
+}
+
 /// An incremental HMAC computation.
 pub struct Hmac {
-    kind: HashKind,
-    inner: Box<dyn crate::Hasher>,
-    opad_key: Vec<u8>,
+    inner: InlineHasher,
+    outer: InlineHasher,
 }
 
 impl Hmac {
     /// Creates an HMAC instance keyed with `key`.
     ///
     /// Keys longer than the hash block size are hashed first, per RFC 2104.
+    /// Callers MACing repeatedly under one key should build an [`HmacKey`]
+    /// once and use [`HmacKey::begin`] / [`HmacKey::mac`] instead.
     pub fn new(kind: HashKind, key: &[u8]) -> Self {
-        let bl = block_len(kind);
-        let mut k = if key.len() > bl {
-            kind.hash(key).as_bytes().to_vec()
-        } else {
-            key.to_vec()
-        };
-        k.resize(bl, 0);
-        let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
-        let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
-        let mut inner = kind.hasher();
-        inner.update(&ipad);
-        Hmac {
-            kind,
-            inner,
-            opad_key: opad,
-        }
+        HmacKey::new(kind, key).begin()
     }
 
     /// Absorbs message bytes.
@@ -54,8 +120,7 @@ impl Hmac {
     /// Finishes and returns the MAC value.
     pub fn finalize(self) -> HashValue {
         let inner_digest = self.inner.finalize();
-        let mut outer = self.kind.hasher();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer;
         outer.update(inner_digest.as_bytes());
         outer.finalize()
     }
@@ -174,5 +239,35 @@ mod tests {
         let a = Hmac::mac(HashKind::Sha256, b"key-a", b"data");
         let b = Hmac::mac(HashKind::Sha256, b"key-b", b"data");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cached_key_matches_oneshot() {
+        for kind in [HashKind::Sha1, HashKind::Sha256] {
+            for key in [&b"k"[..], &[0xaa; 80][..], &[0x0b; 64][..], &[][..]] {
+                let cached = HmacKey::new(kind, key);
+                for msg in [&b""[..], &b"Hi There"[..], &[0x42; 1000][..]] {
+                    assert_eq!(cached.mac(msg), Hmac::mac(kind, key, msg));
+                    assert!(cached.verify(msg, &cached.mac(msg)));
+                }
+                // The key is reusable: a second round still agrees.
+                assert_eq!(cached.mac(b"again"), Hmac::mac(kind, key, b"again"));
+                assert_eq!(
+                    cached.mac_parts(&[b"a", b"b", b"c"]),
+                    Hmac::mac(kind, key, b"abc")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_key_null_kind_is_empty() {
+        let cached = HmacKey::new(HashKind::Null, b"k");
+        assert_eq!(cached.kind(), HashKind::Null);
+        assert!(cached.mac(b"data").is_empty());
+        assert_eq!(
+            cached.mac(b"data"),
+            Hmac::mac(HashKind::Null, b"k", b"data")
+        );
     }
 }

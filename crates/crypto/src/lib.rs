@@ -199,7 +199,8 @@ impl HashKind {
         }
     }
 
-    /// Creates an incremental hasher.
+    /// Creates a boxed incremental hasher (dynamic-dispatch convenience;
+    /// hot paths should prefer [`InlineHasher`] or the one-shot helpers).
     pub fn hasher(self) -> Box<dyn Hasher> {
         match self {
             HashKind::Null => Box::new(NullHasher),
@@ -208,16 +209,27 @@ impl HashKind {
         }
     }
 
+    /// Creates a stack-allocated incremental hasher.
+    pub fn inline_hasher(self) -> InlineHasher {
+        InlineHasher::new(self)
+    }
+
     /// One-shot hash of `data`.
+    ///
+    /// Monomorphic: dispatches once on the kind and runs the concrete
+    /// digest with no heap allocation (this sits under every chunk
+    /// validation, so the old per-call `Box<dyn Hasher>` mattered).
     pub fn hash(self, data: &[u8]) -> HashValue {
-        let mut h = self.hasher();
-        h.update(data);
-        h.finalize()
+        match self {
+            HashKind::Null => HashValue::zero(0),
+            HashKind::Sha1 => sha1::Sha1::digest(data),
+            HashKind::Sha256 => sha256::Sha256::digest(data),
+        }
     }
 
     /// One-shot hash over several segments without concatenating them.
     pub fn hash_parts(self, parts: &[&[u8]]) -> HashValue {
-        let mut h = self.hasher();
+        let mut h = InlineHasher::new(self);
         for p in parts {
             h.update(p);
         }
@@ -240,6 +252,60 @@ impl HashKind {
             1 => Some(HashKind::Sha1),
             2 => Some(HashKind::Sha256),
             _ => None,
+        }
+    }
+}
+
+/// A stack-allocated incremental hasher over any [`HashKind`].
+///
+/// The enum dispatch replaces per-call `Box<dyn Hasher>` allocation on the
+/// validation hot paths; `Clone` snapshots the midstate (HMAC resumes from
+/// pre-absorbed pad blocks this way).
+#[derive(Clone)]
+pub enum InlineHasher {
+    /// No-op hasher for [`HashKind::Null`]: absorbs nothing, yields the
+    /// empty digest.
+    Null,
+    /// SHA-1 state.
+    Sha1(sha1::Sha1),
+    /// SHA-256 state.
+    Sha256(sha256::Sha256),
+}
+
+impl InlineHasher {
+    /// Creates a fresh hasher for `kind`.
+    pub fn new(kind: HashKind) -> Self {
+        match kind {
+            HashKind::Null => InlineHasher::Null,
+            HashKind::Sha1 => InlineHasher::Sha1(sha1::Sha1::new()),
+            HashKind::Sha256 => InlineHasher::Sha256(sha256::Sha256::new()),
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        match self {
+            InlineHasher::Null => {}
+            InlineHasher::Sha1(h) => h.absorb(data),
+            InlineHasher::Sha256(h) => h.absorb(data),
+        }
+    }
+
+    /// Consumes the state and returns the digest.
+    pub fn finalize(self) -> HashValue {
+        match self {
+            InlineHasher::Null => HashValue::zero(0),
+            InlineHasher::Sha1(h) => h.finish(),
+            InlineHasher::Sha256(h) => h.finish(),
+        }
+    }
+
+    /// Digest length in bytes.
+    pub fn digest_len(&self) -> usize {
+        match self {
+            InlineHasher::Null => 0,
+            InlineHasher::Sha1(_) => 20,
+            InlineHasher::Sha256(_) => 32,
         }
     }
 }
@@ -467,6 +533,25 @@ mod tests {
             let whole = kind.hash(b"hello world");
             let parts = kind.hash_parts(&[b"hello", b" ", b"world"]);
             assert_eq!(whole, parts);
+        }
+    }
+
+    #[test]
+    fn inline_hasher_matches_boxed() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        for kind in [HashKind::Null, HashKind::Sha1, HashKind::Sha256] {
+            let mut inline = kind.inline_hasher();
+            let mut boxed = kind.hasher();
+            assert_eq!(inline.digest_len(), boxed.digest_len());
+            for piece in data.chunks(37) {
+                inline.update(piece);
+                boxed.update(piece);
+            }
+            assert_eq!(inline.finalize(), boxed.finalize());
+            assert_eq!(
+                kind.hash(&data),
+                kind.hash_parts(&[&data[..100], &data[100..]])
+            );
         }
     }
 

@@ -8,6 +8,10 @@
 use crate::{HashValue, Hasher};
 
 /// Incremental SHA-1 state.
+///
+/// `Clone` snapshots the midstate; [`crate::hmac::HmacKey`] relies on this
+/// to resume from pre-absorbed pad blocks without recompressing them.
+#[derive(Clone)]
 pub struct Sha1 {
     state: [u32; 5],
     /// Total message length in bytes.
@@ -40,7 +44,7 @@ impl Sha1 {
         h.finish()
     }
 
-    fn absorb(&mut self, mut data: &[u8]) {
+    pub(crate) fn absorb(&mut self, mut data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
         if self.buf_len > 0 {
             let take = (64 - self.buf_len).min(data.len());
@@ -49,14 +53,14 @@ impl Sha1 {
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                Self::compress_blocks(&mut self.state, &block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            self.compress(block.try_into().expect("64-byte split"));
-            data = rest;
+        let whole = data.len() & !63;
+        if whole > 0 {
+            Self::compress_blocks(&mut self.state, &data[..whole]);
+            data = &data[whole..];
         }
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
@@ -64,7 +68,7 @@ impl Sha1 {
         }
     }
 
-    fn finish(mut self) -> HashValue {
+    pub(crate) fn finish(mut self) -> HashValue {
         let bit_len = self.len.wrapping_mul(8);
         // Padding: 0x80, zeros, 8-byte big-endian bit length.
         self.absorb(&[0x80]);
@@ -82,39 +86,48 @@ impl Sha1 {
         HashValue::new(&out)
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+    /// Compresses every 64-byte block of `data` (whose length must be a
+    /// multiple of 64), keeping the chaining variables in locals across
+    /// blocks so multi-block messages don't round-trip through memory
+    /// between compressions.
+    fn compress_blocks(state: &mut [u32; 5], data: &[u8]) {
+        debug_assert_eq!(data.len() % 64, 0);
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = *state;
+        for block in data.chunks_exact(64) {
+            let mut w = [0u32; 80];
+            for (i, chunk) in block.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            for i in 16..80 {
+                w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+            }
+            let (mut a, mut b, mut c, mut d, mut e) = (h0, h1, h2, h3, h4);
+            for (i, &wi) in w.iter().enumerate() {
+                let (f, k) = match i {
+                    0..=19 => ((b & c) | (!b & d), 0x5A827999),
+                    20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                    40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                    _ => (b ^ c ^ d, 0xCA62C1D6),
+                };
+                let tmp = a
+                    .rotate_left(5)
+                    .wrapping_add(f)
+                    .wrapping_add(e)
+                    .wrapping_add(k)
+                    .wrapping_add(wi);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = tmp;
+            }
+            h0 = h0.wrapping_add(a);
+            h1 = h1.wrapping_add(b);
+            h2 = h2.wrapping_add(c);
+            h3 = h3.wrapping_add(d);
+            h4 = h4.wrapping_add(e);
         }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | (!b & d), 0x5A827999),
-                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
-                _ => (b ^ c ^ d, 0xCA62C1D6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+        *state = [h0, h1, h2, h3, h4];
     }
 }
 

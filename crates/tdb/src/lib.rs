@@ -206,6 +206,17 @@ impl TrustedDbBuilder {
         self
     }
 
+    /// Enables lazy Merkle materialization: root and proof queries serve
+    /// unchanged map subtrees from a memo instead of re-hashing them, so a
+    /// batch of commits pays roughly one spine recompute at the next query.
+    /// Off by default — the paper's eager effective-tree recompute — and
+    /// purely CPU-side either way: the knob never changes device traffic
+    /// (see [`ChunkStoreConfig::lazy_integrity`]).
+    pub fn lazy_integrity(mut self, on: bool) -> Self {
+        self.chunk_config.lazy_integrity = on;
+        self
+    }
+
     /// Sets the number of concurrent read shards in the chunk store
     /// (`0` disables the fast read path; see
     /// [`ChunkStoreConfig::read_shards`]).
