@@ -27,10 +27,10 @@ fn main() {
             selected.push(arg.to_lowercase());
         }
     }
-    const KNOWN: [&str; 30] = [
+    const KNOWN: [&str; 32] = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "e18", "fig9", "fig10", "fig11", "fig12", "conc", "commit", "clean",
-        "shard", "mvcc", "validate", "all", "micro",
+        "e15", "e16", "e17", "e18", "e19", "fig9", "fig10", "fig11", "fig12", "conc", "commit",
+        "clean", "shard", "mvcc", "validate", "ycsb", "all", "micro",
     ];
     for name in &selected {
         if !KNOWN.contains(&name.as_str()) {
@@ -44,7 +44,7 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "usage: report [--runs N] <experiments...>\n\
-             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 e13|conc e14|commit e15|clean e16|shard e17|mvcc e18|validate | all | micro"
+             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 e13|conc e14|commit e15|clean e16|shard e17|mvcc e18|validate e19|ycsb | all | micro"
         );
         std::process::exit(2);
     }
@@ -110,5 +110,8 @@ fn main() {
     }
     if want("e18", &["validate"]) {
         experiments::e18_validation_overhead();
+    }
+    if want("e19", &["ycsb"]) {
+        experiments::e19_ycsb();
     }
 }

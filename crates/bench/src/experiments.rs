@@ -16,7 +16,10 @@ use tdb_storage::MemArchive;
 
 use crate::fixtures::{bytes, chunk_store_with_partition, paper_config, IoMode, Platform};
 use crate::regress::{ols, r_squared};
-use crate::workload::{generate_stream, paper_counts, Kind, TdbWorkload, XdbWorkload};
+use crate::workload::{
+    generate_stream, paper_counts, Kind, TdbWorkload, XdbWorkload, YcsbConfig, YcsbDriver,
+    YcsbWorkload,
+};
 
 fn mbps(bytes_done: usize, elapsed: Duration) -> f64 {
     bytes_done as f64 / elapsed.as_secs_f64() / (1024.0 * 1024.0)
@@ -1718,6 +1721,154 @@ pub fn e18_validation_overhead() {
         lazy_counters.1
     );
     let path = "BENCH_validation_overhead.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// E19: YCSB-style workload suite and chunk-body compression (ISSUE 9).
+// ---------------------------------------------------------------------------
+
+const E19_THREADS: [usize; 4] = [1, 2, 4, 8];
+const E19_WORKLOADS: [YcsbWorkload; 4] = [
+    YcsbWorkload::A,
+    YcsbWorkload::B,
+    YcsbWorkload::C,
+    YcsbWorkload::E,
+];
+
+fn e19_config() -> YcsbConfig {
+    YcsbConfig::default()
+}
+
+/// Runs the A/B/C/E suite at 1/2/4/8 threads with the compression knob
+/// off and on, printing the throughput tables, then measures compression
+/// effectiveness (log bytes appended, ratio, counters) on the
+/// update-heavy workload A, recording `BENCH_ycsb.json` and
+/// `BENCH_compression.json`.
+pub fn e19_ycsb() {
+    let cfg = e19_config();
+    println!("== E19: YCSB-style suite (chunk-body compression) ==");
+    println!(
+        "workload: {} keys x {} B zipfian(0.99) records, {} ops/thread, \
+         in-memory store",
+        cfg.population, cfg.record_bytes, cfg.ops_per_thread
+    );
+
+    // -- Part 1: throughput suite, knob off vs on -------------------------
+    let mut rates: std::collections::BTreeMap<String, Vec<f64>> = std::collections::BTreeMap::new();
+    for compression in [false, true] {
+        let mode = if compression { "on" } else { "off" };
+        let driver = YcsbDriver::setup(
+            ChunkStoreConfig {
+                compression,
+                ..paper_config()
+            },
+            cfg.clone(),
+        );
+        for wl in E19_WORKLOADS {
+            let mut row = Vec::new();
+            for threads in E19_THREADS {
+                let res = driver.run(wl, threads, 0xE19);
+                row.push(res.ops_per_sec());
+            }
+            println!(
+                "  {} compression {:3}  ops/s at 1/2/4/8 threads: \
+                 {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+                wl.letter(),
+                mode,
+                row[0],
+                row[1],
+                row[2],
+                row[3]
+            );
+            rates.insert(format!("{}_{}", wl.letter(), mode), row);
+        }
+    }
+
+    let row_json = |rates: &[f64]| {
+        E19_THREADS
+            .iter()
+            .zip(rates)
+            .map(|(t, r)| format!("\"{t}\": {r:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut suite_rows = Vec::new();
+    for wl in E19_WORKLOADS {
+        for mode in ["off", "on"] {
+            let key = format!("{}_{}", wl.letter(), mode);
+            suite_rows.push(format!("    \"{key}\": {{ {} }}", row_json(&rates[&key])));
+        }
+    }
+    let suite_json = suite_rows.join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"ycsb\",\n  \"population\": {},\n  \
+         \"record_bytes\": {},\n  \"ops_per_thread\": {},\n  \
+         \"distribution\": \"zipfian-0.99\",\n  \"ops_per_sec\": {{\n{}\n  }}\n}}\n",
+        cfg.population, cfg.record_bytes, cfg.ops_per_thread, suite_json
+    );
+    let path = "BENCH_ycsb.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+
+    // -- Part 2: compression effectiveness on workload A ------------------
+    // Fresh stores so bytes_appended isolates one load + one A run.
+    let mut appended = [0u64; 2];
+    let mut commit_rate = [0f64; 2];
+    let mut counters = (0u64, 0u64, 0u64);
+    for (i, compression) in [false, true].into_iter().enumerate() {
+        let driver = YcsbDriver::setup(
+            ChunkStoreConfig {
+                compression,
+                ..paper_config()
+            },
+            cfg.clone(),
+        );
+        let res = driver.run(YcsbWorkload::A, 4, 0xE19);
+        let stats = driver.store.stats();
+        appended[i] = stats.bytes_appended;
+        commit_rate[i] = res.updates as f64 / res.elapsed.as_secs_f64();
+        if compression {
+            counters = (
+                stats.bodies_compressed,
+                stats.bodies_stored_raw,
+                stats.log_bytes_saved,
+            );
+        }
+    }
+    let ratio = appended[0] as f64 / appended[1] as f64;
+    println!(
+        "  workload A log bytes: off {} on {} ({ratio:.2}x fewer)",
+        appended[0], appended[1]
+    );
+    println!(
+        "  workload A updates/s: off {:.0} on {:.0}; bodies compressed {}, \
+         stored raw {}, log bytes saved {}",
+        commit_rate[0], commit_rate[1], counters.0, counters.1, counters.2
+    );
+    if ratio < 1.5 {
+        println!("  WARNING: compression ratio below the 1.5x target");
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"compression\",\n  \"workload\": \"A\",\n  \
+         \"threads\": 4,\n  \"record_bytes\": {},\n  \
+         \"log_bytes_appended\": {{ \"off\": {}, \"on\": {} }},\n  \
+         \"log_bytes_ratio\": {:.3},\n  \
+         \"updates_per_sec\": {{ \"off\": {:.0}, \"on\": {:.0} }},\n  \
+         \"bodies_compressed\": {},\n  \"bodies_stored_raw\": {},\n  \
+         \"log_bytes_saved\": {}\n}}\n",
+        cfg.record_bytes,
+        appended[0],
+        appended[1],
+        ratio,
+        commit_rate[0],
+        commit_rate[1],
+        counters.0,
+        counters.1,
+        counters.2
+    );
+    let path = "BENCH_compression.json";
     std::fs::write(path, json).expect("write benchmark artifact");
     println!("  wrote {path}");
 }

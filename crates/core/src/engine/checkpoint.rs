@@ -221,7 +221,11 @@ impl Inner {
                 )
             })
             .collect();
-        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
+        // Map bodies are never compressed (`compress = false`): clients
+        // verify proofs by hashing the *plain* map-chunk encodings, so the
+        // parent's stored hash must cover those exact bytes. Data bodies
+        // dominate log volume; the win lives in the commit path.
+        let sealed = pipeline::seal_batch(&self.system, &jobs, workers, false);
         self.stats.parallel_crypto_batches += 1;
         self.stats.parallel_crypto_chunks += sealed.len() as u64;
         metrics::count(counters::PARALLEL_CRYPTO_BATCHES);

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use tdb_crypto::HashValue;
 
 use crate::codec::{Dec, Enc};
+use crate::compress;
 use crate::descriptor::{ChunkStatus, Descriptor};
 use crate::errors::{CoreError, FaultClass, Result};
 use crate::ids::{ChunkId, PartitionId};
@@ -22,7 +23,10 @@ use crate::metrics::{self, counters, modules};
 use crate::params::{CryptoParams, PartitionCrypto};
 use crate::pipeline::{self, Presealed, SealJob};
 use crate::store::{Inner, TrustedBackend, ValidationMode};
-use crate::version::{seal_version, CommitRecord, DeallocRecord, VersionHeader, VersionKind};
+use crate::version::{
+    seal_version, seal_version_flagged, sealed_version_len, CommitRecord, DeallocRecord,
+    VersionHeader, VersionKind,
+};
 
 /// Conservative byte budget reserved for a commit chunk, so finalizing a
 /// commit set never forces a segment switch after the set hash is taken.
@@ -289,7 +293,7 @@ impl Inner {
         if jobs.len() < 2 {
             return Ok(out);
         }
-        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
+        let sealed = pipeline::seal_batch(&self.system, &jobs, workers, self.config.compression);
         self.stats.parallel_crypto_batches += 1;
         self.stats.parallel_crypto_chunks += sealed.len() as u64;
         metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
@@ -356,7 +360,7 @@ impl Inner {
         if jobs.len() < 2 {
             return out;
         }
-        let sealed = pipeline::seal_batch(&self.system, &jobs, workers);
+        let sealed = pipeline::seal_batch(&self.system, &jobs, workers, self.config.compression);
         self.stats.parallel_crypto_batches += 1;
         self.stats.parallel_crypto_chunks += sealed.len() as u64;
         metrics::count(counters::PARALLEL_CRYPTO_BATCHES);
@@ -375,17 +379,54 @@ impl Inner {
         body: &[u8],
     ) -> Result<Descriptor> {
         let crypto = self.crypto_for(id.partition)?;
+        // Compression eligibility mirrors `pipeline::seal_one`: only
+        // user-partition data bodies; map chunks (Merkle proof preimages)
+        // and partition leaders (recovery's decode inputs) stay raw.
+        let eligible = self.config.compression && id.pos.is_data() && !id.partition.is_system();
+        let envelope = if eligible {
+            compress::compress_body(body)
+        } else {
+            None
+        };
+        let (stored, compressed): (&[u8], bool) = match &envelope {
+            Some(env) => (env.as_slice(), true),
+            None => (body, false),
+        };
         let hash = {
             let _t = metrics::span(modules::HASHING);
-            crypto.hash(body)
+            crypto.hash(stored)
         };
         let sealed = {
             let _t = metrics::span(modules::ENCRYPTION);
-            seal_version(&self.system, &crypto, kind, id, body)
+            seal_version_flagged(&self.system, &crypto, kind, id, stored, compressed)
         };
+        if eligible {
+            if compressed {
+                let raw_sealed = sealed_version_len(&self.system, &crypto, body.len());
+                self.note_compressed((raw_sealed - sealed.len()) as u64);
+            } else {
+                self.note_stored_raw();
+            }
+        }
         let location = self.append(&sealed)?;
+        // `size` stays the logical length; the hash covers the stored
+        // bytes, so verification always precedes decompression.
         let desc = Descriptor::written(location, sealed.len() as u32, body.len() as u32, hash);
         Ok(desc)
+    }
+
+    /// Counts one body stored as a compressed envelope.
+    pub(crate) fn note_compressed(&mut self, saved: u64) {
+        self.stats.bodies_compressed += 1;
+        self.stats.log_bytes_saved += saved;
+        metrics::count(counters::BODIES_COMPRESSED);
+        metrics::add(counters::LOG_BYTES_SAVED, saved);
+    }
+
+    /// Counts one knob-on body stored raw (escape hatch taken).
+    pub(crate) fn note_stored_raw(&mut self) {
+        self.stats.bodies_stored_raw += 1;
+        metrics::count(counters::BODIES_STORED_RAW);
     }
 
     pub(crate) fn append(&mut self, sealed: &[u8]) -> Result<u64> {
@@ -434,6 +475,13 @@ impl Inner {
                     // Pipeline already hashed + sealed this body; only the
                     // append is left on the serial path.
                     Some(p) => {
+                        if self.config.compression {
+                            if p.compressed {
+                                self.note_compressed(p.saved);
+                            } else {
+                                self.note_stored_raw();
+                            }
+                        }
                         let location = self.append(&p.sealed)?;
                         Descriptor::written(location, p.sealed.len() as u32, p.body_len, p.hash)
                     }

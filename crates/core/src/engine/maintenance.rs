@@ -232,7 +232,9 @@ impl Inner {
             self.write_named(VersionKind::Relocated, original_id, &body)?
         } else {
             // Fast variant: move the sealed bytes verbatim; the stored hash
-            // (which covers the plaintext) remains valid.
+            // (which covers the stored body — the compressed envelope when
+            // the version was sealed compressed) remains valid, and the
+            // header's compressed flag rides along inside the sealed bytes.
             let new_location = self.append(&sealed_old.to_vec().clone())?;
             Descriptor::written(new_location, old_desc.vlen, old_desc.size, old_desc.hash)
         };

@@ -140,6 +140,17 @@ impl Inner {
     /// Reads and validates the version a descriptor points at, returning
     /// the plaintext body (§4.5: located, decrypted, hashed, compared).
     pub(crate) fn read_validated(&mut self, id: ChunkId, desc: &Descriptor) -> Result<Vec<u8>> {
+        Ok(self.read_validated_full(id, desc)?.0)
+    }
+
+    /// [`Inner::read_validated`] that also returns the stored envelope
+    /// when the version was compressed — proof extraction ships it to
+    /// clients, whose leaf hash check runs over the stored bytes.
+    pub(crate) fn read_validated_full(
+        &mut self,
+        id: ChunkId,
+        desc: &Descriptor,
+    ) -> Result<(Vec<u8>, Option<Vec<u8>>)> {
         debug_assert!(desc.is_written());
         let buf = self.log.read_at(desc.location, desc.vlen as usize)?;
         let raw = self.parse_at(&buf, desc.location)?;
@@ -163,7 +174,18 @@ impl Inner {
         if hash != desc.hash {
             return Err(CoreError::TamperDetected(TamperKind::ChunkHashMismatch(id)));
         }
-        Ok(body)
+        if raw.header.compressed {
+            // Verify-then-decompress: the hash check above covered the
+            // stored envelope, so the decompressor never sees unverified
+            // bytes. `desc.size` (the logical length) caps the allocation
+            // and pins the exact expected output; with the hash already
+            // verified, any failure here means the version was sealed by a
+            // corrupted writer — indistinguishable from tampering.
+            let plain = crate::compress::decompress_body(&body, desc.size as usize)
+                .map_err(|_| CoreError::TamperDetected(TamperKind::ChunkHashMismatch(id)))?;
+            return Ok((plain, Some(body)));
+        }
+        Ok((body, None))
     }
 
     fn parse_at(&self, buf: &[u8], location: u64) -> Result<RawVersion> {
@@ -195,6 +217,12 @@ impl Inner {
     // -- Read (§4.5) ----------------------------------------------------------
 
     pub(crate) fn read_chunk(&mut self, id: ChunkId) -> Result<Vec<u8>> {
+        Ok(self.read_chunk_full(id)?.0)
+    }
+
+    /// [`Inner::read_chunk`] that also surfaces the stored compressed
+    /// envelope (when there is one) for proof extraction.
+    pub(crate) fn read_chunk_full(&mut self, id: ChunkId) -> Result<(Vec<u8>, Option<Vec<u8>>)> {
         if id.partition.is_system() || !id.pos.is_data() {
             return Err(CoreError::NotAllocated(id));
         }
@@ -212,7 +240,7 @@ impl Inner {
                 }
             }
             ChunkStatus::Unwritten => Err(CoreError::NotWritten(id)),
-            ChunkStatus::Written => self.read_validated(id, &desc),
+            ChunkStatus::Written => self.read_validated_full(id, &desc),
         }
     }
 }

@@ -97,6 +97,7 @@ impl Inner {
             fanout: self.config.fanout,
             levels,
             root,
+            stored_body: None,
         })
     }
 }

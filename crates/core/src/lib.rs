@@ -60,6 +60,7 @@ pub mod backup;
 mod batcher;
 pub mod cache;
 pub mod codec;
+pub mod compress;
 pub mod descriptor;
 mod engine;
 pub mod errors;

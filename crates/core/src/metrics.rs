@@ -113,9 +113,18 @@ pub mod counters {
     pub const MIGRATIONS_ROLLED_BACK: &str = "migrations rolled back";
     /// Migrations that reached `Completed` (labelled by source shard).
     pub const MIGRATIONS_COMPLETED: &str = "migrations completed";
+    /// Bodies stored as compressed envelopes.
+    pub const BODIES_COMPRESSED: &str = "bodies compressed";
+    /// Bodies examined by the compression knob but stored raw.
+    pub const BODIES_STORED_RAW: &str = "bodies stored raw";
+    /// Sealed log bytes saved by compression.
+    pub const LOG_BYTES_SAVED: &str = "log bytes saved by compression";
+    /// Fast reads that failed to decompress a verified body and fell back
+    /// to the engine-locked path.
+    pub const DECOMPRESS_FALLBACKS: &str = "decompress fallbacks";
 
     /// All counter names, for reporting.
-    pub const ALL: [&str; 26] = [
+    pub const ALL: [&str; 30] = [
         RETRIES,
         DEGRADED_ENTRIES,
         POISON_EVENTS,
@@ -142,6 +151,10 @@ pub mod counters {
         MIGRATIONS_RESUMED,
         MIGRATIONS_ROLLED_BACK,
         MIGRATIONS_COMPLETED,
+        BODIES_COMPRESSED,
+        BODIES_STORED_RAW,
+        LOG_BYTES_SAVED,
+        DECOMPRESS_FALLBACKS,
     ];
 }
 

@@ -20,19 +20,26 @@ use parking_lot::Mutex;
 
 use tdb_crypto::HashValue;
 
+use crate::compress;
 use crate::ids::ChunkId;
 use crate::metrics::{self, modules};
 use crate::params::PartitionCrypto;
-use crate::version::{seal_version, VersionKind};
+use crate::version::{seal_version_flagged, sealed_version_len, VersionKind};
 
 /// A chunk body hashed and sealed ahead of its log append.
 pub(crate) struct Presealed {
-    /// Body hash under the partition's hash function.
+    /// Hash of the *stored* body (the compressed envelope when
+    /// `compressed`) under the partition's hash function.
     pub hash: HashValue,
     /// The sealed version (header + body ciphertext), ready to append.
     pub sealed: Vec<u8>,
-    /// Plaintext body length.
+    /// Logical (uncompressed) body length — what the descriptor's `size`
+    /// records regardless of how the body is stored.
     pub body_len: u32,
+    /// The body was stored as a compressed envelope.
+    pub compressed: bool,
+    /// Sealed bytes saved versus storing the body raw (0 when raw).
+    pub saved: u64,
 }
 
 /// One seal job: `(id, partition crypto, plaintext body)`.
@@ -50,20 +57,41 @@ pub(crate) fn resolve_workers(configured: usize) -> usize {
     }
 }
 
-fn seal_one(system: &PartitionCrypto, job: &SealJob<'_>) -> Presealed {
+fn seal_one(system: &PartitionCrypto, job: &SealJob<'_>, compress: bool) -> Presealed {
     let (id, crypto, body) = job;
+    // Compress before hashing, so the descriptor hash covers the stored
+    // bytes and every reader verifies integrity before decompressing.
+    // Only user-partition data bodies are eligible: map chunks are the
+    // Merkle tree's proof preimages and leaders are recovery's decode
+    // inputs, so both stay raw.
+    let envelope = if compress && id.pos.is_data() && !id.partition.is_system() {
+        compress::compress_body(body)
+    } else {
+        None
+    };
+    let (stored, compressed): (&[u8], bool) = match &envelope {
+        Some(env) => (env.as_slice(), true),
+        None => (body, false),
+    };
     let hash = {
         let _t = metrics::span(modules::HASHING);
-        crypto.hash(body)
+        crypto.hash(stored)
     };
     let sealed = {
         let _t = metrics::span(modules::ENCRYPTION);
-        seal_version(system, crypto, VersionKind::Named, *id, body)
+        seal_version_flagged(system, crypto, VersionKind::Named, *id, stored, compressed)
+    };
+    let saved = if compressed {
+        (sealed_version_len(system, crypto, body.len()) - sealed.len()) as u64
+    } else {
+        0
     };
     Presealed {
         hash,
         sealed,
         body_len: body.len() as u32,
+        compressed,
+        saved,
     }
 }
 
@@ -74,10 +102,11 @@ pub(crate) fn seal_batch(
     system: &Arc<PartitionCrypto>,
     jobs: &[SealJob<'_>],
     workers: usize,
+    compress: bool,
 ) -> Vec<Presealed> {
     let n = jobs.len();
     if workers < 2 || n < 2 {
-        return jobs.iter().map(|j| seal_one(system, j)).collect();
+        return jobs.iter().map(|j| seal_one(system, j, compress)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Presealed>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -88,7 +117,7 @@ pub(crate) fn seal_batch(
                 if i >= n {
                     break;
                 }
-                *slots[i].lock() = Some(seal_one(system, &jobs[i]));
+                *slots[i].lock() = Some(seal_one(system, &jobs[i], compress));
             });
         }
     })
@@ -129,8 +158,8 @@ mod tests {
                 )
             })
             .collect();
-        let seq = seal_batch(&system, &jobs, 1);
-        let par = seal_batch(&system, &jobs, 4);
+        let seq = seal_batch(&system, &jobs, 1, false);
+        let par = seal_batch(&system, &jobs, 4, false);
         assert_eq!(seq.len(), par.len());
         for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
             // Hashes and lengths are deterministic; ciphertext differs
@@ -138,6 +167,35 @@ mod tests {
             assert_eq!(s.hash, p.hash, "job {i}");
             assert_eq!(s.body_len, p.body_len, "job {i}");
             assert_eq!(s.sealed.len(), p.sealed.len(), "job {i}");
+        }
+    }
+
+    #[test]
+    fn compressed_parallel_matches_sequential() {
+        let system = crypto();
+        let part = crypto();
+        // Highly repetitive bodies: all compress, and the deterministic
+        // codec must give identical hashes on every worker count.
+        let bodies: Vec<Vec<u8>> = (0u8..8).map(|i| vec![i; 600]).collect();
+        let jobs: Vec<SealJob<'_>> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                (
+                    ChunkId::data(crate::ids::PartitionId(1), i as u64),
+                    Arc::clone(&part),
+                    b.as_slice(),
+                )
+            })
+            .collect();
+        let seq = seal_batch(&system, &jobs, 1, true);
+        let par = seal_batch(&system, &jobs, 4, true);
+        for (s, p) in seq.iter().zip(&par) {
+            assert!(s.compressed && p.compressed);
+            assert_eq!(s.hash, p.hash);
+            assert_eq!(s.saved, p.saved);
+            assert!(s.saved > 0);
+            assert_eq!(s.body_len, 600);
         }
     }
 

@@ -97,6 +97,7 @@ pub(crate) struct ReadPath {
     fast_hits: AtomicU64,
     fallbacks: AtomicU64,
     contention: AtomicU64,
+    decompress_fallbacks: AtomicU64,
 }
 
 impl ReadPath {
@@ -127,6 +128,7 @@ impl ReadPath {
             fast_hits: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             contention: AtomicU64::new(0),
+            decompress_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -161,12 +163,14 @@ impl ReadPath {
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// `(fast_hits, fallbacks, shard_contention)` counter snapshot.
-    pub(crate) fn counters(&self) -> (u64, u64, u64) {
+    /// `(fast_hits, fallbacks, shard_contention, decompress_fallbacks)`
+    /// counter snapshot.
+    pub(crate) fn counters(&self) -> (u64, u64, u64, u64) {
         (
             self.fast_hits.load(Ordering::Relaxed),
             self.fallbacks.load(Ordering::Relaxed),
             self.contention.load(Ordering::Relaxed),
+            self.decompress_fallbacks.load(Ordering::Relaxed),
         )
     }
 
@@ -239,6 +243,20 @@ impl ReadPath {
         };
         if hash != desc.hash {
             return None;
+        }
+        if raw.header.compressed {
+            // Verify-then-decompress: the hash above covered the stored
+            // envelope, so the decompressor only ever sees verified bytes.
+            // `desc.size` is the logical length, which both caps the
+            // allocation and pins the exact expected output.
+            match crate::compress::decompress_body(&body, desc.size as usize) {
+                Ok(plain) => return Some(plain),
+                Err(_) => {
+                    self.decompress_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    metrics::count(counters::DECOMPRESS_FALLBACKS);
+                    return None;
+                }
+            }
         }
         Some(body)
     }

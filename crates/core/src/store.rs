@@ -137,6 +137,15 @@ pub struct ChunkStoreConfig {
     /// memoization — results and device traffic are identical either way.
     /// `false` (the default) reproduces the paper's eager recompute.
     pub lazy_integrity: bool,
+    /// Transparent chunk-body compression ([`crate::compress`]): data-chunk
+    /// bodies are LZ77-compressed *before* hashing and sealing, so the
+    /// descriptor hash covers the stored bytes and every read verifies
+    /// integrity before the decompressor runs. Incompressible bodies are
+    /// stored raw with zero overhead. Map chunks, leaders, and unnamed
+    /// records stay uncompressed (their bytes are the Merkle tree's proof
+    /// preimages and recovery's decode inputs). `false` (the default)
+    /// reproduces the paper's byte-exact device-op shape.
+    pub compression: bool,
 }
 
 impl Default for ChunkStoreConfig {
@@ -164,6 +173,7 @@ impl Default for ChunkStoreConfig {
             clean_low_water: 2,
             clean_high_water: 4,
             lazy_integrity: false,
+            compression: false,
         }
     }
 }
@@ -235,6 +245,19 @@ pub struct ChunkStoreStats {
     /// Lazy-integrity memo entries dropped by spine or partition
     /// invalidation (descriptor writes, growth, dealloc, restore).
     pub lazy_invalidations: u64,
+    /// Bodies stored as compressed envelopes (the knob on and the
+    /// savings above the store-raw threshold).
+    pub bodies_compressed: u64,
+    /// Bodies the compression knob examined but stored raw (too small or
+    /// savings below the threshold).
+    pub bodies_stored_raw: u64,
+    /// Sealed log bytes saved by compression: the raw sealed size each
+    /// compressed body would have had, minus the size actually appended.
+    pub log_bytes_saved: u64,
+    /// Fast-path reads that failed to decompress a hash-verified body and
+    /// fell back to the engine-locked path (anomaly accounting; the locked
+    /// path alone judges integrity).
+    pub decompress_fallbacks: u64,
 }
 
 /// Externally visible health of the engine.
@@ -692,10 +715,11 @@ impl ChunkStore {
             stats.lazy_invalidations = inner.lazy.invalidations;
             stats
         };
-        let (hits, fallbacks, contention) = self.reads.counters();
+        let (hits, fallbacks, contention, decompress_fallbacks) = self.reads.counters();
         stats.read_fast_hits = hits;
         stats.read_fallbacks = fallbacks;
         stats.read_shard_contention = contention;
+        stats.decompress_fallbacks = decompress_fallbacks;
         stats.maintenance_wakeups = self.maint.wakeups.load(Ordering::Relaxed);
         stats.commit_throttle_waits = self.maint.throttle_waits.load(Ordering::Relaxed);
         stats

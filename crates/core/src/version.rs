@@ -90,6 +90,13 @@ pub struct VersionHeader {
     /// Sealed body length (IV + ciphertext), so any reader can skip the
     /// body without knowing the partition's cipher.
     pub body_ct_len: u32,
+    /// The body is a compressed envelope ([`crate::compress`]); stored as
+    /// the high bit of the kind tag, so uncompressed versions are
+    /// byte-identical to stores that predate the knob. `body_len` is then
+    /// the *stored* (compressed) length; the descriptor keeps the logical
+    /// size. Carried inside the encrypted header, the flag is as
+    /// tamper-protected as the kind itself.
+    pub compressed: bool,
 }
 
 impl VersionHeader {
@@ -108,7 +115,7 @@ impl VersionHeader {
         // Fixed 22-byte layout; a stack array keeps the (hot) seal path
         // free of a per-version heap allocation.
         let mut out = [0u8; 22];
-        out[0] = self.kind.tag();
+        out[0] = self.kind.tag() | if self.compressed { 0x80 } else { 0 };
         out[1..5].copy_from_slice(&self.id.partition.0.to_le_bytes());
         out[5] = self.id.pos.height;
         out[6..14].copy_from_slice(&self.id.pos.rank.to_le_bytes());
@@ -119,7 +126,9 @@ impl VersionHeader {
 
     fn decode(buf: &[u8]) -> Result<VersionHeader> {
         let mut d = Dec::new(buf);
-        let kind = VersionKind::from_tag(d.u8()?)
+        let tag = d.u8()?;
+        let compressed = tag & 0x80 != 0;
+        let kind = VersionKind::from_tag(tag & 0x7F)
             .ok_or_else(|| CoreError::Corrupt("unknown version kind".into()))?;
         let partition = PartitionId(d.u32()?);
         let height = d.u8()?;
@@ -132,6 +141,7 @@ impl VersionHeader {
             id: ChunkId::new(partition, Position { height, rank }),
             body_len,
             body_ct_len,
+            compressed,
         })
     }
 }
@@ -147,6 +157,20 @@ pub fn seal_version(
     id: ChunkId,
     body: &[u8],
 ) -> Vec<u8> {
+    seal_version_flagged(system, body_crypto, kind, id, body, false)
+}
+
+/// [`seal_version`] with the header's compressed flag under caller
+/// control. `body` is the bytes as stored — the compressed envelope when
+/// `compressed` — and `body_len` in the header describes exactly those.
+pub fn seal_version_flagged(
+    system: &PartitionCrypto,
+    body_crypto: &PartitionCrypto,
+    kind: VersionKind,
+    id: ChunkId,
+    body: &[u8],
+    compressed: bool,
+) -> Vec<u8> {
     // Sealed lengths are deterministic (IV + padded ciphertext), so the
     // whole version can be laid into one buffer and ciphered in place.
     let body_ct_len = body_crypto.sealed_len(body.len());
@@ -155,6 +179,7 @@ pub fn seal_version(
         id,
         body_len: body.len() as u32,
         body_ct_len: body_ct_len as u32,
+        compressed,
     };
     let header_bytes = header.encode();
     let header_ct_len = system.sealed_len(header_bytes.len());

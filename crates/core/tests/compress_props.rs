@@ -1,0 +1,239 @@
+//! Property tests for the chunk-body compression codec (ISSUE 9):
+//! round-trips over random and adversarial inputs, the stored-raw escape
+//! hatch, and hardening of the decoder against malformed streams — no
+//! panic and no allocation beyond the declared (capped) length, ever.
+//!
+//! `regression_*` tests pin previously interesting cases so they run on
+//! every build without the property machinery.
+
+use proptest::prelude::*;
+
+use tdb_core::compress::{
+    compress_block, compress_body, declared_len, decompress_block, decompress_body, CompressError,
+    MIN_COMPRESS_BODY,
+};
+
+/// Deterministic body generator: each `mode` exercises a different shape
+/// of input (compressible and not), `seed`/`len` vary the content.
+fn body_for(mode: u8, seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*, same family the bench fixtures use.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    match mode % 6 {
+        // Incompressible: every byte fresh from the generator.
+        0 => (0..len).map(|_| next() as u8).collect(),
+        // All zeros: the best case for run matching.
+        1 => vec![0u8; len],
+        // A short motif repeated: long matches at a small offset.
+        2 => {
+            let motif: Vec<u8> = (0..7 + (seed % 23) as usize)
+                .map(|_| next() as u8)
+                .collect();
+            (0..len).map(|i| motif[i % motif.len()]).collect()
+        }
+        // Text-like: a few frequent bytes with occasional noise.
+        3 => (0..len)
+            .map(|_| {
+                let r = next();
+                if r % 10 == 0 {
+                    r as u8
+                } else {
+                    b"etaoin shrdlu"[(r % 13) as usize]
+                }
+            })
+            .collect(),
+        // Random prefix, then that prefix repeated: far-offset matches.
+        4 => {
+            let half = len / 2 + 1;
+            let prefix: Vec<u8> = (0..half).map(|_| next() as u8).collect();
+            (0..len).map(|i| prefix[i % half]).collect()
+        }
+        // Runs of varying lengths: match-length extension bytes.
+        _ => {
+            let mut out = Vec::with_capacity(len);
+            while out.len() < len {
+                let byte = next() as u8;
+                let run = 1 + (next() % 300) as usize;
+                for _ in 0..run.min(len - out.len()) {
+                    out.push(byte);
+                }
+            }
+            out
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        .. ProptestConfig::default()
+    })]
+
+    /// `decompress_block(compress_block(x), x.len()) == x` for every input
+    /// shape, including empty and chunk-sized bodies.
+    #[test]
+    fn block_round_trip(mode in 0u8..6, seed in any::<u64>(), len in 0usize..4096) {
+        let body = body_for(mode, seed, len);
+        let stream = compress_block(&body);
+        let back = decompress_block(&stream, body.len()).expect("round trip");
+        prop_assert_eq!(back, body);
+    }
+
+    /// The envelope path round-trips too, and honours its contract: `None`
+    /// means "store raw", `Some` means the envelope is strictly smaller
+    /// than the body and declares exactly the body's length.
+    #[test]
+    fn body_round_trip(mode in 0u8..6, seed in any::<u64>(), len in 0usize..4096) {
+        let body = body_for(mode, seed, len);
+        match compress_body(&body) {
+            None => {
+                // Sub-threshold bodies are always stored raw.
+                if body.len() < MIN_COMPRESS_BODY {
+                    prop_assert!(true);
+                }
+            }
+            Some(env) => {
+                prop_assert!(env.len() < body.len(), "envelope must shrink");
+                prop_assert_eq!(declared_len(&env), Some(body.len()));
+                let back = decompress_body(&env, body.len()).expect("round trip");
+                prop_assert_eq!(back, body);
+            }
+        }
+    }
+
+    /// Truncating a valid stream anywhere fails cleanly — never panics,
+    /// never returns a wrong-length body.
+    #[test]
+    fn truncation_is_detected(mode in 0u8..6, seed in any::<u64>(), cut in any::<u64>()) {
+        let body = body_for(mode, seed, 1500);
+        let stream = compress_block(&body);
+        if stream.len() > 1 {
+            let cut = 1 + (cut as usize) % (stream.len() - 1);
+            match decompress_block(&stream[..cut], body.len()) {
+                Ok(out) => prop_assert_eq!(out.len(), body.len()),
+                Err(_) => prop_assert!(true),
+            }
+        }
+    }
+
+    /// Flipping any single byte of a valid stream either fails cleanly or
+    /// yields a body of exactly the expected length — the decoder never
+    /// panics and never over-allocates past the declared length.
+    #[test]
+    fn bit_flips_never_panic(mode in 0u8..6, seed in any::<u64>(), at in any::<u64>(), bit in 0u8..8) {
+        let body = body_for(mode, seed, 1200);
+        let mut stream = compress_block(&body);
+        if !stream.is_empty() {
+            let at = (at as usize) % stream.len();
+            stream[at] ^= 1 << bit;
+            match decompress_block(&stream, body.len()) {
+                Ok(out) => prop_assert_eq!(out.len(), body.len()),
+                Err(_) => prop_assert!(true),
+            }
+        }
+    }
+
+    /// Pure garbage bytes as a token stream: clean error or exact-length
+    /// output, nothing else.
+    #[test]
+    fn garbage_streams_never_panic(seed in any::<u64>(), len in 0usize..512, expect in 0usize..2048) {
+        let garbage = body_for(0, seed, len);
+        match decompress_block(&garbage, expect) {
+            Ok(out) => prop_assert_eq!(out.len(), expect),
+            Err(_) => prop_assert!(true),
+        }
+    }
+
+    /// A tampered declared length in the envelope header is rejected by
+    /// `decompress_body` before any token is processed: the declared value
+    /// must equal the caller's expectation exactly.
+    #[test]
+    fn tampered_declared_length_rejected(seed in any::<u64>(), lie in any::<u32>()) {
+        let body = body_for(2, seed, 2048);
+        let mut env = compress_body(&body).expect("repetitive body compresses");
+        let lie_bytes = lie.to_le_bytes();
+        if lie as usize != body.len() {
+            env[..4].copy_from_slice(&lie_bytes);
+            prop_assert!(matches!(
+                decompress_body(&env, body.len()),
+                Err(CompressError::WrongLength) | Err(CompressError::BadEnvelope)
+            ));
+        }
+    }
+}
+
+// ---- Pinned regressions -------------------------------------------------
+
+/// Empty input: empty stream, empty round trip.
+#[test]
+fn regression_empty_body() {
+    let stream = compress_block(&[]);
+    assert_eq!(decompress_block(&stream, 0).unwrap(), Vec::<u8>::new());
+    assert_eq!(compress_body(&[]), None);
+}
+
+/// A 4-byte match at the maximum offset boundary (65535) must round-trip;
+/// offsets beyond it must never be emitted.
+#[test]
+fn regression_max_offset_match() {
+    let mut body = vec![0xAAu8; 4];
+    body.extend(std::iter::repeat_n(0x55, 65531));
+    body.extend_from_slice(&[0xAA, 0xAA, 0xAA, 0xAA]);
+    let stream = compress_block(&body);
+    assert_eq!(decompress_block(&stream, body.len()).unwrap(), body);
+}
+
+/// Overlapping match (offset 1, long run): the byte-by-byte copy must
+/// reproduce RLE semantics, not memcpy a stale region.
+#[test]
+fn regression_overlapping_match() {
+    let mut body = vec![7u8];
+    body.extend(std::iter::repeat_n(7u8, 1000));
+    let stream = compress_block(&body);
+    assert!(stream.len() < 32, "RLE case must compress hard");
+    assert_eq!(decompress_block(&stream, body.len()).unwrap(), body);
+}
+
+/// Literal-run extension boundary: exactly 15 and 15+255 literals.
+#[test]
+fn regression_literal_extension_boundaries() {
+    for len in [15usize, 14, 16, 270, 269, 271] {
+        let body = body_for(0, 99, len);
+        let stream = compress_block(&body);
+        assert_eq!(decompress_block(&stream, len).unwrap(), body, "len {len}");
+    }
+}
+
+/// A zero offset is invalid on the wire even though a naive copy loop
+/// would "work" (self-copy): the decoder must reject it.
+#[test]
+fn regression_zero_offset_rejected() {
+    // token: 0 literals, match nibble 0 (len 4), offset 0.
+    let stream = vec![0x00, 0x00, 0x00];
+    assert!(matches!(
+        decompress_block(&stream, 4),
+        Err(CompressError::BadOffset)
+    ));
+}
+
+/// Declared length far past any plausible chunk size must not cause an
+/// allocation: `decompress_body` checks declared == expected first.
+#[test]
+fn regression_huge_declared_length_no_alloc() {
+    let body = vec![3u8; 1024];
+    let mut env = compress_body(&body).expect("compresses");
+    env[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(decompress_body(&env, body.len()).is_err());
+    // And the block decoder caps at the expected length even when the
+    // stream would produce more.
+    let long = compress_block(&vec![9u8; 4096]);
+    assert!(matches!(
+        decompress_block(&long, 16),
+        Err(CompressError::TooLong)
+    ));
+}

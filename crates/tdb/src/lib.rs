@@ -217,6 +217,16 @@ impl TrustedDbBuilder {
         self
     }
 
+    /// Enables transparent chunk-body compression: user-data bodies are
+    /// LZ77-compressed before hashing and sealing, shrinking log traffic
+    /// for compressible payloads; incompressible bodies are stored raw
+    /// with zero overhead. Off by default — the paper's byte-exact seal
+    /// shape (see [`ChunkStoreConfig::compression`]).
+    pub fn compression(mut self, on: bool) -> Self {
+        self.chunk_config.compression = on;
+        self
+    }
+
     /// Sets the number of concurrent read shards in the chunk store
     /// (`0` disables the fast read path; see
     /// [`ChunkStoreConfig::read_shards`]).
