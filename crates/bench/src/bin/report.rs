@@ -5,6 +5,7 @@
 //! cargo run --release -p tdb-bench --bin report -- all
 //! cargo run --release -p tdb-bench --bin report -- e1 e4 fig11
 //! cargo run --release -p tdb-bench --bin report -- fig11 --runs 10
+//! cargo run --release -p tdb-bench --bin report -- e20 --connections 64 --duration 3
 //! ```
 
 use tdb_bench::experiments;
@@ -12,25 +13,70 @@ use tdb_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut runs = 3usize;
+    let mut connections = 64usize;
+    let mut seed = 0xE19u64;
+    let mut duration_secs = 2.0f64;
     let mut selected: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--runs" {
-            runs = match iter.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => n,
-                _ => {
-                    eprintln!("error: --runs needs a positive integer");
+        let mut flag = |what: &str| -> String {
+            match iter.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("error: {arg} needs {what}");
                     std::process::exit(2);
                 }
-            };
-        } else {
-            selected.push(arg.to_lowercase());
+            }
+        };
+        match arg.as_str() {
+            "--runs" => {
+                runs = match flag("a positive integer").parse().ok() {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("error: --runs needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--connections" => {
+                connections = match flag("a positive integer").parse().ok() {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("error: --connections needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                // Accept decimal or 0x-prefixed hex.
+                let v = flag("an integer");
+                let parsed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |h| u64::from_str_radix(h, 16).ok());
+                seed = match parsed {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("error: --seed needs an integer (decimal or 0x hex)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--duration" => {
+                duration_secs = match flag("seconds").parse().ok() {
+                    Some(s) if s > 0.0 => s,
+                    _ => {
+                        eprintln!("error: --duration needs a positive number of seconds");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            _ => selected.push(arg.to_lowercase()),
         }
     }
-    const KNOWN: [&str; 32] = [
+    const KNOWN: [&str; 34] = [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "e18", "e19", "fig9", "fig10", "fig11", "fig12", "conc", "commit",
-        "clean", "shard", "mvcc", "validate", "ycsb", "all", "micro",
+        "e15", "e16", "e17", "e18", "e19", "e20", "fig9", "fig10", "fig11", "fig12", "conc",
+        "commit", "clean", "shard", "mvcc", "validate", "ycsb", "server", "all", "micro",
     ];
     for name in &selected {
         if !KNOWN.contains(&name.as_str()) {
@@ -43,8 +89,8 @@ fn main() {
     }
     if selected.is_empty() {
         eprintln!(
-            "usage: report [--runs N] <experiments...>\n\
-             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 e13|conc e14|commit e15|clean e16|shard e17|mvcc e18|validate e19|ycsb | all | micro"
+            "usage: report [--runs N] [--connections N] [--seed N] [--duration SECS] <experiments...>\n\
+             experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9|fig9 e10|fig10 e11|fig11 e12|fig12 e13|conc e14|commit e15|clean e16|shard e17|mvcc e18|validate e19|ycsb e20|server | all | micro"
         );
         std::process::exit(2);
     }
@@ -112,6 +158,13 @@ fn main() {
         experiments::e18_validation_overhead();
     }
     if want("e19", &["ycsb"]) {
-        experiments::e19_ycsb();
+        experiments::e19_ycsb(seed);
+    }
+    if want("e20", &["server"]) {
+        experiments::e20_server(
+            connections,
+            seed,
+            std::time::Duration::from_secs_f64(duration_secs),
+        );
     }
 }

@@ -1439,14 +1439,14 @@ fn e17_objects(mvcc: bool) -> (Arc<tdb::ObjectStore>, Vec<tdb::ObjectId>) {
         .expect("create partition");
     let mut registry = TypeRegistry::new();
     registry.register(REC_TAG, unpickle_rec);
-    let objects = Arc::new(ObjectStore::new(
+    let objects = ObjectStore::new(
         chunks,
         registry,
         ObjectStoreConfig {
             mvcc,
             ..ObjectStoreConfig::default()
         },
-    ));
+    );
     let max_threads = *E17_THREADS.iter().max().expect("non-empty");
     let mut ids = Vec::with_capacity(max_threads);
     for t in 0..max_threads {
@@ -1746,12 +1746,12 @@ fn e19_config() -> YcsbConfig {
 /// effectiveness (log bytes appended, ratio, counters) on the
 /// update-heavy workload A, recording `BENCH_ycsb.json` and
 /// `BENCH_compression.json`.
-pub fn e19_ycsb() {
+pub fn e19_ycsb(seed: u64) {
     let cfg = e19_config();
     println!("== E19: YCSB-style suite (chunk-body compression) ==");
     println!(
         "workload: {} keys x {} B zipfian(0.99) records, {} ops/thread, \
-         in-memory store",
+         in-memory store, seed {seed:#x}",
         cfg.population, cfg.record_bytes, cfg.ops_per_thread
     );
 
@@ -1769,7 +1769,7 @@ pub fn e19_ycsb() {
         for wl in E19_WORKLOADS {
             let mut row = Vec::new();
             for threads in E19_THREADS {
-                let res = driver.run(wl, threads, 0xE19);
+                let res = driver.run(wl, threads, seed);
                 row.push(res.ops_per_sec());
             }
             println!(
@@ -1825,7 +1825,7 @@ pub fn e19_ycsb() {
             },
             cfg.clone(),
         );
-        let res = driver.run(YcsbWorkload::A, 4, 0xE19);
+        let res = driver.run(YcsbWorkload::A, 4, seed);
         let stats = driver.store.stats();
         appended[i] = stats.bytes_appended;
         commit_rate[i] = res.updates as f64 / res.elapsed.as_secs_f64();
@@ -1869,6 +1869,329 @@ pub fn e19_ycsb() {
         counters.2
     );
     let path = "BENCH_compression.json";
+    std::fs::write(path, json).expect("write benchmark artifact");
+    println!("  wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// E20: multi-client server throughput. The network stack exists to feed
+// group commit from many connections at once — N pipelined connections
+// must beat one strict request/response connection by a wide margin.
+// ---------------------------------------------------------------------------
+
+/// One phase's operation tallies.
+#[derive(Debug, Default, Clone, Copy)]
+struct LoadTally {
+    reads: u64,
+    commits: u64,
+    conflicts: u64,
+}
+
+impl LoadTally {
+    fn ops(&self) -> u64 {
+        self.reads + self.commits
+    }
+}
+
+fn e20_record(key: u64, version: u64, bytes: usize) -> Vec<u8> {
+    let mut out = crate::workload::REC_TAG.to_le_bytes().to_vec();
+    out.push((key % 30) as u8);
+    out.extend_from_slice(&crate::workload::ycsb_record(key, version, bytes));
+    out
+}
+
+/// Runs a YCSB-A-style 50/50 read/update mix, time-boxed. Each worker
+/// updates only its own shard of the keyspace (write-write conflicts are
+/// the object store's story, not the transport's) but reads uniformly,
+/// so read/write lock collisions still occur and must surface as typed
+/// errors, never failures.
+fn e20_mix<Op>(
+    ids: &[tdb::ObjectId],
+    worker: usize,
+    workers: usize,
+    seed: u64,
+    deadline: Instant,
+    record_bytes: usize,
+    mut op: Op,
+) -> LoadTally
+where
+    Op: FnMut(tdb::Command, &mut LoadTally),
+{
+    let mut state = seed ^ (worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let shard = ids.len() / workers;
+    let own = &ids[worker * shard..(worker + 1) * shard];
+    let mut tally = LoadTally::default();
+    let mut version = 0u64;
+    while Instant::now() < deadline {
+        // A small burst per clock check keeps the timer overhead down.
+        for _ in 0..8 {
+            if next() % 100 < 50 {
+                let key = (next() as usize) % ids.len();
+                op(tdb::Command::Get(ids[key]), &mut tally);
+            } else {
+                let key = (next() as usize) % own.len();
+                version += 1;
+                op(
+                    tdb::Command::Put {
+                        id: own[key],
+                        record: e20_record(key as u64, version, record_bytes),
+                    },
+                    &mut tally,
+                );
+            }
+        }
+    }
+    tally
+}
+
+fn e20_count(cmd: &tdb::Command, resp: &tdb::Response, tally: &mut LoadTally) {
+    match resp {
+        tdb::Response::Error(_) => tally.conflicts += 1,
+        _ => match cmd {
+            tdb::Command::Get(_) => tally.reads += 1,
+            _ => tally.commits += 1,
+        },
+    }
+}
+
+/// Measures end-to-end server throughput: an embedded baseline (same
+/// sessions, no network), one strict request/response TCP connection,
+/// and `connections` pipelined TCP connections, all on the same
+/// workload; records `BENCH_server.json`. The headline: pipelined
+/// connections must sustain at least 2x the one-at-a-time commit rate —
+/// that is the group-commit batcher being fed properly.
+///
+/// The store sits behind a simulated network round trip (§10's remote
+/// untrusted server, real sleeps) so a commit costs device latency, as it
+/// does on any real device. That is the regime the server exists for: one
+/// strict request/response connection serializes commit latencies, while
+/// pipelined connections let the batcher amortize one flush across many
+/// committers.
+pub fn e20_server(connections: usize, seed: u64, duration: Duration) {
+    use tdb_client::TdbClient;
+    use tdb_server::{ServerConfig, TdbServer};
+    use tdb_storage::{
+        BatchingStore, CounterOverTrusted, MemStore, MemTrustedStore, RemoteStore, SharedUntrusted,
+        SimClock, TrustedStore,
+    };
+
+    const AUTH_KEY: &[u8] = b"e20-load-generator-key";
+    const POPULATION: u64 = 512;
+    const RECORD_BYTES: usize = 400;
+    const PIPELINE_DEPTH: usize = 8;
+    const ROUND_TRIP: Duration = Duration::from_micros(300);
+
+    println!("== E20: multi-client server throughput ==");
+    println!(
+        "{POPULATION} keys x {RECORD_BYTES} B, 50/50 read/update, \
+         {connections} connections, pipeline depth {PIPELINE_DEPTH}, \
+         {:.1} s per phase, seed {seed:#x}, device round trip {} us",
+        duration.as_secs_f64(),
+        ROUND_TRIP.as_micros()
+    );
+
+    let device = Arc::new(BatchingStore::new(Arc::new(RemoteStore::new(
+        Arc::new(MemStore::new()) as SharedUntrusted,
+        ROUND_TRIP,
+        Arc::new(SimClock::new(true)),
+    )) as SharedUntrusted));
+    let register = Arc::new(MemTrustedStore::new(64));
+    let db = Arc::new(
+        tdb::TrustedDbBuilder::new()
+            .register_type(crate::workload::REC_TAG, crate::workload::unpickle_rec)
+            .create(
+                device as SharedUntrusted,
+                tdb::TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
+                    register as Arc<dyn TrustedStore>,
+                ))),
+                Arc::new(MemArchive::new()),
+            )
+            .expect("build db"),
+    );
+    let mut ids = Vec::with_capacity(POPULATION as usize);
+    {
+        let mut session = db.session("loader");
+        for key in 0..POPULATION {
+            match session.dispatch(&tdb::Command::Create {
+                partition: db.partition(),
+                record: e20_record(key, 0, RECORD_BYTES),
+            }) {
+                tdb::Response::Id(id) => ids.push(id),
+                other => panic!("preload answered {other:?}"),
+            }
+        }
+    }
+    db.checkpoint().expect("preload checkpoint");
+
+    // -- Phase 1: embedded sessions, no network ---------------------------
+    let embedded_tally;
+    let embedded_elapsed;
+    {
+        let start = Instant::now();
+        let deadline = start + duration;
+        embedded_tally = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..connections)
+                .map(|w| {
+                    let db = Arc::clone(&db);
+                    let ids = &ids;
+                    s.spawn(move || {
+                        let mut session = db.session(&format!("embedded-{w}"));
+                        e20_mix(
+                            ids,
+                            w,
+                            connections,
+                            seed,
+                            deadline,
+                            RECORD_BYTES,
+                            |cmd, tally| {
+                                let resp = session.dispatch(&cmd);
+                                e20_count(&cmd, &resp, tally);
+                            },
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().fold(LoadTally::default(), |acc, h| {
+                let t = h.join().expect("embedded worker");
+                LoadTally {
+                    reads: acc.reads + t.reads,
+                    commits: acc.commits + t.commits,
+                    conflicts: acc.conflicts + t.conflicts,
+                }
+            })
+        });
+        embedded_elapsed = start.elapsed();
+    }
+
+    let mut server = TdbServer::spawn(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig::new(tdb_crypto::SecretKey::new(AUTH_KEY.to_vec())),
+    )
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // -- Phase 2: one connection, strict request/response -----------------
+    let serial_tally;
+    let serial_elapsed;
+    {
+        let mut client = TdbClient::connect(addr, "serial", AUTH_KEY).expect("connect");
+        let start = Instant::now();
+        let deadline = start + duration;
+        serial_tally = e20_mix(&ids, 0, 1, seed, deadline, RECORD_BYTES, |cmd, tally| {
+            client.send(&cmd).expect("send");
+            let (_, resp) = client.recv().expect("recv");
+            e20_count(&cmd, &resp, tally);
+        });
+        serial_elapsed = start.elapsed();
+    }
+
+    // -- Phase 3: many pipelined connections ------------------------------
+    let pipelined_tally;
+    let pipelined_elapsed;
+    {
+        let start = Instant::now();
+        let deadline = start + duration;
+        pipelined_tally = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..connections)
+                .map(|w| {
+                    let ids = &ids;
+                    s.spawn(move || {
+                        let mut client = TdbClient::connect(addr, &format!("load-{w}"), AUTH_KEY)
+                            .expect("connect");
+                        // Commands in flight, oldest first, so responses
+                        // (strictly ordered) can be tallied against them.
+                        let mut in_flight: std::collections::VecDeque<tdb::Command> =
+                            std::collections::VecDeque::new();
+                        let mut tally = e20_mix(
+                            ids,
+                            w,
+                            connections,
+                            seed ^ 0xE20,
+                            deadline,
+                            RECORD_BYTES,
+                            |cmd, tally| {
+                                if in_flight.len() >= PIPELINE_DEPTH {
+                                    let (_, resp) = client.recv().expect("recv");
+                                    let sent = in_flight.pop_front().expect("in flight");
+                                    e20_count(&sent, &resp, tally);
+                                }
+                                client.send(&cmd).expect("send");
+                                in_flight.push_back(cmd);
+                            },
+                        );
+                        while let Some(sent) = in_flight.pop_front() {
+                            let (_, resp) = client.recv().expect("drain");
+                            e20_count(&sent, &resp, &mut tally);
+                        }
+                        tally
+                    })
+                })
+                .collect();
+            handles.into_iter().fold(LoadTally::default(), |acc, h| {
+                let t = h.join().expect("pipelined worker");
+                LoadTally {
+                    reads: acc.reads + t.reads,
+                    commits: acc.commits + t.commits,
+                    conflicts: acc.conflicts + t.conflicts,
+                }
+            })
+        });
+        pipelined_elapsed = start.elapsed();
+    }
+    server.shutdown();
+
+    let rate = |t: &LoadTally, e: Duration| {
+        (
+            t.ops() as f64 / e.as_secs_f64().max(1e-9),
+            t.commits as f64 / e.as_secs_f64().max(1e-9),
+        )
+    };
+    let (embedded_ops, embedded_commits) = rate(&embedded_tally, embedded_elapsed);
+    let (serial_ops, serial_commits) = rate(&serial_tally, serial_elapsed);
+    let (pipelined_ops, pipelined_commits) = rate(&pipelined_tally, pipelined_elapsed);
+    let speedup = pipelined_commits / serial_commits.max(1e-9);
+    println!(
+        "  embedded  ({connections} sessions):    {embedded_ops:>9.0} ops/s  \
+         {embedded_commits:>8.0} commits/s  ({} conflicts)",
+        embedded_tally.conflicts
+    );
+    println!(
+        "  serial    (1 conn, no pipeline): {serial_ops:>9.0} ops/s  \
+         {serial_commits:>8.0} commits/s  ({} conflicts)",
+        serial_tally.conflicts
+    );
+    println!(
+        "  pipelined ({connections} conns, depth {PIPELINE_DEPTH}): {pipelined_ops:>9.0} ops/s  \
+         {pipelined_commits:>8.0} commits/s  ({} conflicts)",
+        pipelined_tally.conflicts
+    );
+    println!("  pipelined vs serial commit throughput: {speedup:.2}x");
+    if speedup < 2.0 {
+        println!("  WARNING: pipelined speedup below the 2x target");
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"server_load\",\n  \"connections\": {connections},\n  \
+         \"pipeline_depth\": {PIPELINE_DEPTH},\n  \"seed\": {seed},\n  \
+         \"duration_secs\": {:.3},\n  \"population\": {POPULATION},\n  \
+         \"record_bytes\": {RECORD_BYTES},\n  \"mix\": \"50r/50u\",\n  \
+         \"embedded\": {{ \"ops_per_sec\": {embedded_ops:.0}, \"commits_per_sec\": {embedded_commits:.0}, \"conflicts\": {} }},\n  \
+         \"serial\": {{ \"ops_per_sec\": {serial_ops:.0}, \"commits_per_sec\": {serial_commits:.0}, \"conflicts\": {} }},\n  \
+         \"pipelined\": {{ \"ops_per_sec\": {pipelined_ops:.0}, \"commits_per_sec\": {pipelined_commits:.0}, \"conflicts\": {} }},\n  \
+         \"pipelined_vs_serial_commit_speedup\": {speedup:.3}\n}}\n",
+        duration.as_secs_f64(),
+        embedded_tally.conflicts,
+        serial_tally.conflicts,
+        pipelined_tally.conflicts
+    );
+    let path = "BENCH_server.json";
     std::fs::write(path, json).expect("write benchmark artifact");
     println!("  wrote {path}");
 }

@@ -238,7 +238,7 @@ impl TdbWorkload {
         extractors.register("len", rec_by_len);
         extractors.register("sum", rec_by_sum);
         extractors.register("large", rec_by_large);
-        let objects = Arc::new(ObjectStore::new(
+        let objects = ObjectStore::new(
             chunks,
             registry,
             ObjectStoreConfig {
@@ -246,7 +246,7 @@ impl TdbWorkload {
                 cache_bytes: 4 * 1024 * 1024,
                 ..ObjectStoreConfig::default()
             },
-        ));
+        );
         let collections = CollectionStore::new(extractors);
 
         // 30 collections, 1–4 indexes each.

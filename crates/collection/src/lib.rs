@@ -47,7 +47,7 @@ pub type KeyExtractor = fn(&dyn StoredObject) -> Option<Vec<u8>>;
 
 /// Named key extractors. Names are stored in index metadata so indexes can
 /// be rebuilt and maintained across sessions.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct ExtractorRegistry {
     extractors: HashMap<String, KeyExtractor>,
 }
@@ -205,6 +205,10 @@ pub fn register_builtin_types(registry: &mut TypeRegistry) {
 pub struct CollectionId(pub ObjectId);
 
 /// The collection store: index maintenance over an object store.
+///
+/// Stateless apart from the extractor registry, so it is `Clone`: every
+/// session gets its own handle over the shared object store.
+#[derive(Clone)]
 pub struct CollectionStore {
     extractors: ExtractorRegistry,
 }
@@ -723,11 +727,7 @@ pub(crate) mod test_util {
             .unwrap();
         let mut registry = TypeRegistry::new();
         register_builtin_types(&mut registry);
-        let store = Arc::new(ObjectStore::new(
-            chunks,
-            registry,
-            ObjectStoreConfig::default(),
-        ));
+        let store = ObjectStore::new(chunks, registry, ObjectStoreConfig::default());
         Fixture { store, partition }
     }
 }

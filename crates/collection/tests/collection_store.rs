@@ -117,11 +117,7 @@ fn fixture() -> Fixture {
     let mut registry = TypeRegistry::new();
     register_builtin_types(&mut registry);
     registry.register(GOOD_TAG, unpickle_good);
-    let objects = Arc::new(ObjectStore::new(
-        chunks,
-        registry,
-        ObjectStoreConfig::default(),
-    ));
+    let objects = ObjectStore::new(chunks, registry, ObjectStoreConfig::default());
     let mut extractors = ExtractorRegistry::new();
     extractors.register("by_title", by_title);
     extractors.register("by_vendor", by_vendor);

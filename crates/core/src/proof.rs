@@ -151,6 +151,13 @@ pub fn verify_read_proof(proof: &ReadProof, body: &[u8], root: &HashValue) -> bo
     if proof.hash == HashKind::Null || proof.fanout == 0 {
         return false;
     }
+    // Proofs vouch for data chunks only, and a u64 rank bounds the tree
+    // height; a claimed id or path outside that envelope is a forgery (and
+    // must not reach the position arithmetic below, which asserts on the
+    // reserved leader height).
+    if !proof.id.pos.is_data() || proof.levels.len() > 64 {
+        return false;
+    }
     let hash_len = proof.hash.digest_len();
     let fanout = u64::from(proof.fanout);
     // Descriptor hashes cover the *stored* body. A compressed leaf ships

@@ -29,7 +29,7 @@ pub mod pickle;
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -110,7 +110,14 @@ impl Default for ObjectStoreConfig {
 }
 
 /// The object store.
+///
+/// Always lives behind an `Arc` ([`ObjectStore::new`] returns one): open
+/// transactions hold an owned handle to the store, so a [`Tx`] or
+/// [`MvccTx`] can outlive the borrow it was begun from — the shape a
+/// network session needs, where a transaction spans many requests.
 pub struct ObjectStore {
+    /// Self-reference so `begin(&self)` can mint owned transactions.
+    me: Weak<ObjectStore>,
     chunks: Arc<ChunkStore>,
     registry: TypeRegistry,
     cache: ShardedObjectCache,
@@ -130,8 +137,9 @@ impl ObjectStore {
         chunks: Arc<ChunkStore>,
         registry: TypeRegistry,
         config: ObjectStoreConfig,
-    ) -> ObjectStore {
-        ObjectStore {
+    ) -> Arc<ObjectStore> {
+        Arc::new_cyclic(|me| ObjectStore {
+            me: me.clone(),
             chunks,
             registry,
             cache: ShardedObjectCache::new(config.cache_bytes, config.cache_shards),
@@ -140,7 +148,14 @@ impl ObjectStore {
             steal_threshold: config.steal_threshold_bytes,
             spill: Mutex::new(None),
             mvcc: config.mvcc.then(MvccManager::new),
-        }
+        })
+    }
+
+    /// An owned handle to this store (upgrades the cyclic self-reference).
+    fn arc(&self) -> Arc<ObjectStore> {
+        self.me
+            .upgrade()
+            .expect("ObjectStore::new returns an Arc, so self is reachable")
     }
 
     /// The scratch partition for spilled dirty objects, created on first
@@ -167,11 +182,13 @@ impl ObjectStore {
         &self.chunks
     }
 
-    /// Begins a transaction.
-    pub fn begin(&self) -> Tx<'_> {
+    /// Begins a transaction. The returned [`Tx`] owns a handle to the
+    /// store and may outlive this borrow (e.g. parked in a session
+    /// between network requests).
+    pub fn begin(&self) -> Tx {
         let _t = metrics::span(modules::OBJECT_STORE);
         Tx {
-            store: self,
+            store: self.arc(),
             id: self.next_tx.fetch_add(1, Ordering::Relaxed),
             writes: Vec::new(),
             buffered_bytes: 0,
@@ -185,7 +202,7 @@ impl ObjectStore {
     /// # Errors
     ///
     /// Propagates the closure's error or commit failures.
-    pub fn run<R>(&self, mut f: impl FnMut(&mut Tx<'_>) -> Result<R>) -> Result<R> {
+    pub fn run<R>(&self, mut f: impl FnMut(&mut Tx) -> Result<R>) -> Result<R> {
         let mut attempts = 0;
         loop {
             let mut tx = self.begin();
@@ -218,10 +235,12 @@ impl ObjectStore {
     ///
     /// [`ObjectError::MvccDisabled`] unless the store was built with
     /// [`ObjectStoreConfig::mvcc`].
-    pub fn begin_mvcc(&self) -> Result<MvccTx<'_>> {
+    pub fn begin_mvcc(&self) -> Result<MvccTx> {
         let _t = metrics::span(modules::OBJECT_STORE);
-        let mgr = self.mvcc.as_ref().ok_or(ObjectError::MvccDisabled)?;
-        Ok(MvccTx::begin(self, mgr))
+        if self.mvcc.is_none() {
+            return Err(ObjectError::MvccDisabled);
+        }
+        Ok(MvccTx::begin(self.arc()))
     }
 
     /// Runs `f` inside an MVCC transaction, committing on `Ok` and
@@ -232,7 +251,7 @@ impl ObjectStore {
     ///
     /// Propagates the closure's error, commit failures, or the final
     /// [`ObjectError::WriteConflict`] once retries are exhausted.
-    pub fn run_mvcc<R>(&self, mut f: impl FnMut(&mut MvccTx<'_>) -> Result<R>) -> Result<R> {
+    pub fn run_mvcc<R>(&self, mut f: impl FnMut(&mut MvccTx) -> Result<R>) -> Result<R> {
         let mut attempts = 0;
         loop {
             let mut tx = self.begin_mvcc()?;
@@ -279,6 +298,17 @@ impl ObjectStore {
     pub fn get_untracked(&self, id: ObjectId) -> Result<Arc<dyn StoredObject>> {
         let _t = metrics::span(modules::OBJECT_STORE);
         self.load(id)
+    }
+
+    /// Unpickles a raw record (type tag + pickle) against this store's
+    /// type registry. This is how records arriving over a wire become
+    /// typed objects: the server-side registry is the schema authority.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown type tags or malformed pickles.
+    pub fn unpickle_record(&self, record: &[u8]) -> Result<Arc<dyn StoredObject>> {
+        self.registry.unpickle(record)
     }
 
     fn load(&self, id: ObjectId) -> Result<Arc<dyn StoredObject>> {
@@ -331,8 +361,11 @@ enum Write {
 }
 
 /// An open transaction: two-phase locked, no-steal buffered.
-pub struct Tx<'a> {
-    store: &'a ObjectStore,
+///
+/// Owns its store handle, so it is `'static` and can be parked in a
+/// session object across network requests.
+pub struct Tx {
+    store: Arc<ObjectStore>,
     id: TxId,
     /// Ordered buffered writes (last write to an id wins).
     writes: Vec<(ObjectId, Write)>,
@@ -341,7 +374,7 @@ pub struct Tx<'a> {
     finished: bool,
 }
 
-impl Tx<'_> {
+impl Tx {
     fn check_open(&self) -> Result<()> {
         if self.finished {
             Err(ObjectError::TxFinished)
@@ -644,7 +677,7 @@ impl Tx<'_> {
     }
 }
 
-impl Drop for Tx<'_> {
+impl Drop for Tx {
     fn drop(&mut self) {
         if !self.finished {
             // An abandoned transaction aborts implicitly.
@@ -707,7 +740,7 @@ pub trait Transactional {
     }
 }
 
-impl Transactional for Tx<'_> {
+impl Transactional for Tx {
     fn create(
         &mut self,
         partition: PartitionId,

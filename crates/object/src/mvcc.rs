@@ -303,8 +303,8 @@ impl VerifiedRead {
 /// are taken during the transaction — conflicts surface at commit as
 /// [`ObjectError::WriteConflict`], and the transaction should retry
 /// ([`ObjectStore::run_mvcc`] does).
-pub struct MvccTx<'a> {
-    store: &'a ObjectStore,
+pub struct MvccTx {
+    store: Arc<ObjectStore>,
     snapshot: u64,
     /// Ordered buffered writes (last write to an id wins); `None` deletes.
     writes: Vec<(ObjectId, Option<Arc<dyn StoredObject>>)>,
@@ -313,11 +313,16 @@ pub struct MvccTx<'a> {
     finished: bool,
 }
 
-impl<'a> MvccTx<'a> {
-    pub(crate) fn begin(store: &'a ObjectStore, mgr: &MvccManager) -> MvccTx<'a> {
+impl MvccTx {
+    pub(crate) fn begin(store: Arc<ObjectStore>) -> MvccTx {
+        let snapshot = store
+            .mvcc
+            .as_ref()
+            .expect("begin_mvcc checked the knob")
+            .begin_snapshot();
         MvccTx {
             store,
-            snapshot: mgr.begin_snapshot(),
+            snapshot,
             writes: Vec::new(),
             created: HashSet::new(),
             finished: false,
@@ -419,6 +424,20 @@ impl<'a> MvccTx<'a> {
         &mut self,
         id: ObjectId,
     ) -> Result<(Arc<T>, Option<VerifiedRead>)> {
+        let (obj, proof) = self.get_with_proof_dyn(id)?;
+        Ok((downcast(obj)?, proof))
+    }
+
+    /// Dynamically-typed [`MvccTx::get_with_proof`] — the form the
+    /// command layer uses, where the record crosses a wire untyped.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`MvccTx::get_dyn`].
+    pub fn get_with_proof_dyn(
+        &mut self,
+        id: ObjectId,
+    ) -> Result<(Arc<dyn StoredObject>, Option<VerifiedRead>)> {
         let _t = tdb_core::metrics::span(tdb_core::metrics::modules::OBJECT_STORE);
         self.check_open()?;
         if self.local(id).is_none() && self.mgr().provable(id, self.snapshot) {
@@ -429,7 +448,7 @@ impl<'a> MvccTx<'a> {
                     // which case the bytes are newer than the snapshot.
                     if self.mgr().provable(id, self.snapshot) {
                         let obj = self.store.registry.unpickle(&record)?;
-                        return Ok((downcast(obj)?, Some(VerifiedRead { record, proof })));
+                        return Ok((obj, Some(VerifiedRead { record, proof })));
                     }
                 }
                 Err(tdb_core::CoreError::NotAllocated(_))
@@ -441,7 +460,7 @@ impl<'a> MvccTx<'a> {
             }
         }
         self.mgr().note_proof_fallback();
-        Ok((downcast(self.get_dyn(id)?)?, None))
+        Ok((self.get_dyn(id)?, None))
     }
 
     fn exists_at_snapshot(&mut self, id: ObjectId) -> Result<bool> {
@@ -581,7 +600,7 @@ impl<'a> MvccTx<'a> {
     }
 }
 
-impl Drop for MvccTx<'_> {
+impl Drop for MvccTx {
     fn drop(&mut self) {
         if !self.finished {
             self.mgr().end_snapshot(self.snapshot);
@@ -589,7 +608,7 @@ impl Drop for MvccTx<'_> {
     }
 }
 
-impl Transactional for MvccTx<'_> {
+impl Transactional for MvccTx {
     fn create(
         &mut self,
         partition: PartitionId,

@@ -103,7 +103,7 @@ pub fn downcast<T: StoredObject>(obj: Arc<dyn StoredObject>) -> Result<Arc<T>> {
         unsafe { Ok(Arc::from_raw(raw as *const T)) }
     } else {
         Err(ObjectError::TypeMismatch {
-            expected: std::any::type_name::<T>(),
+            expected: std::any::type_name::<T>().to_string(),
             found_tag: obj.type_tag(),
         })
     }

@@ -66,14 +66,14 @@ fn fixture(mvcc: bool) -> (Arc<ObjectStore>, PartitionId) {
             params: CryptoParams::generate(CipherKind::Des, HashKind::Sha1),
         }])
         .unwrap();
-    let store = Arc::new(ObjectStore::new(
+    let store = ObjectStore::new(
         chunks,
         registry(),
         ObjectStoreConfig {
             mvcc,
             ..ObjectStoreConfig::default()
         },
-    ));
+    );
     (store, partition)
 }
 

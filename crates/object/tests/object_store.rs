@@ -119,7 +119,7 @@ fn fixture() -> Fixture {
             params: CryptoParams::generate(CipherKind::Des, HashKind::Sha1),
         }])
         .unwrap();
-    let store = Arc::new(ObjectStore::new(
+    let store = ObjectStore::new(
         chunks,
         registry(),
         ObjectStoreConfig {
@@ -127,7 +127,7 @@ fn fixture() -> Fixture {
             lock_timeout: Duration::from_millis(100),
             ..ObjectStoreConfig::default()
         },
-    ));
+    );
     Fixture { store, partition }
 }
 
@@ -491,7 +491,7 @@ fn put_on_missing_object_fails() {
 
 fn steal_fixture(threshold: usize) -> Fixture {
     let fx = fixture();
-    let store = Arc::new(ObjectStore::new(
+    let store = ObjectStore::new(
         Arc::clone(fx.store.chunks()),
         registry(),
         ObjectStoreConfig {
@@ -500,7 +500,7 @@ fn steal_fixture(threshold: usize) -> Fixture {
             steal_threshold_bytes: threshold,
             ..ObjectStoreConfig::default()
         },
-    ));
+    );
     Fixture {
         store,
         partition: fx.partition,

@@ -1,0 +1,309 @@
+//! `tdb-server`: a multi-client TCP front end for a [`TrustedDb`].
+//!
+//! The paper's deployment model (§2) is a trusted *server* process that
+//! many untrusted clients talk to over a network; this crate is that
+//! process's network layer. It is deliberately thin: all semantics live
+//! in the transport-agnostic session/command layer ([`tdb::Session`],
+//! [`tdb::Command`]), which the embedded API uses too — the server only
+//! adds sockets, frames, and authentication.
+//!
+//! Design:
+//!
+//! - **Thread per connection** over `std::net`. Each connection runs a
+//!   blocking read → dispatch → write loop; pipelined requests are
+//!   answered strictly in order. Cross-connection concurrency is what
+//!   drives the chunk store's group-commit batcher: N sessions
+//!   autocommitting concurrently share flushes.
+//! - **Challenge-response auth** ([`tdb::wire`]) over a pre-shared HMAC
+//!   key before any command is accepted.
+//! - **Degraded-mode signalling**: every response envelope carries the
+//!   store's health byte, so clients observe `Live → Degraded/Poisoned`
+//!   transitions on their very next response.
+//! - **Graceful shutdown**: [`TdbServer::shutdown`] stops the accept
+//!   loop, shuts down every live socket (clients see a clean EOF, not a
+//!   hung connection), and joins all threads.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tdb::wire::{
+    self, client_auth_mac, server_welcome_mac, AuthResult, ClientAuth, Hello, NONCE_LEN,
+};
+use tdb::{StoreHealth, TrustedDb};
+use tdb_crypto::SecretKey;
+
+/// Server configuration.
+pub struct ServerConfig {
+    /// Pre-shared HMAC key clients must prove possession of.
+    pub auth_key: SecretKey,
+}
+
+impl ServerConfig {
+    /// Config with the given pre-shared key.
+    pub fn new(auth_key: SecretKey) -> ServerConfig {
+        ServerConfig { auth_key }
+    }
+}
+
+/// Aggregate server counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Sessions that passed authentication.
+    pub sessions: AtomicU64,
+    /// Handshakes refused (bad MAC, bad frame).
+    pub rejected: AtomicU64,
+    /// Requests dispatched.
+    pub requests: AtomicU64,
+    /// Requests answered with an error response.
+    pub errors: AtomicU64,
+}
+
+struct ServerShared {
+    db: Arc<TrustedDb>,
+    auth_key: SecretKey,
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+    stats: ServerStats,
+    /// Live connection sockets, for shutdown. Keyed by session id.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Finished-or-running connection threads, joined at shutdown.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TDB server. Dropping it shuts it down.
+pub struct TdbServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl TdbServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(
+        db: Arc<TrustedDb>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<TdbServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            db,
+            auth_key: config.auth_key,
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            stats: ServerStats::default(),
+            conns: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("tdb-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(TdbServer {
+            shared,
+            addr: local,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (with the real port when spawned on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Stops accepting, closes every live connection, joins all threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Shut down live sockets: connection threads unblock from read
+        // with EOF and exit their loops.
+        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let handles = std::mem::take(&mut *self.shared.handles.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TdbServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("tdb-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &conn_shared);
+            });
+        if let Ok(handle) = handle {
+            shared.handles.lock().unwrap().push(handle);
+        }
+    }
+}
+
+/// Runs the handshake; returns the authenticated principal and the
+/// session id, or writes a Reject frame and errors out.
+fn handshake<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    shared: &ServerShared,
+) -> io::Result<(String, u64)> {
+    fn reject<W: Write>(writer: &mut W, reason: &str) -> io::Result<()> {
+        wire::write_frame(
+            writer,
+            &AuthResult::Reject {
+                reason: reason.to_string(),
+            }
+            .encode(),
+        )?;
+        writer.flush()
+    }
+
+    let mut server_nonce = [0u8; NONCE_LEN];
+    server_nonce.copy_from_slice(SecretKey::random(NONCE_LEN).as_bytes());
+    wire::write_frame(
+        writer,
+        &Hello {
+            nonce: server_nonce,
+        }
+        .encode(),
+    )?;
+    writer.flush()?;
+
+    let auth_payload = wire::read_frame(reader)?;
+    let auth = match ClientAuth::decode(&auth_payload) {
+        Ok(auth) => auth,
+        Err(e) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            reject(writer, &format!("malformed auth frame: {e}"))?;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad auth frame"));
+        }
+    };
+    let expected = client_auth_mac(
+        shared.auth_key.as_bytes(),
+        &server_nonce,
+        &auth.nonce,
+        &auth.principal,
+    );
+    if !expected.ct_eq(&auth.mac) {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        reject(writer, "authentication failed")?;
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "bad client MAC",
+        ));
+    }
+    let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let welcome = AuthResult::Welcome {
+        mac: server_welcome_mac(shared.auth_key.as_bytes(), &auth.nonce, &server_nonce),
+        session_id,
+    };
+    wire::write_frame(writer, &welcome.encode())?;
+    writer.flush()?;
+    shared.stats.sessions.fetch_add(1, Ordering::Relaxed);
+    Ok((auth.principal, session_id))
+}
+
+fn health_stamp(health: &StoreHealth) -> (u8, String) {
+    match health {
+        StoreHealth::Live => (wire::health::LIVE, String::new()),
+        StoreHealth::Degraded { reason } => (wire::health::DEGRADED, reason.clone()),
+        StoreHealth::Poisoned { reason } => (wire::health::POISONED, reason.clone()),
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<ServerShared>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+
+    let (principal, session_id) = handshake(&mut reader, &mut writer, shared)?;
+    shared
+        .conns
+        .lock()
+        .unwrap()
+        .insert(session_id, stream.try_clone()?);
+    // Dropping the session at any exit aborts its open transaction.
+    let mut session = shared.db.session(&principal);
+
+    let result = (|| -> io::Result<()> {
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let payload = match wire::read_frame(&mut reader) {
+                Ok(p) => p,
+                // Clean EOF between frames = client hung up.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            let (request_id, response) = match wire::decode_request(&payload) {
+                Ok((id, cmd)) => (id, session.dispatch(&cmd)),
+                // A malformed command still gets an in-band typed error
+                // (request id 0 when the id itself was unreadable).
+                Err(e) => (
+                    decoded_request_id(&payload),
+                    tdb::Response::Error(tdb::WireError(tdb::TdbError::Core(e))),
+                ),
+            };
+            if matches!(response, tdb::Response::Error(_)) {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let (health, reason) = health_stamp(&session.health());
+            let envelope = wire::encode_response(request_id, health, &reason, &response);
+            wire::write_frame(&mut writer, &envelope)?;
+            // Flush only when no more requests are already queued: back-
+            // to-back pipelined requests share one flush.
+            if reader.buffer().is_empty() {
+                writer.flush()?;
+            }
+        }
+    })();
+    shared.conns.lock().unwrap().remove(&session_id);
+    result
+}
+
+/// Salvages the request id from a frame whose command failed to decode,
+/// so the error can still be matched to its request client-side.
+fn decoded_request_id(payload: &[u8]) -> u64 {
+    if payload.len() >= 8 {
+        u64::from_le_bytes(payload[..8].try_into().expect("checked length"))
+    } else {
+        0
+    }
+}

@@ -51,12 +51,17 @@
 //! assert_eq!(db.chunks().read(chunk).unwrap(), b"sensitive, replay-protected state");
 //! ```
 
+pub mod command;
 pub mod paging;
+pub mod session;
+pub mod wire;
 
 use std::fmt;
 use std::sync::Arc;
 
+pub use command::{Command, Response, TxMode, WireError};
 pub use paging::TrustedPager;
+pub use session::{Session, SessionStats};
 pub use tdb_collection::{
     register_builtin_types, CollectionId, CollectionStore, ExtractorRegistry, IndexKey, IndexKind,
     KeyExtractor,
@@ -425,11 +430,7 @@ impl TrustedDbBuilder {
         object_config: ObjectStoreConfig,
         partition: PartitionId,
     ) -> Result<TrustedDb> {
-        let objects = Arc::new(ObjectStore::new(
-            Arc::clone(&chunks),
-            registry,
-            object_config,
-        ));
+        let objects = ObjectStore::new(Arc::clone(&chunks), registry, object_config);
         let collections = CollectionStore::new(extractors);
         let backups = BackupStore::new(Arc::clone(&chunks), archive);
         Ok(TrustedDb {
@@ -478,7 +479,7 @@ impl TrustedDb {
     }
 
     /// Begins a transaction on the object store.
-    pub fn begin(&self) -> Tx<'_> {
+    pub fn begin(&self) -> Tx {
         self.objects.begin()
     }
 
@@ -488,7 +489,7 @@ impl TrustedDb {
     /// # Errors
     ///
     /// Propagates the closure's error or commit failures.
-    pub fn run<R>(&self, f: impl FnMut(&mut Tx<'_>) -> tdb_object::errors::Result<R>) -> Result<R> {
+    pub fn run<R>(&self, f: impl FnMut(&mut Tx) -> tdb_object::errors::Result<R>) -> Result<R> {
         self.objects.run(f).map_err(Into::into)
     }
 
@@ -498,7 +499,7 @@ impl TrustedDb {
     ///
     /// Fails unless the database was built with
     /// [`TrustedDbBuilder::mvcc`].
-    pub fn begin_mvcc(&self) -> Result<MvccTx<'_>> {
+    pub fn begin_mvcc(&self) -> Result<MvccTx> {
         self.objects.begin_mvcc().map_err(Into::into)
     }
 
@@ -511,7 +512,7 @@ impl TrustedDb {
     /// write conflict.
     pub fn run_mvcc<R>(
         &self,
-        f: impl FnMut(&mut MvccTx<'_>) -> tdb_object::errors::Result<R>,
+        f: impl FnMut(&mut MvccTx) -> tdb_object::errors::Result<R>,
     ) -> Result<R> {
         self.objects.run_mvcc(f).map_err(Into::into)
     }

@@ -1,0 +1,370 @@
+//! Sessions: the execution context every command runs in.
+//!
+//! A [`Session`] is one authenticated principal's stateful view of the
+//! database: its active transaction (transactions are **session-scoped**,
+//! not borrow-scoped, so one can span many network requests), its health
+//! view, and its per-session counters. The embedded API and the network
+//! server both execute the same [`Command`] stream through
+//! [`Session::dispatch`] — the session layer *is* the database surface,
+//! and the transports are thin framing around it.
+//!
+//! Commands that touch objects while no transaction is open run in
+//! **autocommit** mode: a fresh transaction per command, committed before
+//! the response. Many concurrent autocommit sessions are exactly the
+//! traffic shape the group-commit batcher was built for — each commit
+//! parks on the leader's flush and shares it.
+
+use std::sync::Arc;
+
+use tdb_core::store::ChunkStore;
+use tdb_core::{CoreError, PartitionId};
+use tdb_object::errors::ObjectError;
+use tdb_object::{MvccTx, ObjectStore, Transactional, Tx};
+
+use crate::command::{Command, Response, TxMode, WireError};
+use crate::{CollectionStore, StoreHealth, TdbError, TrustedDb};
+
+/// Per-session counters, labelled by principal in server logs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SessionStats {
+    /// Commands dispatched.
+    pub commands: u64,
+    /// Commands answered with [`Response::Error`].
+    pub errors: u64,
+    /// Explicit transaction commits.
+    pub commits: u64,
+    /// Explicit transaction aborts (not counting drops).
+    pub aborts: u64,
+    /// Commands executed in an implicit one-shot transaction.
+    pub autocommits: u64,
+}
+
+/// The session's open transaction, if any.
+enum ActiveTx {
+    Locking(Tx),
+    Mvcc(MvccTx),
+}
+
+/// One principal's stateful connection to the database.
+///
+/// Holds owned handles to the store layers, so sessions are `'static`:
+/// a server parks one per connection, the embedded API uses one inline.
+pub struct Session {
+    chunks: Arc<ChunkStore>,
+    objects: Arc<ObjectStore>,
+    collections: CollectionStore,
+    partition: PartitionId,
+    principal: String,
+    tx: Option<ActiveTx>,
+    stats: SessionStats,
+}
+
+impl TrustedDb {
+    /// Opens a session for `principal`. Authentication happens at the
+    /// transport (the server's challenge-response handshake); by the time
+    /// a session exists the principal is trusted.
+    pub fn session(&self, principal: &str) -> Session {
+        Session {
+            chunks: Arc::clone(self.chunks()),
+            objects: Arc::clone(self.objects()),
+            collections: self.collections().clone(),
+            partition: self.partition(),
+            principal: principal.to_string(),
+            tx: None,
+            stats: SessionStats::default(),
+        }
+    }
+}
+
+fn err(e: impl Into<TdbError>) -> Response {
+    Response::Error(WireError(e.into()))
+}
+
+fn health_response(health: &StoreHealth) -> Response {
+    let (state, reason) = match health {
+        StoreHealth::Live => (0, String::new()),
+        StoreHealth::Degraded { reason } => (1, reason.clone()),
+        StoreHealth::Poisoned { reason } => (2, reason.clone()),
+    };
+    Response::Health { state, reason }
+}
+
+impl Session {
+    /// The authenticated principal this session runs as.
+    pub fn principal(&self) -> &str {
+        &self.principal
+    }
+
+    /// Per-session counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// True while a transaction is open on this session.
+    pub fn in_tx(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// The session's current view of store health — what the server
+    /// stamps on every response frame so clients learn about degraded
+    /// mode without a dedicated poll.
+    pub fn health(&self) -> StoreHealth {
+        self.chunks.health()
+    }
+
+    /// Executes one command and returns its response. Never panics:
+    /// every failure becomes a typed [`Response::Error`].
+    pub fn dispatch(&mut self, cmd: &Command) -> Response {
+        self.stats.commands += 1;
+        let resp = self.dispatch_inner(cmd);
+        if matches!(resp, Response::Error(_)) {
+            self.stats.errors += 1;
+        }
+        resp
+    }
+
+    fn dispatch_inner(&mut self, cmd: &Command) -> Response {
+        match cmd {
+            Command::Ping => Response::Pong,
+            Command::Health => health_response(&self.chunks.health()),
+            Command::SnapshotRoot => match self.chunks.snapshot_root(self.partition) {
+                Ok(root) => Response::Root(root.as_bytes().to_vec()),
+                Err(e) => err(e),
+            },
+            Command::Checkpoint => match self.chunks.checkpoint() {
+                Ok(()) => Response::Ok,
+                Err(e) => err(e),
+            },
+            Command::Clean(max) => match self.chunks.clean(*max as usize) {
+                Ok(n) => Response::Count(n as u64),
+                Err(e) => err(e),
+            },
+            Command::Begin(mode) => self.begin(*mode),
+            Command::Commit => self.commit(),
+            Command::Abort => self.abort(),
+            _ => self.dispatch_data(cmd),
+        }
+    }
+
+    fn begin(&mut self, mode: TxMode) -> Response {
+        if self.tx.is_some() {
+            return err(CoreError::Busy(
+                "a transaction is already open on this session".into(),
+            ));
+        }
+        let tx = match mode {
+            TxMode::Locking => ActiveTx::Locking(self.objects.begin()),
+            TxMode::Mvcc => match self.objects.begin_mvcc() {
+                Ok(tx) => ActiveTx::Mvcc(tx),
+                Err(e) => return err(e),
+            },
+        };
+        self.tx = Some(tx);
+        Response::Ok
+    }
+
+    fn commit(&mut self) -> Response {
+        let Some(tx) = self.tx.take() else {
+            return err(ObjectError::TxFinished);
+        };
+        let result = match tx {
+            ActiveTx::Locking(tx) => tx.commit(),
+            ActiveTx::Mvcc(tx) => tx.commit(),
+        };
+        match result {
+            Ok(()) => {
+                self.stats.commits += 1;
+                Response::Ok
+            }
+            Err(e) => err(e),
+        }
+    }
+
+    fn abort(&mut self) -> Response {
+        let Some(tx) = self.tx.take() else {
+            return err(ObjectError::TxFinished);
+        };
+        match tx {
+            ActiveTx::Locking(tx) => tx.abort(),
+            ActiveTx::Mvcc(tx) => tx.abort(),
+        }
+        self.stats.aborts += 1;
+        Response::Ok
+    }
+
+    /// Object/collection commands: run on the open transaction, or in a
+    /// one-shot autocommit transaction when none is open.
+    fn dispatch_data(&mut self, cmd: &Command) -> Response {
+        // Proof-carrying reads resolve against the committed tree, so the
+        // no-transaction path serves them straight from the chunk store.
+        if let (Command::GetWithProof(id), None) = (cmd, &self.tx) {
+            return self.proof_read_committed(*id);
+        }
+        match &mut self.tx {
+            Some(ActiveTx::Locking(tx)) => {
+                Self::exec(&self.collections, &self.objects, self.partition, tx, cmd)
+            }
+            Some(ActiveTx::Mvcc(tx)) => {
+                if let Command::GetWithProof(id) = cmd {
+                    return match tx.get_with_proof_dyn(*id) {
+                        Ok((obj, vread)) => {
+                            let record = crate::TypeRegistry::pickle(obj.as_ref());
+                            let root = match self.chunks.snapshot_root(self.partition) {
+                                Ok(r) => r.as_bytes().to_vec(),
+                                Err(e) => return err(e),
+                            };
+                            Response::VerifiedRecord {
+                                record: vread.as_ref().map_or(record, |v| v.record.clone()),
+                                proof: vread.map(|v| v.proof.encode()),
+                                root,
+                            }
+                        }
+                        Err(e) => err(e),
+                    };
+                }
+                Self::exec(&self.collections, &self.objects, self.partition, tx, cmd)
+            }
+            None => {
+                self.stats.autocommits += 1;
+                let mut tx = self.objects.begin();
+                let resp = Self::exec(
+                    &self.collections,
+                    &self.objects,
+                    self.partition,
+                    &mut tx,
+                    cmd,
+                );
+                if matches!(resp, Response::Error(_)) {
+                    tx.abort();
+                    return resp;
+                }
+                match tx.commit() {
+                    Ok(()) => resp,
+                    Err(e) => err(e),
+                }
+            }
+        }
+    }
+
+    /// A verifiable read of current committed state, outside any
+    /// transaction: the record plus its Merkle path to the root digest.
+    fn proof_read_committed(&mut self, id: tdb_object::ObjectId) -> Response {
+        match self.chunks.read_with_proof(id.0) {
+            Ok((record, proof)) => match self.chunks.snapshot_root(self.partition) {
+                Ok(root) => Response::VerifiedRecord {
+                    record,
+                    proof: Some(proof.encode()),
+                    root: root.as_bytes().to_vec(),
+                },
+                Err(e) => err(e),
+            },
+            Err(CoreError::NotAllocated(_)) | Err(CoreError::NotWritten(_)) => {
+                err(ObjectError::NotFound(id))
+            }
+            Err(e) => err(e),
+        }
+    }
+
+    /// The single executor both transaction kinds share, monomorphized
+    /// over the [`Transactional`] impl.
+    fn exec<T: Transactional>(
+        collections: &CollectionStore,
+        objects: &ObjectStore,
+        partition: PartitionId,
+        tx: &mut T,
+        cmd: &Command,
+    ) -> Response {
+        let result = match cmd {
+            Command::Create {
+                partition: target,
+                record,
+            } => objects
+                .unpickle_record(record)
+                .and_then(|obj| tx.create(*target, obj))
+                .map(Response::Id),
+            Command::Get(id) => tx
+                .get_dyn(*id)
+                .map(|obj| Response::Record(crate::TypeRegistry::pickle(obj.as_ref()))),
+            // Inside a locking transaction the Merkle tree cannot vouch
+            // for buffered state; serve the value with no proof.
+            Command::GetWithProof(id) => tx.get_dyn(*id).map(|obj| Response::VerifiedRecord {
+                record: crate::TypeRegistry::pickle(obj.as_ref()),
+                proof: None,
+                root: Vec::new(),
+            }),
+            Command::Put { id, record } => objects
+                .unpickle_record(record)
+                .and_then(|obj| tx.put(*id, obj))
+                .map(|()| Response::Ok),
+            Command::Delete(id) => tx.delete(*id).map(|()| Response::Ok),
+            Command::CollCreate {
+                partition: target,
+                name,
+            } => collections
+                .create_collection(tx, *target, name)
+                .map(|coll| Response::Id(coll.0)),
+            Command::CollLen(coll) => collections.len(tx, *coll).map(Response::Count),
+            Command::CollInsert { coll, record } => objects
+                .unpickle_record(record)
+                .and_then(|obj| collections.insert(tx, *coll, obj))
+                .map(Response::Id),
+            Command::CollAdd { coll, id } => collections.add(tx, *coll, *id).map(|()| Response::Ok),
+            Command::CollRemove { coll, id } => {
+                collections.remove(tx, *coll, *id).map(|()| Response::Ok)
+            }
+            Command::CollScan(coll) => collections.scan(tx, *coll).map(Response::Ids),
+            Command::CollAddIndex {
+                coll,
+                name,
+                extractor,
+                kind,
+            } => collections
+                .add_index(tx, *coll, name, extractor, *kind)
+                .map(|()| Response::Ok),
+            Command::CollLookup { coll, index, key } => {
+                collections.lookup(tx, *coll, index, key).map(Response::Ids)
+            }
+            Command::CollRange {
+                coll,
+                index,
+                lo,
+                hi,
+            } => collections
+                .range(tx, *coll, index, lo.as_deref(), hi.as_deref())
+                .map(Response::Ids),
+            // Control commands are handled before exec; reaching here is
+            // a dispatch bug, answered as a typed error rather than a
+            // panic so a malformed stream cannot kill a server thread.
+            _ => {
+                let _ = partition;
+                return err(CoreError::Corrupt(format!(
+                    "command {:?} is not a data command",
+                    cmd.opcode()
+                )));
+            }
+        };
+        result.unwrap_or_else(err)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // An abandoned session aborts its open transaction (locks release,
+        // snapshots end) — the connection-drop path on a server.
+        if let Some(tx) = self.tx.take() {
+            match tx {
+                ActiveTx::Locking(tx) => tx.abort(),
+                ActiveTx::Mvcc(tx) => tx.abort(),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("principal", &self.principal)
+            .field("in_tx", &self.tx.is_some())
+            .finish_non_exhaustive()
+    }
+}

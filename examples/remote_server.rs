@@ -1,112 +1,152 @@
-//! TDB over an untrusted *server* (§1, §10): the database lives on a
-//! network store the client does not trust, with client-side write
-//! batching to cut round trips.
+//! TDB served over the network (§1, §10): a real `tdb-server` process
+//! loop on one end of a TCP socket, a real `tdb-client` on the other,
+//! and — because read proofs travel the wire — a client that verifies
+//! every answer against a root digest it pinned itself, trusting the
+//! server for availability only.
 //!
 //! "TDB may also be used to protect a database stored at an untrusted
 //! server. … This application of TDB may benefit from additional
-//! optimizations for reducing network round-trips to the untrusted server,
-//! such as batching reads and writes."
+//! optimizations for reducing network round-trips to the untrusted
+//! server, such as batching reads and writes."
+//!
+//! The flow: spawn the server on a loopback port, fail an impostor's
+//! handshake, then connect with the shared key, load records through a
+//! pipelined burst, pin the snapshot root, and re-read everything with
+//! client-side Merkle verification. A later update changes the root, so
+//! the stale pin rejects — freshness is the client's call, not the
+//! server's.
 //!
 //! ```sh
 //! cargo run --example remote_server
 //! ```
 
 use std::sync::Arc;
-use std::time::Duration;
 
-use tdb::{CommitOp, TrustedBackend, TrustedDbBuilder};
+use tdb::{Command, Response, TrustedDbBuilder};
+use tdb_client::{ClientError, TdbClient};
 use tdb_crypto::SecretKey;
-use tdb_storage::{
-    BatchingStore, CounterOverTrusted, MemArchive, MemStore, MemTrustedStore, RemoteStore,
-    SharedUntrusted, SimClock, TrustedStore,
-};
+use tdb_server::{ServerConfig, TdbServer};
+
+const REC_TAG: u32 = 42;
+
+fn record(payload: &str) -> Vec<u8> {
+    let mut out = REC_TAG.to_le_bytes().to_vec();
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+#[derive(Debug)]
+struct Rec(Vec<u8>);
+
+impl tdb::StoredObject for Rec {
+    fn type_tag(&self) -> u32 {
+        REC_TAG
+    }
+    fn pickle(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+fn unpickle_rec(body: &[u8]) -> tdb_object::errors::Result<Arc<dyn tdb::StoredObject>> {
+    Ok(Arc::new(Rec(body.to_vec())))
+}
 
 fn main() {
-    // The "server": raw storage the client cannot trust. Every request
-    // pays a simulated 3 ms round trip, accounted on a virtual clock.
-    let server_disk = Arc::new(MemStore::new());
-    let network = Arc::new(SimClock::new(false));
-    let build_client = |batched: bool| -> SharedUntrusted {
-        let remote = Arc::new(RemoteStore::new(
-            Arc::clone(&server_disk) as SharedUntrusted,
-            Duration::from_millis(3),
-            Arc::clone(&network),
-        ));
-        if batched {
-            Arc::new(BatchingStore::new(remote))
-        } else {
-            remote
+    // The server side: a trusted database and the accept loop over it.
+    // The pre-shared HMAC key gates the handshake — no key, no session.
+    let auth_key = b"example-pre-shared-key".to_vec();
+    let db = Arc::new(
+        TrustedDbBuilder::new()
+            .register_type(REC_TAG, unpickle_rec)
+            .build_in_memory()
+            .expect("build database"),
+    );
+    let partition = db.partition();
+    let mut server = TdbServer::spawn(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig::new(SecretKey::new(auth_key.clone())),
+    )
+    .expect("spawn server");
+    let addr = server.addr();
+    println!("server listening on {addr}");
+
+    // An impostor without the key never gets a session: the handshake is
+    // challenge-response, so the key itself never crosses the wire.
+    match TdbClient::connect(addr, "impostor", b"wrong-key") {
+        Err(ClientError::AuthRejected(reason)) => {
+            println!("impostor rejected at the handshake: {reason}")
         }
-    };
+        other => panic!("impostor must be rejected, got {other:?}"),
+    }
 
-    // The client device holds the trusted pieces: the secret key and the
-    // monotonic counter.
-    let secret = SecretKey::random(24);
-    let register = Arc::new(MemTrustedStore::new(64));
-    let backend = || {
-        TrustedBackend::Counter(Arc::new(CounterOverTrusted::new(
-            Arc::clone(&register) as Arc<dyn TrustedStore>
-        )))
-    };
-
-    let db = TrustedDbBuilder::new()
-        .secret(secret.clone())
-        .create(build_client(true), backend(), Arc::new(MemArchive::new()))
-        .expect("create database on remote server");
-
-    network.reset();
-    let p = db.partition();
-    let mut chunks = Vec::new();
+    // The real client: authenticate, then load 25 records in one
+    // pipelined burst — every send goes out before the first recv, and
+    // the server feeds the whole burst through group commit.
+    let mut client = TdbClient::connect(addr, "storefront", &auth_key).expect("connect");
+    let mut sent = Vec::new();
     for i in 0..25u32 {
-        let c = db.chunks().allocate_chunk(p).expect("allocate");
-        db.chunks()
-            .commit(vec![CommitOp::WriteChunk {
-                id: c,
-                bytes: format!("entitlement record {i}").into_bytes(),
-            }])
-            .expect("write");
-        chunks.push(c);
+        let payload = format!("entitlement record {i}");
+        let req = client
+            .send(&Command::Create {
+                partition,
+                record: record(&payload),
+            })
+            .expect("send");
+        sent.push((req, payload));
     }
-    println!(
-        "25 commits over the network: {:?} of simulated round-trip time (batched writes)",
-        network.elapsed()
-    );
-
-    // Everything reads back validated, through the cache-aware map walk.
-    network.reset();
-    for (i, c) in chunks.iter().enumerate() {
-        let data = db.chunks().read(*c).expect("read");
-        assert_eq!(data, format!("entitlement record {i}").as_bytes());
-    }
-    println!(
-        "25 validated reads: {:?} of simulated round-trip time",
-        network.elapsed()
-    );
-
-    // The server operator tampers with its own disk; the client detects it.
-    db.close().expect("close");
-    drop(db);
-    server_disk.tamper(2048, 0x80);
-    let reopened = TrustedDbBuilder::new().secret(secret).open(
-        build_client(true),
-        backend(),
-        Arc::new(MemArchive::new()),
-    );
-    match reopened {
-        Err(e) => println!("server-side tampering detected on reopen: {e}"),
-        Ok(db) => {
-            // The flipped byte may sit in untouched slack; every read is
-            // still validated.
-            let mut detected = false;
-            for c in &chunks {
-                if db.chunks().read(*c).is_err() {
-                    detected = true;
-                }
-            }
-            println!(
-                "server-side tampering: detected-on-read = {detected} (byte may be in slack space)"
-            );
+    let mut ids = Vec::new();
+    for (req, payload) in &sent {
+        let (id, resp) = client.recv().expect("recv");
+        assert_eq!(id, *req, "pipelined responses arrive in order");
+        match resp {
+            Response::Id(obj) => ids.push((obj, payload.clone())),
+            other => panic!("create answered {other:?}"),
         }
     }
+    println!("25 records created over one pipelined burst");
+
+    // Pin the snapshot root. From here on the server is untrusted for
+    // integrity: every verified read must prove membership, via the
+    // chunk-map Merkle path shipped with the record, against this digest.
+    let root = client.snapshot_root().expect("pin root");
+    for (id, payload) in &ids {
+        let body = client.get_verified(*id, &root).expect("verified read");
+        assert_eq!(body, record(payload));
+    }
+    println!("25 reads verified client-side against the pinned root");
+
+    // An update moves the root. The stale pin now rejects that record's
+    // proof — a server replaying yesterday's state cannot satisfy a
+    // client holding today's digest, and vice versa.
+    client
+        .put(ids[7].0, record("entitlement record 7 (revoked)"))
+        .expect("update");
+    match client.get_verified(ids[7].0, &root) {
+        Err(ClientError::ProofInvalid) => {
+            println!("stale root rejects the updated record's proof")
+        }
+        other => panic!("stale pin must reject, got {other:?}"),
+    }
+    let fresh = client.snapshot_root().expect("re-pin root");
+    assert_ne!(fresh, root, "an update must move the root digest");
+    let body = client
+        .get_verified(ids[7].0, &fresh)
+        .expect("verified read against the fresh root");
+    assert_eq!(body, record("entitlement record 7 (revoked)"));
+    println!("re-pinned root verifies the update");
+
+    let stats = server.stats();
+    println!(
+        "server stats: {} sessions accepted, {} rejected, {} requests served",
+        stats.sessions.load(std::sync::atomic::Ordering::Relaxed),
+        stats.rejected.load(std::sync::atomic::Ordering::Relaxed),
+        stats.requests.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    drop(client);
+    server.shutdown();
     println!("ok");
 }

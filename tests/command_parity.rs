@@ -1,0 +1,437 @@
+//! Transport parity: the embedded session and the TCP server are the
+//! same database surface. One deterministic command stream, two twin
+//! databases (same fixed keys, same configuration) — one driven through
+//! `Session::dispatch` in-process, the other through `tdb-client` over a
+//! real TCP loopback connection. The response streams must be
+//! **identical** (ids, records, proofs, roots, and typed errors alike),
+//! and so must the device-op shape the untrusted store saw: the network
+//! layer adds no reads, writes, or flushes.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use tdb::{
+    Command, IndexKey, IndexKind, ObjectId, Response, StoredObject, TrustedBackend, TrustedDb,
+    TrustedDbBuilder, TxMode,
+};
+use tdb_client::{ClientError, TdbClient};
+use tdb_crypto::{CipherKind, HashKind, SecretKey};
+use tdb_server::{ServerConfig, TdbServer};
+use tdb_storage::{
+    CounterOverTrusted, MemArchive, MemStore, MemTrustedStore, SharedUntrusted, StatsSnapshot,
+    TrustedStore, UntrustedStore,
+};
+
+const REC_TAG: u32 = 7001;
+const AUTH_KEY: &[u8] = b"parity-pre-shared-key";
+
+#[derive(Debug)]
+struct Rec {
+    payload: Vec<u8>,
+}
+
+impl StoredObject for Rec {
+    fn type_tag(&self) -> u32 {
+        REC_TAG
+    }
+    fn pickle(&self) -> Vec<u8> {
+        self.payload.clone()
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn unpickle_rec(body: &[u8]) -> tdb_object::errors::Result<Arc<dyn StoredObject>> {
+    Ok(Arc::new(Rec {
+        payload: body.to_vec(),
+    }))
+}
+
+fn rec_by_prefix(o: &dyn StoredObject) -> Option<Vec<u8>> {
+    o.as_any().downcast_ref::<Rec>().map(|r| {
+        IndexKey::new()
+            .raw(&r.payload[..r.payload.len().min(4)])
+            .into_bytes()
+    })
+}
+
+/// A wire record for `payload` (type tag + pickle), built exactly like
+/// the server's registry does.
+fn record(payload: &str) -> Vec<u8> {
+    let mut out = REC_TAG.to_le_bytes().to_vec();
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+/// Twin databases must be byte-for-byte deterministic, so every key is
+/// fixed: chunk hashes cover plaintext, making roots and device-op
+/// counts a pure function of the command stream.
+fn build_twin() -> (TrustedDb, Arc<MemStore>) {
+    let untrusted = Arc::new(MemStore::new());
+    let counter = Arc::new(CounterOverTrusted::new(
+        Arc::new(MemTrustedStore::new(64)) as Arc<dyn TrustedStore>
+    ));
+    let db = TrustedDbBuilder::new()
+        .secret(SecretKey::new(vec![7u8; 24]))
+        .partition_params(tdb::CryptoParams {
+            cipher: CipherKind::Des,
+            hash: HashKind::Sha1,
+            key: SecretKey::new(vec![9u8; 8]),
+        })
+        .mvcc(true)
+        .register_type(REC_TAG, unpickle_rec)
+        .register_extractor("prefix", rec_by_prefix)
+        .create(
+            Arc::clone(&untrusted) as SharedUntrusted,
+            TrustedBackend::Counter(counter),
+            Arc::new(MemArchive::new()),
+        )
+        .expect("create twin db");
+    (db, untrusted)
+}
+
+/// The deterministic command stream. Built incrementally: later commands
+/// reference ids returned by earlier ones, so the stream is constructed
+/// against a scratch session first and then replayed verbatim.
+fn build_script() -> Vec<Command> {
+    let (db, _) = build_twin();
+    let mut session = db.session("script-builder");
+    let mut script: Vec<Command> = Vec::new();
+    let mut run = |script: &mut Vec<Command>, cmd: Command| -> Response {
+        let resp = session.dispatch(&cmd);
+        script.push(cmd);
+        resp
+    };
+    let id_of = |resp: Response| -> ObjectId {
+        match resp {
+            Response::Id(id) => id,
+            other => panic!("expected an id, got {other:?}"),
+        }
+    };
+
+    run(&mut script, Command::Ping);
+    run(&mut script, Command::Health);
+    let p = db.partition();
+    let id0 = id_of(run(
+        &mut script,
+        Command::Create {
+            partition: p,
+            record: record("alpha"),
+        },
+    ));
+    let id1 = id_of(run(
+        &mut script,
+        Command::Create {
+            partition: p,
+            record: record("bravo"),
+        },
+    ));
+    run(&mut script, Command::Get(id0));
+    run(
+        &mut script,
+        Command::Put {
+            id: id0,
+            record: record("alpha-rewritten"),
+        },
+    );
+    run(&mut script, Command::Get(id0));
+    // Committed proof-carrying read, outside any transaction.
+    run(&mut script, Command::GetWithProof(id0));
+    run(&mut script, Command::SnapshotRoot);
+
+    // A multi-command locking transaction.
+    run(&mut script, Command::Begin(TxMode::Locking));
+    let id2 = id_of(run(
+        &mut script,
+        Command::Create {
+            partition: p,
+            record: record("charlie"),
+        },
+    ));
+    run(&mut script, Command::Get(id2));
+    // Buffered state: served without a proof.
+    run(&mut script, Command::GetWithProof(id2));
+    run(&mut script, Command::Commit);
+    run(&mut script, Command::Get(id2));
+
+    // Collections, with an index.
+    let coll = tdb::CollectionId(id_of(run(
+        &mut script,
+        Command::CollCreate {
+            partition: p,
+            name: "goods".into(),
+        },
+    )));
+    for name in ["delta", "echo", "foxtrot"] {
+        run(
+            &mut script,
+            Command::CollInsert {
+                coll,
+                record: record(name),
+            },
+        );
+    }
+    run(&mut script, Command::CollLen(coll));
+    run(&mut script, Command::CollScan(coll));
+    run(
+        &mut script,
+        Command::CollAddIndex {
+            coll,
+            name: "by_prefix".into(),
+            extractor: "prefix".into(),
+            kind: IndexKind::Sorted,
+        },
+    );
+    run(
+        &mut script,
+        Command::CollLookup {
+            coll,
+            index: "by_prefix".into(),
+            key: IndexKey::new().raw(b"echo").into_bytes(),
+        },
+    );
+    run(
+        &mut script,
+        Command::CollRange {
+            coll,
+            index: "by_prefix".into(),
+            lo: Some(IndexKey::new().raw(b"d").into_bytes()),
+            hi: Some(IndexKey::new().raw(b"f").into_bytes()),
+        },
+    );
+
+    // Typed errors must round-trip identically too.
+    run(&mut script, Command::Delete(id1));
+    run(&mut script, Command::Get(id1)); // NotFound
+    run(&mut script, Command::Begin(TxMode::Locking));
+    run(&mut script, Command::Begin(TxMode::Locking)); // Busy
+    run(&mut script, Command::Abort);
+    run(&mut script, Command::Commit); // TxFinished: nothing open
+
+    // An MVCC transaction with a proof-carrying snapshot read.
+    run(&mut script, Command::Begin(TxMode::Mvcc));
+    run(&mut script, Command::GetWithProof(id0));
+    run(&mut script, Command::Commit);
+
+    // Admin surface.
+    run(&mut script, Command::Checkpoint);
+    run(&mut script, Command::Clean(4));
+    run(&mut script, Command::SnapshotRoot);
+    script
+}
+
+/// Zeroes wall-clock fields: parity is about operation *shape*, not
+/// timing.
+fn shape(mut s: StatsSnapshot) -> StatsSnapshot {
+    s.read_ns = 0;
+    s.write_ns = 0;
+    s.flush_ns = 0;
+    s
+}
+
+#[test]
+fn same_commands_same_responses_same_device_ops() {
+    let script = build_script();
+
+    // Embedded run.
+    let (db_a, store_a) = build_twin();
+    let mut session = db_a.session("embedded");
+    let embedded: Vec<Response> = script.iter().map(|cmd| session.dispatch(cmd)).collect();
+    drop(session);
+
+    // Remote run over TCP loopback.
+    let (db_b, store_b) = build_twin();
+    let mut server = TdbServer::spawn(
+        Arc::new(db_b),
+        "127.0.0.1:0",
+        ServerConfig::new(SecretKey::new(AUTH_KEY.to_vec())),
+    )
+    .expect("spawn server");
+    let mut client = TdbClient::connect(server.addr(), "remote", AUTH_KEY).expect("connect");
+    let mut remote: Vec<Response> = Vec::new();
+    for cmd in &script {
+        client.send(cmd).expect("send");
+        let (_, resp) = client.recv().expect("recv");
+        remote.push(resp);
+    }
+    drop(client);
+    server.shutdown();
+
+    assert_eq!(embedded.len(), remote.len());
+    for (i, (e, r)) in embedded.iter().zip(&remote).enumerate() {
+        assert_eq!(e, r, "command {i} ({:?}) diverged", script[i].opcode());
+    }
+
+    // Same device-op shape: the network layer added no storage traffic.
+    assert_eq!(
+        shape(store_a.stats().snapshot()),
+        shape(store_b.stats().snapshot()),
+        "embedded and TCP runs drove different device-op shapes"
+    );
+}
+
+#[test]
+fn pipelined_burst_answers_in_order() {
+    let (db, _) = build_twin();
+    let p = db.partition();
+    let mut server = TdbServer::spawn(
+        Arc::new(db),
+        "127.0.0.1:0",
+        ServerConfig::new(SecretKey::new(AUTH_KEY.to_vec())),
+    )
+    .expect("spawn server");
+    let mut client = TdbClient::connect(server.addr(), "burst", AUTH_KEY).expect("connect");
+
+    // Queue a burst without reading a single response.
+    let mut expected_ids = Vec::new();
+    for i in 0..32u32 {
+        let id = client
+            .send(&Command::Create {
+                partition: p,
+                record: record(&format!("burst-{i}")),
+            })
+            .expect("send");
+        expected_ids.push(id);
+    }
+    assert_eq!(client.outstanding(), 32);
+    let mut created = Vec::new();
+    for expect in expected_ids {
+        let (req, resp) = client.recv().expect("recv");
+        assert_eq!(req, expect, "responses must arrive in send order");
+        match resp {
+            Response::Id(id) => created.push(id),
+            other => panic!("create answered {other:?}"),
+        }
+    }
+    // The burst really committed: every object reads back.
+    for (i, id) in created.iter().enumerate() {
+        let rec = client.get(*id).expect("get");
+        assert_eq!(rec, record(&format!("burst-{i}")));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wrong_key_is_rejected_and_wrong_server_is_detected() {
+    let (db, _) = build_twin();
+    let mut server = TdbServer::spawn(
+        Arc::new(db),
+        "127.0.0.1:0",
+        ServerConfig::new(SecretKey::new(AUTH_KEY.to_vec())),
+    )
+    .expect("spawn server");
+
+    match TdbClient::connect(server.addr(), "mallory", b"wrong-key") {
+        Err(ClientError::AuthRejected(reason)) => {
+            assert!(reason.contains("authentication failed"), "reason: {reason}");
+        }
+        other => panic!("wrong key must be rejected, got {other:?}"),
+    }
+    assert_eq!(
+        server
+            .stats()
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // The right key still works afterwards.
+    let mut client = TdbClient::connect(server.addr(), "alice", AUTH_KEY).expect("connect");
+    client.ping().expect("ping");
+    server.shutdown();
+}
+
+#[test]
+fn verified_reads_pass_over_the_wire_against_a_pinned_root() {
+    let (db, _) = build_twin();
+    let p = db.partition();
+    let mut server = TdbServer::spawn(
+        Arc::new(db),
+        "127.0.0.1:0",
+        ServerConfig::new(SecretKey::new(AUTH_KEY.to_vec())),
+    )
+    .expect("spawn server");
+    let mut client = TdbClient::connect(server.addr(), "verifier", AUTH_KEY).expect("connect");
+
+    let mut ids = Vec::new();
+    for i in 0..8u32 {
+        ids.push(
+            client
+                .create(p, record(&format!("pinned-{i}")))
+                .expect("create"),
+        );
+    }
+    // Pin the committed root, then verify every object against it with
+    // proofs shipped over TCP — the server is out of the trusted base.
+    let root = client.snapshot_root().expect("root");
+    for (i, id) in ids.iter().enumerate() {
+        let rec = client.get_verified(*id, &root).expect("verified read");
+        assert_eq!(rec, record(&format!("pinned-{i}")));
+    }
+    // A root from *before* a later commit must reject reads of the new
+    // state: the stale pin cannot vouch for it.
+    let moved = client.create(p, record("post-pin")).expect("create");
+    match client.get_verified(moved, &root) {
+        Err(ClientError::ProofInvalid) => {}
+        other => panic!("stale pinned root must reject, got {other:?}"),
+    }
+    // Re-pinning to the current root makes the same read verify.
+    let fresh = client.snapshot_root().expect("root");
+    assert_eq!(
+        client.get_verified(moved, &fresh).expect("verified read"),
+        record("post-pin")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn session_transactions_are_isolated_per_connection() {
+    let (db, _) = build_twin();
+    let p = db.partition();
+    let mut server = TdbServer::spawn(
+        Arc::new(db),
+        "127.0.0.1:0",
+        ServerConfig::new(SecretKey::new(AUTH_KEY.to_vec())),
+    )
+    .expect("spawn server");
+
+    let mut alice = TdbClient::connect(server.addr(), "alice", AUTH_KEY).expect("connect");
+    let mut bob = TdbClient::connect(server.addr(), "bob", AUTH_KEY).expect("connect");
+
+    // Alice opens a transaction and buffers a write; Bob's session has no
+    // transaction, so his Begin succeeds independently.
+    alice.begin(TxMode::Locking).expect("alice begin");
+    let id = alice.create(p, record("private")).expect("alice create");
+    bob.begin(TxMode::Locking).expect("bob begin");
+    bob.abort().expect("bob abort");
+    // Bob cannot see Alice's uncommitted object: her write lock makes his
+    // autocommit read time out (two-phase locking, typed code 205).
+    match bob.get(id) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code(), 205, "expected LockTimeout, got {e}"),
+        other => panic!("uncommitted object must be invisible, got {other:?}"),
+    }
+    alice.commit().expect("alice commit");
+    assert_eq!(
+        bob.get(id).expect("visible after commit"),
+        record("private")
+    );
+
+    // A dropped connection aborts its open transaction server-side.
+    alice.begin(TxMode::Locking).expect("alice begin again");
+    let doomed = alice.create(p, record("doomed")).expect("alice create");
+    drop(alice);
+    // Locks release once the server reaps the session; retry briefly.
+    let mut gone = false;
+    for _ in 0..100 {
+        match bob.get(doomed) {
+            Err(ClientError::Remote(e)) if e.code() == 201 => {
+                gone = true;
+                break;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+    assert!(gone, "dropped connection must abort its transaction");
+    server.shutdown();
+}

@@ -238,7 +238,7 @@ fn collections_run_unchanged_under_mvcc() {
 
     // And the legacy Tx sees the same committed collection.
     let legacy_len = db
-        .run(|tx: &mut Tx<'_>| db.collections().len(tx, coll))
+        .run(|tx: &mut Tx| db.collections().len(tx, coll))
         .unwrap();
     assert_eq!(legacy_len, 9);
 }

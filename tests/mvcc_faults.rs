@@ -66,7 +66,7 @@ fn config() -> ChunkStoreConfig {
     }
 }
 
-fn objects_over(chunks: Arc<ChunkStore>) -> ObjectStore {
+fn objects_over(chunks: Arc<ChunkStore>) -> Arc<ObjectStore> {
     ObjectStore::new(
         chunks,
         registry(),

@@ -476,3 +476,149 @@ mod proof_tamper {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The wire dimension: proofs and proof-carrying responses as a network
+// client receives them. The serialized forms must round-trip losslessly,
+// and no single-byte tampering of a framed response may make a verifying
+// client accept a record other than the one the server committed.
+// ---------------------------------------------------------------------------
+
+mod framed_tamper {
+    use super::*;
+    use tdb::wire;
+    use tdb_core::{verify_read_proof, ReadProof};
+    use tdb_crypto::HashValue;
+
+    const REC_TAG: u32 = 7003;
+
+    #[derive(Debug)]
+    struct Rec(Vec<u8>);
+
+    impl tdb::StoredObject for Rec {
+        fn type_tag(&self) -> u32 {
+            REC_TAG
+        }
+        fn pickle(&self) -> Vec<u8> {
+            self.0.clone()
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn unpickle_rec(body: &[u8]) -> tdb_object::errors::Result<Arc<dyn tdb::StoredObject>> {
+        Ok(Arc::new(Rec(body.to_vec())))
+    }
+
+    /// A database, an object in it, and the pinned root of the committed
+    /// state.
+    fn populated_db() -> (tdb::TrustedDb, tdb::ObjectId, HashValue) {
+        let db = tdb::TrustedDbBuilder::new()
+            .register_type(REC_TAG, unpickle_rec)
+            .chunk_config(ChunkStoreConfig {
+                fanout: 4,
+                segment_size: 4096,
+                ..ChunkStoreConfig::default()
+            })
+            .build_in_memory()
+            .unwrap();
+        let partition = db.partition();
+        let mut ids = Vec::new();
+        let mut session = db.session("setup");
+        for i in 0..10u32 {
+            let mut record = REC_TAG.to_le_bytes().to_vec();
+            record.extend_from_slice(format!("framed record {i}").as_bytes());
+            match session.dispatch(&tdb::Command::Create { partition, record }) {
+                tdb::Response::Id(id) => ids.push(id),
+                other => panic!("create answered {other:?}"),
+            }
+        }
+        drop(session);
+        let root = db.snapshot_root().unwrap();
+        (db, ids[4], root)
+    }
+
+    /// What a verifying client does with one framed response: strip the
+    /// frame, decode the envelope, check the request id, decode the
+    /// proof, verify the record against the pinned root. Returns the
+    /// record only if every step accepts.
+    fn client_accepts(
+        frame: &[u8],
+        expected_request: u64,
+        pinned_root: &HashValue,
+    ) -> Option<Vec<u8>> {
+        let mut cursor = std::io::Cursor::new(frame);
+        let payload = wire::read_frame(&mut cursor).ok()?;
+        // Trailing bytes after the framed payload are a protocol error.
+        if (cursor.position() as usize) != frame.len() {
+            return None;
+        }
+        let envelope = wire::decode_response(&payload).ok()?;
+        if envelope.request_id != expected_request {
+            return None;
+        }
+        match envelope.response {
+            tdb::Response::VerifiedRecord { record, proof, .. } => {
+                let proof = ReadProof::decode(&proof?).ok()?;
+                if verify_read_proof(&proof, &record, pinned_root) {
+                    Some(record)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn read_proof_wire_round_trip_is_lossless() {
+        let (db, id, root) = populated_db();
+        let (body, proof) = db.chunks().read_with_proof(id.0).unwrap();
+        assert!(proof.levels.len() >= 2, "tree too shallow");
+        let encoded = proof.encode();
+        let decoded = ReadProof::decode(&encoded).unwrap();
+        assert_eq!(decoded, proof, "decode(encode(p)) must equal p");
+        assert_eq!(decoded.encode(), encoded, "re-encoding must be stable");
+        assert!(verify_read_proof(&decoded, &body, &root));
+        // Every truncation of the wire form must fail to decode — a
+        // shortened proof can never pass for a complete one.
+        for len in 0..encoded.len() {
+            assert!(
+                ReadProof::decode(&encoded[..len]).is_err(),
+                "truncation to {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn framed_response_single_byte_tamper_sweep() {
+        let (db, id, root) = populated_db();
+        let mut session = db.session("prover");
+        let response = session.dispatch(&tdb::Command::GetWithProof(id));
+        let envelope = wire::encode_response(42, wire::health::LIVE, "", &response);
+        let mut frame = Vec::new();
+        wire::write_frame(&mut frame, &envelope).unwrap();
+
+        let original = client_accepts(&frame, 42, &root).expect("intact frame must verify");
+        assert!(original.ends_with(b"framed record 4"));
+
+        // Flip low, high, and all bits of every byte of the frame —
+        // length prefix, request id, health stamp, record, proof, and
+        // embedded root alike. The client must either reject the frame
+        // outright or still extract the original record (flips confined
+        // to advisory bytes it does not trust anyway).
+        for i in 0..frame.len() {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut tampered = frame.clone();
+                tampered[i] ^= mask;
+                if let Some(record) = client_accepts(&tampered, 42, &root) {
+                    assert_eq!(
+                        record, original,
+                        "byte {i} flipped with {mask:#04x} yielded a different record"
+                    );
+                }
+            }
+        }
+    }
+}
